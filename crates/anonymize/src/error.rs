@@ -1,0 +1,67 @@
+//! Errors produced by disclosure control algorithms.
+
+use std::fmt;
+
+use anoncmp_microdata::error::Error as MicrodataError;
+
+/// Errors from running an anonymization algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnonymizeError {
+    /// No anonymization satisfying the constraint exists in the algorithm's
+    /// search space (e.g. even full suppression violates an extra model, or
+    /// the dataset is smaller than `k`).
+    Unsatisfiable(String),
+    /// Invalid algorithm configuration (e.g. `k = 0`).
+    InvalidConfig(String),
+    /// An underlying microdata operation failed.
+    Microdata(MicrodataError),
+}
+
+impl fmt::Display for AnonymizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonymizeError::Unsatisfiable(msg) => write!(f, "constraint unsatisfiable: {msg}"),
+            AnonymizeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AnonymizeError::Microdata(e) => write!(f, "microdata error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnonymizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnonymizeError::Microdata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MicrodataError> for AnonymizeError {
+    fn from(e: MicrodataError) -> Self {
+        AnonymizeError::Microdata(e)
+    }
+}
+
+/// Result alias for anonymization operations.
+pub type Result<T> = std::result::Result<T, AnonymizeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnonymizeError::Unsatisfiable("k larger than dataset".into());
+        assert!(e.to_string().contains("unsatisfiable"));
+
+        let e = AnonymizeError::InvalidConfig("k = 0".into());
+        assert!(e.to_string().contains("configuration"));
+
+        let inner = MicrodataError::UnknownAttribute("x".into());
+        let e: AnonymizeError = inner.into();
+        assert!(e.to_string().contains("microdata"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(AnonymizeError::Unsatisfiable(String::new()).source().is_none());
+    }
+}

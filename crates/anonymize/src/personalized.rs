@@ -1,0 +1,201 @@
+//! Personalized privacy (Xiao & Tao, cited as \[21\] in the paper).
+//!
+//! §2 singles out the personalized model as a place where anonymization
+//! bias persists: "Personalized privacy in such a model is achieved by
+//! constraining the probability of privacy breach for an individual,
+//! depending on personal preferences of a breach, to an upper bound.
+//! Nonetheless, the individual probabilities need not be same for all
+//! tuples, thereby biasing a generalization scheme in more favor towards
+//! some tuples than others."
+//!
+//! The guarding-node mechanism is modeled here at the granularity this
+//! workspace measures privacy: each individual declares a maximum
+//! acceptable breach probability `p_t`, equivalently a personal minimum
+//! class size `k_t = ⌈1 / p_t⌉`. The [`PersonalizedKAnonymity`] model
+//! requires every class to be at least as large as the *strictest* demand
+//! among its members, and [`personalized_slack_vector`] exposes the
+//! per-tuple slack `|EC(t)| − k_t` as a property vector so the paper's
+//! comparators can quantify the bias *relative to individual demands*.
+
+use anoncmp_core::vector::PropertyVector;
+use anoncmp_microdata::prelude::AnonymizedTable;
+
+use crate::models::PrivacyModel;
+
+/// Per-individual k-anonymity: tuple `t` demands a class of at least
+/// `k_of[t]` members.
+#[derive(Debug, Clone)]
+pub struct PersonalizedKAnonymity {
+    k_of: Vec<usize>,
+}
+
+impl PersonalizedKAnonymity {
+    /// Builds from per-tuple minimum class sizes.
+    ///
+    /// # Panics
+    /// Panics if any demand is zero (every individual is in a class of at
+    /// least one — demand 0 is meaningless).
+    pub fn new(k_of: Vec<usize>) -> Self {
+        assert!(k_of.iter().all(|&k| k >= 1), "personal k demands must be ≥ 1");
+        PersonalizedKAnonymity { k_of }
+    }
+
+    /// Builds from per-tuple maximum breach probabilities
+    /// (`k_t = ⌈1 / p_t⌉`).
+    ///
+    /// # Panics
+    /// Panics if any probability is outside `(0, 1]`.
+    pub fn from_breach_bounds(bounds: &[f64]) -> Self {
+        let k_of = bounds
+            .iter()
+            .map(|&p| {
+                assert!(p > 0.0 && p <= 1.0, "breach bounds must be probabilities in (0, 1]");
+                (1.0 / p).ceil() as usize
+            })
+            .collect();
+        PersonalizedKAnonymity::new(k_of)
+    }
+
+    /// The per-tuple demands.
+    pub fn demands(&self) -> &[usize] {
+        &self.k_of
+    }
+
+    /// The strictest demand among `members`.
+    fn class_demand(&self, members: &[u32]) -> usize {
+        members
+            .iter()
+            .map(|&t| self.k_of.get(t as usize).copied().unwrap_or(1))
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+impl PrivacyModel for PersonalizedKAnonymity {
+    fn name(&self) -> String {
+        let max = self.k_of.iter().max().copied().unwrap_or(1);
+        format!("personalized-k (max demand {max})")
+    }
+
+    fn class_satisfied(&self, _table: &AnonymizedTable, members: &[u32]) -> bool {
+        members.len() >= self.class_demand(members)
+    }
+}
+
+/// Per-tuple slack `|EC(t)| − k_t`: how far each individual's protection
+/// exceeds (positive) or falls short of (negative) their personal demand.
+/// Higher is better; zero means the demand is met exactly. Feeding this
+/// vector into the §5 comparators measures anonymization bias *relative to
+/// personal preferences* rather than a global k.
+///
+/// # Panics
+/// Panics if the demand vector's length differs from the table size.
+pub fn personalized_slack_vector(
+    table: &AnonymizedTable,
+    model: &PersonalizedKAnonymity,
+) -> PropertyVector {
+    assert_eq!(
+        model.demands().len(),
+        table.len(),
+        "one personal demand per tuple is required"
+    );
+    let v: Vec<f64> = (0..table.len())
+        .map(|t| table.classes().class_size_of(t) as f64 - model.demands()[t] as f64)
+        .collect();
+    PropertyVector::new("personalized-slack", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use anoncmp_microdata::prelude::*;
+
+    use crate::constraint::Constraint;
+    use crate::prelude::{Anonymizer, Datafly};
+
+    /// Classes of sizes 2 ({1,2}) and 3 ({11,12,13}).
+    fn fixture() -> AnonymizedTable {
+        let schema = Schema::new(vec![Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
+            .with_hierarchy(IntervalLadder::uniform(0, &[10, 100]).unwrap().into())
+            .unwrap()])
+        .unwrap();
+        let ds = Dataset::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(11)],
+                vec![Value::Int(12)],
+                vec![Value::Int(13)],
+            ],
+        )
+        .unwrap();
+        Lattice::new(schema).unwrap().apply(&ds, &[1], "f").unwrap()
+    }
+
+    #[test]
+    fn class_checks_use_the_strictest_member() {
+        let t = fixture();
+        // Tuple 1 demands k = 3 but sits in a class of 2 → violated.
+        let m = PersonalizedKAnonymity::new(vec![1, 3, 1, 1, 1]);
+        assert!(!m.satisfied(&t));
+        // Everyone content with k ≤ 2 in the small class, ≤ 3 in the big.
+        let m = PersonalizedKAnonymity::new(vec![2, 2, 3, 1, 3]);
+        assert!(m.satisfied(&t));
+    }
+
+    #[test]
+    fn breach_bound_conversion() {
+        let m = PersonalizedKAnonymity::from_breach_bounds(&[1.0, 0.5, 0.34, 0.2]);
+        assert_eq!(m.demands(), &[1, 2, 3, 5]);
+        assert!(m.name().contains("max demand 5"));
+    }
+
+    #[test]
+    fn slack_vector_measures_personal_bias() {
+        let t = fixture();
+        let m = PersonalizedKAnonymity::new(vec![2, 1, 3, 1, 2]);
+        let slack = personalized_slack_vector(&t, &m);
+        assert_eq!(slack.values(), &[0.0, 1.0, 0.0, 2.0, 1.0]);
+        // The same release is exactly-sufficient for some, generous for
+        // others — personalized anonymization bias, quantifiable with any
+        // §5 comparator.
+        assert_eq!(slack.min(), Some(0.0));
+        assert_eq!(slack.max(), Some(2.0));
+    }
+
+    #[test]
+    fn works_as_a_constraint_model() {
+        let t = fixture();
+        let ds = t.dataset().clone();
+        let demands = vec![3usize; ds.len()];
+        let c = Constraint::k_anonymity(1)
+            .with_model(Arc::new(PersonalizedKAnonymity::new(demands)));
+        // Datafly generalizes until the strict personal demands hold.
+        let out = Datafly.anonymize(&ds, &c).expect("satisfiable by generalization");
+        assert!(c.satisfied(&out));
+        assert!(out.classes().min_class_size() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1")]
+    fn zero_demand_rejected() {
+        let _ = PersonalizedKAnonymity::new(vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn bad_breach_bound_rejected() {
+        let _ = PersonalizedKAnonymity::from_breach_bounds(&[1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one personal demand per tuple")]
+    fn slack_arity_checked() {
+        let t = fixture();
+        let m = PersonalizedKAnonymity::new(vec![1]);
+        let _ = personalized_slack_vector(&t, &m);
+    }
+}

@@ -1,0 +1,101 @@
+//! Ablation benches for the design decisions called out in DESIGN.md:
+//!
+//! 1. hash-based vs sort-based equivalence-class grouping;
+//! 2. cached vs uncached cell-loss computation;
+//! 3. exact vs log-space hypervolume ordering cost.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_core::prelude::*;
+use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_microdata::loss::{CellLossCache, LossMetric};
+use anoncmp_microdata::prelude::*;
+
+fn release(rows: usize) -> AnonymizedTable {
+    let ds = generate(&CensusConfig { rows, seed: 5, zip_pool: 20 });
+    let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
+    lattice.apply(&ds, &[2, 2, 1, 1, 0, 0], "bench").expect("mid-level recoding")
+}
+
+/// DESIGN.md decision 1: signature hashing vs sort-based grouping.
+fn grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    for rows in [1_000usize, 10_000] {
+        let t = release(rows);
+        let records = t.records().to_vec();
+        let qi: Vec<usize> = t.dataset().schema().quasi_identifiers().to_vec();
+        group.bench_with_input(BenchmarkId::new("hash", rows), &rows, |b, _| {
+            b.iter(|| black_box(EquivalenceClasses::group_by_hash(&records, &qi)))
+        });
+        group.bench_with_input(BenchmarkId::new("sort", rows), &rows, |b, _| {
+            b.iter(|| black_box(EquivalenceClasses::group_by_sort(&records, &qi)))
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md decision 2: memoized vs direct cell-loss computation.
+fn loss_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_cache");
+    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    for rows in [1_000usize, 10_000] {
+        let t = release(rows);
+        let ds: &Arc<Dataset> = t.dataset();
+        let metric = LossMetric::paper_ratio();
+        let cols: Vec<usize> = (0..ds.schema().len()).collect();
+        group.bench_with_input(BenchmarkId::new("uncached", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for tuple in 0..t.len() {
+                    for &col in &cols {
+                        total += metric.cell_loss(ds, col, t.cell(tuple, col));
+                    }
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cached", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut cache = CellLossCache::new(metric.clone());
+                let mut total = 0.0;
+                for tuple in 0..t.len() {
+                    for &col in &cols {
+                        total += cache.get(ds, col, t.cell(tuple, col));
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md decision 3: exact hypervolume products vs the log-space
+/// proxy (identical ordering; the bench shows the cost is also similar, so
+/// log space is a pure win above the overflow threshold).
+fn hv_log_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hv_log_vs_exact");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    let n = 32usize; // still safe for exact products
+    let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i % 5) + 2) as f64).collect());
+    let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i % 3) + 3) as f64).collect());
+    group.bench_function("exact32", |b| {
+        b.iter(|| {
+            black_box(
+                HypervolumeComparator::with_mode(HvMode::Exact).compare(&d1, &d2),
+            )
+        })
+    });
+    group.bench_function("log32", |b| {
+        b.iter(|| {
+            black_box(HypervolumeComparator::with_mode(HvMode::Log).compare(&d1, &d2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grouping, loss_cache, hv_log_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Algorithm scaling benches: wall-clock cost of each disclosure control
+//! algorithm as the dataset grows, at a fixed k.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_anonymize::prelude::*;
+use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_microdata::prelude::Dataset;
+
+fn data(rows: usize) -> Arc<Dataset> {
+    generate(&CensusConfig { rows, seed: 99, zip_pool: 20 })
+}
+
+fn algo_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for rows in [200usize, 500, 1000] {
+        let ds = data(rows);
+        let constraint = Constraint::k_anonymity(5).with_suppression(rows / 20);
+        group.bench_with_input(BenchmarkId::new("datafly", rows), &rows, |b, _| {
+            b.iter(|| black_box(Datafly.anonymize(&ds, &constraint).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("mondrian", rows), &rows, |b, _| {
+            b.iter(|| black_box(Mondrian.anonymize(&ds, &constraint).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", rows), &rows, |b, _| {
+            b.iter(|| black_box(GreedyRecoder::default().anonymize(&ds, &constraint).unwrap()))
+        });
+    }
+    // The exhaustive searches are benchmarked at one moderate size.
+    let ds = data(300);
+    let constraint = Constraint::k_anonymity(5).with_suppression(15);
+    group.bench_function("samarati/300", |b| {
+        b.iter(|| black_box(Samarati::default().anonymize(&ds, &constraint).unwrap()))
+    });
+    group.bench_function("incognito/300", |b| {
+        b.iter(|| black_box(Incognito::default().anonymize(&ds, &constraint).unwrap()))
+    });
+    group.bench_function("subset_incognito/300", |b| {
+        b.iter(|| black_box(SubsetIncognito::default().anonymize(&ds, &constraint).unwrap()))
+    });
+    let ga = Genetic {
+        config: GeneticConfig { population: 16, generations: 10, ..Default::default() },
+        ..Default::default()
+    };
+    group.bench_function("genetic/300", |b| {
+        b.iter(|| black_box(ga.anonymize(&ds, &constraint).unwrap()))
+    });
+    group.finish();
+}
+
+fn k_sweep(c: &mut Criterion) {
+    // How cost varies with k for the two fastest algorithms.
+    let mut group = c.benchmark_group("algo_k_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let ds = data(500);
+    for k in [2usize, 10, 50] {
+        let constraint = Constraint::k_anonymity(k).with_suppression(25);
+        group.bench_with_input(BenchmarkId::new("mondrian", k), &k, |b, _| {
+            b.iter(|| black_box(Mondrian.anonymize(&ds, &constraint).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("datafly", k), &k, |b, _| {
+            b.iter(|| black_box(Datafly.anonymize(&ds, &constraint).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, algo_scaling, k_sweep);
+criterion_main!(benches);

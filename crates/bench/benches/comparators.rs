@@ -1,0 +1,90 @@
+//! Scaling benches for every comparator in the framework: cost of one
+//! pairwise comparison as the dataset size N grows, plus the
+//! multi-property preference schemes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_core::prelude::*;
+
+fn vectors(n: usize) -> (PropertyVector, PropertyVector) {
+    let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i * 7) % 13) as f64 + 1.0).collect());
+    let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i * 11) % 13) as f64 + 1.0).collect());
+    (d1, d2)
+}
+
+fn comparator_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_scaling");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 10_000, 1_000_000] {
+        let (d1, d2) = vectors(n);
+        let rank = RankComparator::toward_uniform(14.0, n);
+        let hv = HypervolumeComparator::default();
+        group.bench_with_input(BenchmarkId::new("dominance", n), &n, |b, _| {
+            b.iter(|| black_box(DominanceComparator.compare(&d1, &d2)))
+        });
+        group.bench_with_input(BenchmarkId::new("cov", n), &n, |b, _| {
+            b.iter(|| black_box(CoverageComparator.compare(&d1, &d2)))
+        });
+        group.bench_with_input(BenchmarkId::new("spr", n), &n, |b, _| {
+            b.iter(|| black_box(SpreadComparator.compare(&d1, &d2)))
+        });
+        group.bench_with_input(BenchmarkId::new("rank", n), &n, |b, _| {
+            b.iter(|| black_box(rank.compare(&d1, &d2)))
+        });
+        group.bench_with_input(BenchmarkId::new("hv", n), &n, |b, _| {
+            b.iter(|| black_box(hv.compare(&d1, &d2)))
+        });
+    }
+    group.finish();
+}
+
+fn preference_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preference_scaling");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 10_000] {
+        let (p1, p2) = vectors(n);
+        let (u1, u2) = vectors(n);
+        let s1 = PropertySet::new("a", vec![p1.renamed("priv"), u1.renamed("util")]);
+        let s2 = PropertySet::new("b", vec![p2.renamed("priv"), u2.renamed("util")]);
+        let wtd = WeightedComparator::equal(vec![
+            Box::new(CoverageComparator),
+            Box::new(CoverageComparator),
+        ]);
+        let lex = LexicographicComparator::strict(vec![
+            Box::new(CoverageComparator),
+            Box::new(CoverageComparator),
+        ]);
+        let goal = GoalComparator::new(
+            vec![1.0, 1.0],
+            GoalBasis::Binary(vec![
+                Box::new(CoverageComparator),
+                Box::new(CoverageComparator),
+            ]),
+        );
+        group.bench_with_input(BenchmarkId::new("wtd", n), &n, |b, _| {
+            b.iter(|| black_box(wtd.compare(&s1, &s2)))
+        });
+        group.bench_with_input(BenchmarkId::new("lex", n), &n, |b, _| {
+            b.iter(|| black_box(lex.compare(&s1, &s2)))
+        });
+        group.bench_with_input(BenchmarkId::new("goal", n), &n, |b, _| {
+            b.iter(|| black_box(goal.compare(&s1, &s2)))
+        });
+    }
+    group.finish();
+}
+
+fn bias_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bias_scaling");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 10_000, 1_000_000] {
+        let (d, _) = vectors(n);
+        group.bench_with_input(BenchmarkId::new("bias_report", n), &n, |b, _| {
+            b.iter(|| black_box(BiasReport::of(&d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, comparator_scaling, preference_scaling, bias_scaling);
+criterion_main!(benches);

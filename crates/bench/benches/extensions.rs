@@ -1,0 +1,131 @@
+//! Benches for the extension layer: ε-indicator, Pareto machinery, the
+//! multi-objective search, query workloads, and tournament matrices.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_anonymize::prelude::*;
+use anoncmp_core::prelude::*;
+use anoncmp_datagen::census::{generate, CensusConfig};
+
+fn vectors(n: usize) -> (PropertyVector, PropertyVector) {
+    let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i * 7) % 13) as f64 + 1.0).collect());
+    let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i * 11) % 13) as f64 + 1.0).collect());
+    (d1, d2)
+}
+
+fn epsilon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_scaling");
+    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 10_000, 1_000_000] {
+        let (d1, d2) = vectors(n);
+        let eps = EpsilonComparator::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eps.compare(&d1, &d2)))
+        });
+    }
+    group.finish();
+}
+
+fn pareto_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    for n in [50usize, 200, 800] {
+        // Random-ish 3-objective points.
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    ((i * 7) % 97) as f64,
+                    ((i * 13) % 89) as f64,
+                    ((i * 29) % 83) as f64,
+                ]
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("front", n), &n, |b, _| {
+            b.iter(|| black_box(pareto_front(&points)))
+        });
+        group.bench_with_input(BenchmarkId::new("nds", n), &n, |b, _| {
+            b.iter(|| black_box(non_dominated_sort(&points)))
+        });
+        group.bench_with_input(BenchmarkId::new("nsga2_order", n), &n, |b, _| {
+            b.iter(|| black_box(nsga2_order(&points)))
+        });
+    }
+    group.finish();
+}
+
+fn moga_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moga");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let ds = generate(&CensusConfig { rows: 200, seed: 4, zip_pool: 15 });
+    let moga = MultiObjectiveGenetic {
+        config: MogaConfig { population: 12, generations: 8, ..Default::default() },
+        ..Default::default()
+    };
+    group.bench_function("nsga2_200rows_12x8", |b| {
+        b.iter(|| black_box(moga.run(&ds).unwrap()))
+    });
+    group.finish();
+}
+
+fn query_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_workload");
+    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    let ds = generate(&CensusConfig { rows: 1000, seed: 4, zip_pool: 20 });
+    let constraint = Constraint::k_anonymity(5).with_suppression(50);
+    let release = Mondrian.anonymize(&ds, &constraint).unwrap();
+    for queries in [20usize, 100] {
+        let w = Workload::random(&ds, queries, 2, 0.3, 9);
+        group.bench_with_input(
+            BenchmarkId::new("mean_rel_error", queries),
+            &queries,
+            |b, _| b.iter(|| black_box(w.mean_relative_error(&release))),
+        );
+    }
+    let w = Workload::random(&ds, 20, 2, 0.3, 9);
+    group.bench_function("tuple_error_vector_20q", |b| {
+        b.iter(|| black_box(w.tuple_error_vector(&release)))
+    });
+    group.finish();
+}
+
+fn tournament_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tournament_matrix");
+    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    for candidates in [4usize, 16] {
+        let vectors: Vec<PropertyVector> = (0..candidates)
+            .map(|i| {
+                PropertyVector::new(
+                    format!("c{i}"),
+                    (0..5_000).map(|t| ((t * (i + 2)) % 17) as f64 + 1.0).collect(),
+                )
+            })
+            .collect();
+        let names: Vec<String> = (0..candidates).map(|i| format!("c{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        group.bench_with_input(
+            BenchmarkId::new("cov_matrix_5k_dims", candidates),
+            &candidates,
+            |b, _| {
+                b.iter(|| {
+                    black_box(ComparisonMatrix::of_vectors(
+                        &name_refs,
+                        &vectors,
+                        &CoverageComparator,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    epsilon_scaling,
+    pareto_machinery,
+    moga_search,
+    query_workload,
+    tournament_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches, one group per paper figure: how fast each figure's
+//! underlying computation is (property extraction, rank, coverage/spread,
+//! hypervolume) on the paper's own vectors and on scaled-up variants.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_core::prelude::*;
+use anoncmp_datagen::paper;
+
+/// Figure 1: extracting the per-tuple class-size vectors from the three
+/// releases.
+fn fig1_eqclass(c: &mut Criterion) {
+    let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
+    c.bench_function("fig1_eqclass_extract", |b| {
+        b.iter(|| {
+            for t in &tables {
+                black_box(EqClassSize.extract(t));
+            }
+        })
+    });
+}
+
+/// Figure 2: rank-index computation at increasing dimension.
+fn fig2_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_rank");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for n in [10usize, 1_000, 100_000] {
+        let d = PropertyVector::new("d", (0..n).map(|i| (i % 7) as f64 + 1.0).collect());
+        let cmp = RankComparator::toward_uniform(10.0, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(cmp.rank(&d)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 3: coverage + spread index pairs at increasing dimension.
+fn fig3_cov_spr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cov_spr");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    for n in [10usize, 1_000, 100_000] {
+        let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i * 7) % 13) as f64).collect());
+        let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i * 11) % 13) as f64).collect());
+        group.bench_with_input(BenchmarkId::new("cov", n), &n, |b, _| {
+            b.iter(|| black_box(coverage_index(&d1, &d2)))
+        });
+        group.bench_with_input(BenchmarkId::new("spr", n), &n, |b, _| {
+            b.iter(|| black_box(spread_index(&d1, &d2)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4: hypervolume (exact on the paper's 8-dim vectors, log on big
+/// ones).
+fn fig4_hypervolume(c: &mut Criterion) {
+    let s = PropertyVector::new("s", paper::HV_S.to_vec());
+    let t = PropertyVector::new("t", paper::HV_T.to_vec());
+    c.bench_function("fig4_hv_exact_paper", |b| {
+        b.iter(|| black_box(hypervolume_index(&s, &t)))
+    });
+    let big1 = PropertyVector::new("b1", (0..100_000).map(|i| ((i % 9) + 1) as f64).collect());
+    c.bench_function("fig4_hv_log_100k", |b| {
+        b.iter(|| black_box(log_volume_proxy(&big1)))
+    });
+}
+
+criterion_group!(benches, fig1_eqclass, fig2_rank, fig3_cov_spr, fig4_hypervolume);
+criterion_main!(benches);

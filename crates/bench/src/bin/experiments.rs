@@ -1,0 +1,55 @@
+//! Prints the paper-reproduction experiments.
+//!
+//! Usage:
+//! ```text
+//! experiments                # run everything (E01–E16)
+//! experiments e04 e09 e13    # run selected experiments
+//! experiments --list         # list the experiment index
+//! experiments --quick        # run everything, E13 in its quick config
+//! ```
+
+use anoncmp_bench::experiments::{registry, study};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+
+    if args.iter().any(|a| a == "--list") {
+        println!("available experiments:");
+        for e in &reg {
+            println!("  {:<5} {}", e.id, e.describes);
+        }
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let mut unknown: Vec<&str> = selected
+        .iter()
+        .filter(|id| !reg.iter().any(|e| e.id == **id))
+        .copied()
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort_unstable();
+        eprintln!("unknown experiment ids: {} (use --list)", unknown.join(", "));
+        std::process::exit(2);
+    }
+
+    for e in &reg {
+        if !selected.is_empty() && !selected.contains(&e.id) {
+            continue;
+        }
+        let report = if e.id == "e13" && quick {
+            study::e13_study(&study::StudyConfig::quick())
+        } else {
+            (e.run)()
+        };
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+    }
+}

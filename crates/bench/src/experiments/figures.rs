@@ -1,0 +1,200 @@
+//! Experiments E04, E06, E07, E09: the paper's Figures 1–4.
+
+use anoncmp_core::prelude::*;
+use anoncmp_datagen::paper;
+
+/// E04 — Figure 1: per-tuple equivalence-class sizes of T3a/T3b/T4.
+///
+/// "Two different anonymizations with the same collective privacy level
+/// can have different privacy levels for individual tuples."
+pub fn e04_figure1() -> String {
+    let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
+    let vectors: Vec<PropertyVector> =
+        tables.iter().map(|t| EqClassSize.extract(t)).collect();
+    let mut out = String::new();
+    out.push_str("E04 · Figure 1 — size of the equivalence class per tuple\n\n");
+    out.push_str("  tuple   T3a   T3b    T4\n");
+    #[allow(clippy::needless_range_loop)] // `i` indexes three parallel vectors
+    for i in 0..10 {
+        out.push_str(&format!(
+            "  {:>5} {:>5} {:>5} {:>5}\n",
+            i + 1,
+            vectors[0][i],
+            vectors[1][i],
+            vectors[2][i]
+        ));
+    }
+    // ASCII rendition of the figure: class size as bar height per tuple.
+    out.push_str("\n  series plot (rows = class size, columns = tuples 1..10):\n");
+    for height in (1..=7).rev() {
+        out.push_str(&format!("  {height} |"));
+        for i in 0..10 {
+            let marks: String = tables
+                .iter()
+                .zip(&vectors)
+                .map(|(t, v)| {
+                    if v[i] as i64 == height {
+                        t.name().chars().last().expect("non-empty name")
+                    } else {
+                        ' '
+                    }
+                })
+                .collect();
+            out.push_str(&format!(" {marks}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("     +--1---2---3---4---5---6---7---8---9--10  (a = T3a, b = T3b, 4 = T4)\n");
+    out.push_str(
+        "\n  Observation (paper §2): user 8 prefers T4 (4 > 3) while user 3 \
+         prefers T3b (7 > 4) — no release is uniformly best.\n",
+    );
+    out
+}
+
+/// E06 — Figure 2: the ▶rank comparator. Vectors are ranked by distance
+/// from the most desired point `D_max`; equidistant vectors tie, and an ε
+/// tolerance widens the tie bands.
+pub fn e06_figure2() -> String {
+    let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
+    let vectors: Vec<PropertyVector> =
+        tables.iter().map(|t| EqClassSize.extract(t)).collect();
+    // D_max: every tuple in one class of 10 — the maximal-privacy vector.
+    let rank = RankComparator::toward_uniform(10.0, 10);
+    let mut out = String::new();
+    out.push_str("E06 · Figure 2 — ▶rank: distance from the ideal point D_max = (10,…,10)\n\n");
+    for (t, v) in tables.iter().zip(&vectors) {
+        out.push_str(&format!(
+            "  P_rank({}) = ‖D − D_max‖ = {:.3}\n",
+            t.name(),
+            rank.rank(v)
+        ));
+    }
+    let order = {
+        let mut idx: Vec<usize> = (0..3).collect();
+        idx.sort_by(|&a, &b| {
+            rank.rank(&vectors[a]).partial_cmp(&rank.rank(&vectors[b])).expect("not NaN")
+        });
+        idx.iter().map(|&i| tables[i].name().to_owned()).collect::<Vec<_>>()
+    };
+    out.push_str(&format!("\n  ▶rank ordering (best first): {}\n", order.join(" ▶ ")));
+    // ε-tolerance demonstration.
+    let d1 = PropertyVector::new("A", vec![3.0, 4.0]);
+    let d2 = PropertyVector::new("B", vec![4.0, 3.0]);
+    let strict = RankComparator::toward_uniform(0.0, 2);
+    out.push_str(&format!(
+        "\n  equidistant vectors tie: compare(A=(3,4), B=(4,3)) vs origin → {}\n",
+        strict.compare(&d1, &d2)
+    ));
+    let tol = RankComparator::toward_uniform(0.0, 2).with_epsilon(1.0);
+    let d3 = PropertyVector::new("C", vec![3.5, 4.0]);
+    out.push_str(&format!(
+        "  with ε = 1: compare(A, C=(3.5,4)) → {} (rank gap {:.3} ≤ ε)\n",
+        tol.compare(&d1, &d3),
+        (strict.rank(&d1) - strict.rank(&d3)).abs()
+    ));
+    out
+}
+
+/// E07 — Figure 3 and §5.3's first example: P_cov and P_spr on the
+/// hypothetical vectors D1 = (2,2,3,4,5) and D2 = (3,2,4,2,3).
+pub fn e07_figure3() -> String {
+    let d1 = PropertyVector::new("D1", paper::FIG3_D1.to_vec());
+    let d2 = PropertyVector::new("D2", paper::FIG3_D2.to_vec());
+    let mut out = String::new();
+    out.push_str("E07 · Figure 3 — coverage vs spread on D1 = (2,2,3,4,5), D2 = (3,2,4,2,3)\n\n");
+    out.push_str("  tuple   D1   D2   winner   margin\n");
+    for i in 0..d1.len() {
+        let (w, m) = match d1[i].partial_cmp(&d2[i]).expect("not NaN") {
+            std::cmp::Ordering::Greater => ("D1", d1[i] - d2[i]),
+            std::cmp::Ordering::Less => ("D2", d2[i] - d1[i]),
+            std::cmp::Ordering::Equal => ("tie", 0.0),
+        };
+        out.push_str(&format!("  {:>5} {:>4} {:>4} {:>8} {:>8}\n", i + 1, d1[i], d2[i], w, m));
+    }
+    out.push_str(&format!(
+        "\n  P_cov(D1,D2) = {:.2}   P_cov(D2,D1) = {:.2}  → coverage ties (3/5 each)\n",
+        coverage_index(&d1, &d2),
+        coverage_index(&d2, &d1)
+    ));
+    out.push_str(&format!(
+        "  P_spr(D1,D2) = {}      P_spr(D2,D1) = {}     → D1 ▶spr D2 (larger margins)\n",
+        spread_index(&d1, &d2),
+        spread_index(&d2, &d1)
+    ));
+    out.push_str(&format!(
+        "\n  verdicts: cov → {}, spr → {}\n",
+        CoverageComparator.compare(&d1, &d2),
+        SpreadComparator.compare(&d1, &d2)
+    ));
+    out
+}
+
+/// E09 — Figure 4 and §5.4's worked example: the hypervolume comparator on
+/// s = (3,3,3,5,5,5,5,5) and t = (4,…,4).
+pub fn e09_figure4() -> String {
+    let s = PropertyVector::new("s", paper::HV_S.to_vec());
+    let t = PropertyVector::new("t", paper::HV_T.to_vec());
+    let mut out = String::new();
+    out.push_str("E09 · Figure 4 — hypervolume comparison of s = (3,3,3,5⁵) and t = (4⁸)\n\n");
+    let hv_st = hypervolume_index(&s, &t);
+    let hv_ts = hypervolume_index(&t, &s);
+    out.push_str(&format!(
+        "  P_hv(s,t) = Π sᵢ − Π min(sᵢ,tᵢ) = {:.0}  (paper: 84375 − 27648 = 56727)\n",
+        hv_st
+    ));
+    out.push_str(&format!(
+        "  P_hv(t,s) = Π tᵢ − Π min(sᵢ,tᵢ) = {:.0}  (paper: 65536 − 27648 = 37888)\n",
+        hv_ts
+    ));
+    out.push_str(&format!(
+        "  → {}: more possible anonymizations are worse than s than are worse than t\n",
+        match HypervolumeComparator::default().compare(&s, &t) {
+            Preference::First => "s ▶hv t",
+            Preference::Second => "t ▶hv s",
+            _ => "tie",
+        }
+    ));
+    out.push_str(&format!(
+        "\n  log-space proxy (for large N): Σ ln sᵢ = {:.4}, Σ ln tᵢ = {:.4} — same ordering\n",
+        log_volume_proxy(&s),
+        log_volume_proxy(&t)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e04_prints_the_three_vectors() {
+        let s = e04_figure1();
+        // Tuple 2 row: 3 (T3a), 7 (T3b), 6 (T4).
+        assert!(s.contains("      2     3     7     6"));
+        assert!(s.contains("user 8 prefers T4"));
+    }
+
+    #[test]
+    fn e06_orders_t3b_first() {
+        let s = e06_figure2();
+        assert!(s.contains("T3b ▶ T4 ▶ T3a"), "ordering line missing:\n{s}");
+        assert!(s.contains("equally good"));
+    }
+
+    #[test]
+    fn e07_reports_exact_values() {
+        let s = e07_figure3();
+        assert!(s.contains("P_cov(D1,D2) = 0.60"));
+        assert!(s.contains("P_spr(D1,D2) = 4"));
+        assert!(s.contains("P_spr(D2,D1) = 2"));
+    }
+
+    #[test]
+    fn e09_reports_paper_numbers() {
+        let s = e09_figure4();
+        assert!(s.contains("56727"));
+        assert!(s.contains("37888"));
+        assert!(s.contains("s ▶hv t"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Quantifying anonymization bias (paper §2).
+//!
+//! "The scalar or aggregate value used in privacy models is often biased
+//! towards a fraction of the data set, resulting in higher privacy for some
+//! individuals and minimalistic for others. Consequently, …, there is a
+//! need to formalize and measure this bias."
+//!
+//! A [`BiasReport`] summarizes how unevenly a property is distributed over
+//! the tuples of one anonymization: dispersion statistics, the Gini
+//! coefficient, Lorenz-curve samples, and the fraction of tuples pinned at
+//! the minimum (the tuples for which the scalar model's guarantee is
+//! tight).
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::PropertyVector;
+
+/// Distribution summary of one property vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasReport {
+    /// Minimum component (the scalar guarantee, e.g. `k`).
+    pub min: f64,
+    /// Maximum component.
+    pub max: f64,
+    /// Mean component.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Gini coefficient in `[0, 1)`: 0 = perfectly even (no bias).
+    /// Only meaningful for nonnegative measurements.
+    pub gini: f64,
+    /// Fraction of tuples whose value equals the minimum — the tuples
+    /// receiving only the minimal guarantee.
+    pub at_minimum: f64,
+    /// Ratio `max / min` (∞ when `min` is 0): the privacy disparity between
+    /// the most- and least-protected individuals.
+    pub disparity: f64,
+}
+
+impl BiasReport {
+    /// Computes the report for a property vector.
+    ///
+    /// ```
+    /// use anoncmp_core::prelude::*;
+    /// // T3b protects 3 tuples at exactly k = 3 and 7 tuples at 7.
+    /// let t3b = PropertyVector::from_usizes("s", &[3, 7, 7, 3, 7, 7, 7, 3, 7, 7]);
+    /// let bias = BiasReport::of(&t3b);
+    /// assert_eq!(bias.min, 3.0);
+    /// assert_eq!(bias.at_minimum, 0.3); // only 30% get the scalar guarantee
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on an empty vector.
+    pub fn of(d: &PropertyVector) -> BiasReport {
+        assert!(!d.is_empty(), "bias report of an empty vector is undefined");
+        let n = d.len() as f64;
+        let min = d.min().expect("non-empty");
+        let max = d.max().expect("non-empty");
+        let mean = d.mean().expect("non-empty");
+        let var = d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let at_minimum = d.iter().filter(|&x| x == min).count() as f64 / n;
+        let disparity = if min == 0.0 { f64::INFINITY } else { max / min };
+        BiasReport {
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            gini: gini(d),
+            at_minimum,
+            disparity,
+        }
+    }
+}
+
+/// Gini coefficient of a nonnegative property vector: a standard inequality
+/// measure; 0 means every tuple enjoys the same property value (no
+/// anonymization bias), values toward 1 mean the property is concentrated
+/// on few tuples.
+///
+/// # Panics
+/// Panics on an empty vector or negative components.
+pub fn gini(d: &PropertyVector) -> f64 {
+    assert!(!d.is_empty(), "gini of an empty vector is undefined");
+    assert!(d.iter().all(|x| x >= 0.0), "gini requires nonnegative values");
+    let n = d.len() as f64;
+    let mut sorted: Vec<f64> = d.values().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("property values are not NaN"));
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // G = (2 Σ_i i·x_(i) − (n+1) Σ x) / (n Σ x), with 1-based ranks.
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted - (n + 1.0) * total) / (n * total)
+}
+
+/// Samples the Lorenz curve of a nonnegative property vector at `points`
+/// evenly spaced population fractions (plus the origin): element `i` is
+/// `(population fraction, cumulative property share)`.
+///
+/// # Panics
+/// Panics on an empty vector, negative components, or `points == 0`.
+pub fn lorenz_curve(d: &PropertyVector, points: usize) -> Vec<(f64, f64)> {
+    assert!(!d.is_empty(), "lorenz curve of an empty vector is undefined");
+    assert!(points > 0, "need at least one sample point");
+    assert!(d.iter().all(|x| x >= 0.0), "lorenz curve requires nonnegative values");
+    let mut sorted: Vec<f64> = d.values().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("property values are not NaN"));
+    let total: f64 = sorted.iter().sum();
+    let n = sorted.len();
+    let mut cumulative = vec![0.0; n + 1];
+    for (i, x) in sorted.iter().enumerate() {
+        cumulative[i + 1] = cumulative[i] + x;
+    }
+    (0..=points)
+        .map(|p| {
+            let frac = p as f64 / points as f64;
+            let idx = ((frac * n as f64).round() as usize).min(n);
+            let share = if total == 0.0 { frac } else { cumulative[idx] / total };
+            (frac, share)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[f64]) -> PropertyVector {
+        PropertyVector::new("p", vals.to_vec())
+    }
+
+    #[test]
+    fn uniform_vector_has_no_bias() {
+        let r = BiasReport::of(&v(&[4.0; 10]));
+        assert_eq!(r.min, 4.0);
+        assert_eq!(r.max, 4.0);
+        assert_eq!(r.mean, 4.0);
+        assert_eq!(r.std_dev, 0.0);
+        assert_eq!(r.gini, 0.0);
+        assert_eq!(r.at_minimum, 1.0);
+        assert_eq!(r.disparity, 1.0);
+    }
+
+    #[test]
+    fn paper_t3b_bias_profile() {
+        // T3b: 3 tuples at the scalar guarantee k=3, 7 tuples at 7.
+        let r = BiasReport::of(&v(&[3.0, 7.0, 7.0, 3.0, 7.0, 7.0, 7.0, 3.0, 7.0, 7.0]));
+        assert_eq!(r.min, 3.0);
+        assert_eq!(r.max, 7.0);
+        assert!((r.mean - 5.8).abs() < 1e-12);
+        assert!((r.at_minimum - 0.3).abs() < 1e-12);
+        assert!((r.disparity - 7.0 / 3.0).abs() < 1e-12);
+        assert!(r.gini > 0.0 && r.gini < 1.0);
+    }
+
+    #[test]
+    fn gini_ordering_reflects_concentration() {
+        // More concentrated distributions have higher Gini.
+        let even = gini(&v(&[5.0, 5.0, 5.0, 5.0]));
+        let mild = gini(&v(&[4.0, 5.0, 5.0, 6.0]));
+        let harsh = gini(&v(&[1.0, 1.0, 1.0, 17.0]));
+        assert_eq!(even, 0.0);
+        assert!(mild > even);
+        assert!(harsh > mild);
+        assert!(harsh < 1.0);
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // For (1, 3): G = (2·(1·1 + 2·3) − 3·4) / (2·4) = (14 − 12)/8 = 0.25.
+        assert!((gini(&v(&[1.0, 3.0])) - 0.25).abs() < 1e-12);
+        // Order-invariant.
+        assert!((gini(&v(&[3.0, 1.0])) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_vector_has_zero_gini() {
+        assert_eq!(gini(&v(&[0.0, 0.0])), 0.0);
+    }
+
+    #[test]
+    fn lorenz_curve_shape() {
+        let curve = lorenz_curve(&v(&[1.0, 1.0, 2.0, 4.0]), 4);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert_eq!(curve[4], (1.0, 1.0));
+        // Curve is convex and below the diagonal for unequal data.
+        for (frac, share) in &curve[1..4] {
+            assert!(share <= frac, "Lorenz curve lies under the diagonal");
+        }
+        // Monotone.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn lorenz_of_zero_vector_is_diagonal() {
+        let curve = lorenz_curve(&v(&[0.0, 0.0]), 2);
+        assert_eq!(curve, vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_vector_panics() {
+        let _ = BiasReport::of(&v(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_values_panic_for_gini() {
+        let _ = gini(&v(&[-1.0, 1.0]));
+    }
+}

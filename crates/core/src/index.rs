@@ -1,0 +1,235 @@
+//! Quality index functions (paper Definition 3).
+//!
+//! An *m-ary quality index* maps `m` property vectors to a real number.
+//! Unary indices (`m = 1`) measure aggregate features of one anonymization
+//! — the classical scalar privacy parameters `k`, `ℓ`, `t` are all unary
+//! indices on suitable property vectors (§3). Binary indices (`m = 2`)
+//! compare the per-tuple values of two anonymizations and are the basis of
+//! the ▶-better comparators of §5.
+
+use crate::vector::PropertyVector;
+
+/// A unary quality index `P : Π → ℝ` (paper Definition 3 with `m = 1`).
+pub trait UnaryIndex {
+    /// Display name, e.g. `"P_k-anon"`.
+    fn name(&self) -> String;
+
+    /// The index value of one property vector.
+    fn value(&self, d: &PropertyVector) -> f64;
+}
+
+/// A binary quality index `P : Π² → ℝ` (paper Definition 3 with `m = 2`).
+///
+/// Values are **not** required to be antisymmetric; comparators evaluate
+/// both `P(D₁,D₂)` and `P(D₂,D₁)`.
+pub trait BinaryIndex {
+    /// Display name, e.g. `"P_cov"`.
+    fn name(&self) -> String;
+
+    /// The index value of an ordered pair of property vectors.
+    fn value(&self, d1: &PropertyVector, d2: &PropertyVector) -> f64;
+}
+
+/// Classical unary and binary indices from §3 of the paper.
+pub mod classic {
+    use super::*;
+
+    /// `P_k-anon(s) = min(s)`: the scalar `k` of k-anonymity when applied
+    /// to the equivalence-class-size vector; also the scalar `ℓ` of the
+    /// paper's ℓ-diversity example when applied to the sensitive-count
+    /// vector.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct MinIndex;
+
+    impl UnaryIndex for MinIndex {
+        fn name(&self) -> String {
+            "P_min".into()
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            d.min().unwrap_or(f64::NAN)
+        }
+    }
+
+    /// `P_s-avg(s) = Σ s_i / N`: the paper's average-class-size example
+    /// (3.4 for T3a).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct MeanIndex;
+
+    impl UnaryIndex for MeanIndex {
+        fn name(&self) -> String {
+            "P_avg".into()
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            d.mean().unwrap_or(f64::NAN)
+        }
+    }
+
+    /// `P_max(s) = max(s)`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct MaxIndex;
+
+    impl UnaryIndex for MaxIndex {
+        fn name(&self) -> String {
+            "P_max".into()
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            d.max().unwrap_or(f64::NAN)
+        }
+    }
+
+    /// `P_sum(s) = Σ s_i`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct SumIndex;
+
+    impl UnaryIndex for SumIndex {
+        fn name(&self) -> String {
+            "P_sum".into()
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            d.sum()
+        }
+    }
+
+    /// `P_median(s)`: the lower median of the components.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct MedianIndex;
+
+    impl UnaryIndex for MedianIndex {
+        fn name(&self) -> String {
+            "P_median".into()
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            if d.is_empty() {
+                return f64::NAN;
+            }
+            let mut v: Vec<f64> = d.values().to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("property values are not NaN"));
+            v[(v.len() - 1) / 2]
+        }
+    }
+
+    /// `P_p-norm(s) = (Σ |s_i|^p)^(1/p)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormIndex {
+        /// The norm order `p ≥ 1`.
+        pub p: f64,
+    }
+
+    impl UnaryIndex for NormIndex {
+        fn name(&self) -> String {
+            format!("P_{}-norm", self.p)
+        }
+
+        fn value(&self, d: &PropertyVector) -> f64 {
+            d.iter().map(|x| x.abs().powf(self.p)).sum::<f64>().powf(1.0 / self.p)
+        }
+    }
+
+    /// `P_binary(s, t) = |{ i : s_i > t_i }|`: the strict-count binary
+    /// index of §3 (`P_binary(s,t) = 0`, `P_binary(t,s) = 7` for the
+    /// paper's T3a/T3b class-size vectors).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct CountStrictlyGreater;
+
+    impl BinaryIndex for CountStrictlyGreater {
+        fn name(&self) -> String {
+            "P_binary".into()
+        }
+
+        fn value(&self, d1: &PropertyVector, d2: &PropertyVector) -> f64 {
+            assert_eq!(d1.len(), d2.len(), "binary indices need equal dimensions");
+            d1.iter().zip(d2.iter()).filter(|(a, b)| a > b).count() as f64
+        }
+    }
+}
+
+/// Normalizes a pair of nonnegative binary-index values to fractions of
+/// their sum, the normalization §5.5 advises before weighting. Returns
+/// `(0.5, 0.5)` when both are zero (fully tied pair).
+pub fn normalize_pair(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    if s == 0.0 {
+        (0.5, 0.5)
+    } else {
+        (a / s, b / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::classic::*;
+    use super::*;
+
+    fn t3a() -> PropertyVector {
+        PropertyVector::from_usizes("s", &[3, 3, 3, 3, 4, 4, 4, 3, 3, 4])
+    }
+
+    fn t3b() -> PropertyVector {
+        PropertyVector::from_usizes("t", &[3, 7, 7, 3, 7, 7, 7, 3, 7, 7])
+    }
+
+    #[test]
+    fn paper_worked_numbers_section3() {
+        // P_k-anon(s) = min(s) = 3 for T3a.
+        assert_eq!(MinIndex.value(&t3a()), 3.0);
+        // P_s-avg(s) = 3.4 for T3a.
+        assert!((MeanIndex.value(&t3a()) - 3.4).abs() < 1e-12);
+        // ℓ = P_ℓ-div((2,2,1,2,2,1,2,1,2,1)) = 1 for T3a.
+        let ldiv = PropertyVector::from_usizes("c", &[2, 2, 1, 2, 2, 1, 2, 1, 2, 1]);
+        assert_eq!(MinIndex.value(&ldiv), 1.0);
+        // P_binary(s,t) = 0 and P_binary(t,s) = 7.
+        assert_eq!(CountStrictlyGreater.value(&t3a(), &t3b()), 0.0);
+        assert_eq!(CountStrictlyGreater.value(&t3b(), &t3a()), 7.0);
+    }
+
+    #[test]
+    fn other_unary_indices() {
+        let d = PropertyVector::new("d", vec![4.0, 1.0, 3.0]);
+        assert_eq!(MaxIndex.value(&d), 4.0);
+        assert_eq!(SumIndex.value(&d), 8.0);
+        assert_eq!(MedianIndex.value(&d), 3.0);
+        let even = PropertyVector::new("d", vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(MedianIndex.value(&even), 2.0, "lower median");
+        let e = NormIndex { p: 2.0 }.value(&PropertyVector::new("d", vec![3.0, 4.0]));
+        assert!((e - 5.0).abs() < 1e-12);
+        let e = NormIndex { p: 1.0 }.value(&PropertyVector::new("d", vec![-3.0, 4.0]));
+        assert!((e - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vectors_yield_nan() {
+        let empty = PropertyVector::new("e", vec![]);
+        assert!(MinIndex.value(&empty).is_nan());
+        assert!(MeanIndex.value(&empty).is_nan());
+        assert!(MaxIndex.value(&empty).is_nan());
+        assert!(MedianIndex.value(&empty).is_nan());
+        assert_eq!(SumIndex.value(&empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn binary_index_dimension_mismatch() {
+        let a = PropertyVector::new("a", vec![1.0]);
+        let b = PropertyVector::new("b", vec![1.0, 2.0]);
+        let _ = CountStrictlyGreater.value(&a, &b);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MinIndex.name(), "P_min");
+        assert_eq!(CountStrictlyGreater.name(), "P_binary");
+        assert_eq!(NormIndex { p: 2.0 }.name(), "P_2-norm");
+    }
+
+    #[test]
+    fn normalize_pair_behaviour() {
+        assert_eq!(normalize_pair(1.0, 3.0), (0.25, 0.75));
+        assert_eq!(normalize_pair(0.0, 0.0), (0.5, 0.5));
+        assert_eq!(normalize_pair(2.0, 0.0), (1.0, 0.0));
+    }
+}

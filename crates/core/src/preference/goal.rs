@@ -1,0 +1,202 @@
+//! The ▶GOAL-better comparator (paper §5.7).
+//!
+//! When the competence of an anonymization is judged by its closeness to a
+//! desirable level, a goal vector `G = (g₁, …, g_r)` specifies the target
+//! value of each property's quality index, and
+//! `P_GOAL(Υ₁,Υ₂) = Σ_i [P(D₁ᵢ,D₂ᵢ) − g_i]²`
+//! is the sum-of-squares error; smaller is better:
+//! `Υ₁ ▶GOAL Υ₂ ⟺ P_GOAL(Υ₁,Υ₂) < P_GOAL(Υ₂,Υ₁)`.
+//!
+//! The paper also allows **unary** indices in place of binary ones, with the
+//! goal vector formulated from goal property vectors
+//! `G = (P₁(D_g₁), …, P_r(D_g_r))`; [`GoalBasis::Unary`] implements that
+//! variant.
+
+use crate::comparators::{prefer_lower, Preference};
+use crate::index::{BinaryIndex, UnaryIndex};
+use crate::preference::{assert_aligned, SetComparator};
+use crate::vector::{PropertySet, PropertyVector};
+
+/// Whether goals are measured with binary or unary quality indices.
+pub enum GoalBasis {
+    /// `P_GOAL(Υ₁,Υ₂) = Σ (P(D₁ᵢ,D₂ᵢ) − gᵢ)²` — depends on the opponent.
+    Binary(Vec<Box<dyn BinaryIndex>>),
+    /// `P_GOAL(Υ₁) = Σ (Pᵢ(D₁ᵢ) − gᵢ)²` — opponent-independent.
+    Unary(Vec<Box<dyn UnaryIndex>>),
+}
+
+impl GoalBasis {
+    fn arity(&self) -> usize {
+        match self {
+            GoalBasis::Binary(v) => v.len(),
+            GoalBasis::Unary(v) => v.len(),
+        }
+    }
+}
+
+/// The ▶GOAL-better comparator.
+pub struct GoalComparator {
+    goals: Vec<f64>,
+    basis: GoalBasis,
+}
+
+impl GoalComparator {
+    /// Builds from explicit goal values and an index basis.
+    ///
+    /// # Panics
+    /// Panics if the number of goals differs from the number of indices or
+    /// is zero.
+    pub fn new(goals: Vec<f64>, basis: GoalBasis) -> Self {
+        assert_eq!(goals.len(), basis.arity(), "one goal per property index");
+        assert!(!goals.is_empty(), "at least one property is required");
+        GoalComparator { goals, basis }
+    }
+
+    /// Formulates the goal vector from goal property vectors:
+    /// `G = (P₁(D_g₁), …, P_r(D_g_r))` (§5.7), using unary indices.
+    ///
+    /// # Panics
+    /// Panics if the arities differ or are zero.
+    pub fn from_goal_vectors(
+        indices: Vec<Box<dyn UnaryIndex>>,
+        goal_vectors: &[PropertyVector],
+    ) -> Self {
+        assert_eq!(indices.len(), goal_vectors.len(), "one goal vector per index");
+        let goals =
+            indices.iter().zip(goal_vectors).map(|(p, d)| p.value(d)).collect::<Vec<_>>();
+        GoalComparator::new(goals, GoalBasis::Unary(indices))
+    }
+
+    /// The goal values.
+    pub fn goals(&self) -> &[f64] {
+        &self.goals
+    }
+
+    /// `P_GOAL` for both argument orders, as
+    /// `(P_GOAL(s1[,s2]), P_GOAL(s2[,s1]))`.
+    pub fn values(&self, s1: &PropertySet, s2: &PropertySet) -> (f64, f64) {
+        assert_aligned(s1, s2, self.goals.len());
+        match &self.basis {
+            GoalBasis::Binary(indices) => {
+                let mut fwd = 0.0;
+                let mut bwd = 0.0;
+                for (i, index) in indices.iter().enumerate() {
+                    let a = index.value(s1.vector(i), s2.vector(i));
+                    let b = index.value(s2.vector(i), s1.vector(i));
+                    fwd += (a - self.goals[i]).powi(2);
+                    bwd += (b - self.goals[i]).powi(2);
+                }
+                (fwd, bwd)
+            }
+            GoalBasis::Unary(indices) => {
+                let score = |s: &PropertySet| {
+                    indices
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (p.value(s.vector(i)) - self.goals[i]).powi(2))
+                        .sum()
+                };
+                (score(s1), score(s2))
+            }
+        }
+    }
+}
+
+impl SetComparator for GoalComparator {
+    fn name(&self) -> String {
+        "GOAL".into()
+    }
+
+    fn compare(&self, s1: &PropertySet, s2: &PropertySet) -> Preference {
+        let (fwd, bwd) = self.values(s1, s2);
+        prefer_lower(fwd, bwd, 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparators::CoverageComparator;
+    use crate::index::classic::{MeanIndex, MinIndex};
+    use crate::preference::test_support::paper_sets;
+
+    #[test]
+    fn binary_goal_prefers_full_coverage_when_goal_is_one() {
+        // Goals (1, 1): wanting full coverage on both privacy and utility.
+        // T3b reaches coverage 1.0 on privacy and 0.3 on utility →
+        // error 0 + 0.49; T3a reaches 0.3 and 1.0 → same. A tie again —
+        // the goal formulation mirrors the §5.5 symmetry.
+        let (t3a, t3b) = paper_sets();
+        let indices: Vec<Box<dyn BinaryIndex>> =
+            vec![Box::new(CoverageComparator), Box::new(CoverageComparator)];
+        let c = GoalComparator::new(vec![1.0, 1.0], GoalBasis::Binary(indices));
+        let (fwd, bwd) = c.values(&t3a, &t3b);
+        assert!((fwd - bwd).abs() < 1e-12);
+        assert_eq!(c.compare(&t3a, &t3b), Preference::Tie);
+    }
+
+    #[test]
+    fn asymmetric_binary_goal_breaks_ties() {
+        // Goal 1.0 on privacy coverage only, 0.3 on utility: T3b matches
+        // both goals exactly (errors 0), T3a misses both.
+        let (t3a, t3b) = paper_sets();
+        let indices: Vec<Box<dyn BinaryIndex>> =
+            vec![Box::new(CoverageComparator), Box::new(CoverageComparator)];
+        let c = GoalComparator::new(vec![1.0, 0.3], GoalBasis::Binary(indices));
+        let (fwd, bwd) = c.values(&t3b, &t3a);
+        assert!(fwd < bwd);
+        assert_eq!(c.compare(&t3b, &t3a), Preference::First);
+    }
+
+    #[test]
+    fn unary_goal_with_k_and_average_utility() {
+        // Property 0 (privacy) judged by its minimum, property 1 (utility)
+        // by its mean. Targets: k = 4 and mean utility 1.7.
+        //   T3b: min 3, mean utility (2.03·3 + 0.97·7)/10 = 1.288
+        //        → error 1 + (1.288 − 1.7)² ≈ 1.169744
+        //   T3a: min 3, mean utility (2.03·3 + 1.7·3 + 1.6·4)/10 = 1.759
+        //        → error 1 + (1.759 − 1.7)² ≈ 1.003481
+        // T3a is closer to the goals.
+        let (t3a, t3b) = paper_sets();
+        let indices: Vec<Box<dyn UnaryIndex>> =
+            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let c = GoalComparator::new(vec![4.0, 1.7], GoalBasis::Unary(indices));
+        let (fwd, bwd) = c.values(&t3a, &t3b);
+        assert!((fwd - 1.003481).abs() < 1e-6, "got {fwd}");
+        assert!((bwd - 1.169744).abs() < 1e-6, "got {bwd}");
+        assert_eq!(c.compare(&t3a, &t3b), Preference::First);
+    }
+
+    #[test]
+    fn goals_from_goal_vectors() {
+        // Goal property vectors: uniform class size 5 on both properties.
+        let goal = PropertyVector::new("priv", vec![5.0; 10]);
+        let goal2 = PropertyVector::new("util", vec![2.0; 10]);
+        let indices: Vec<Box<dyn UnaryIndex>> =
+            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let c = GoalComparator::from_goal_vectors(indices, &[goal, goal2]);
+        assert_eq!(c.goals(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_sets_tie() {
+        let (t3a, _) = paper_sets();
+        let indices: Vec<Box<dyn UnaryIndex>> =
+            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let c = GoalComparator::new(vec![3.0, 3.0], GoalBasis::Unary(indices));
+        assert_eq!(c.compare(&t3a, &t3a.clone()), Preference::Tie);
+    }
+
+    #[test]
+    #[should_panic(expected = "one goal per property")]
+    fn arity_mismatch_panics() {
+        let indices: Vec<Box<dyn BinaryIndex>> = vec![Box::new(CoverageComparator)];
+        let _ = GoalComparator::new(vec![1.0, 2.0], GoalBasis::Binary(indices));
+    }
+
+    #[test]
+    fn name() {
+        let indices: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex)];
+        assert_eq!(GoalComparator::new(vec![1.0], GoalBasis::Unary(indices)).name(), "GOAL");
+    }
+}

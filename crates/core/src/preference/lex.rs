@@ -1,0 +1,137 @@
+//! The ▶LEX-better comparator (paper §5.6).
+//!
+//! When weights are hard to elicit, properties can instead be ordered by
+//! relevance. With a significance vector `ε = (ε₁, …, ε_r)`,
+//! `P_LEX(Υ₁,Υ₂) = min { i : P(D₁ᵢ,D₂ᵢ) − P(D₂ᵢ,D₁ᵢ) > ε_i }`
+//! is the first (most relevant) property on which `Υ₁` is significantly
+//! superior, and `Υ₁ ▶LEX Υ₂ ⟺ P_LEX(Υ₁,Υ₂) < P_LEX(Υ₂,Υ₁)`.
+
+use crate::comparators::Preference;
+use crate::index::BinaryIndex;
+use crate::preference::{assert_aligned, SetComparator};
+use crate::vector::PropertySet;
+
+/// The ▶LEX-better comparator. Property order in the sets **is** the
+/// relevance order: index 0 is the most desirable property.
+pub struct LexicographicComparator {
+    epsilons: Vec<f64>,
+    indices: Vec<Box<dyn BinaryIndex>>,
+}
+
+impl LexicographicComparator {
+    /// Builds from per-property significance tolerances and binary indices,
+    /// in relevance order.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, are empty, or any tolerance is negative.
+    pub fn new(epsilons: Vec<f64>, indices: Vec<Box<dyn BinaryIndex>>) -> Self {
+        assert_eq!(epsilons.len(), indices.len(), "one tolerance per property index");
+        assert!(!epsilons.is_empty(), "at least one property is required");
+        assert!(epsilons.iter().all(|&e| e >= 0.0), "tolerances must be nonnegative");
+        LexicographicComparator { epsilons, indices }
+    }
+
+    /// Zero tolerances: any strict index difference is significant.
+    pub fn strict(indices: Vec<Box<dyn BinaryIndex>>) -> Self {
+        let r = indices.len();
+        LexicographicComparator::new(vec![0.0; r], indices)
+    }
+
+    /// `P_LEX(s1, s2)`: the 1-based rank of the first property where `s1`
+    /// is significantly superior, or `r + 1` when there is none.
+    pub fn lex_value(&self, s1: &PropertySet, s2: &PropertySet) -> usize {
+        assert_aligned(s1, s2, self.epsilons.len());
+        for i in 0..self.epsilons.len() {
+            let fwd = self.indices[i].value(s1.vector(i), s2.vector(i));
+            let bwd = self.indices[i].value(s2.vector(i), s1.vector(i));
+            if fwd - bwd > self.epsilons[i] {
+                return i + 1;
+            }
+        }
+        self.epsilons.len() + 1
+    }
+}
+
+impl SetComparator for LexicographicComparator {
+    fn name(&self) -> String {
+        "LEX".into()
+    }
+
+    fn compare(&self, s1: &PropertySet, s2: &PropertySet) -> Preference {
+        let fwd = self.lex_value(s1, s2);
+        let bwd = self.lex_value(s2, s1);
+        match fwd.cmp(&bwd) {
+            std::cmp::Ordering::Less => Preference::First,
+            std::cmp::Ordering::Greater => Preference::Second,
+            std::cmp::Ordering::Equal => Preference::Tie,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparators::CoverageComparator;
+    use crate::preference::test_support::paper_sets;
+
+    fn cov_indices(r: usize) -> Vec<Box<dyn BinaryIndex>> {
+        (0..r).map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>).collect()
+    }
+
+    #[test]
+    fn privacy_first_ordering_prefers_t3b() {
+        // Property order (privacy, utility): T3b is superior on privacy
+        // (rank 1); T3a's first superiority is utility (rank 2).
+        let (t3a, t3b) = paper_sets();
+        let c = LexicographicComparator::strict(cov_indices(2));
+        assert_eq!(c.lex_value(&t3b, &t3a), 1);
+        assert_eq!(c.lex_value(&t3a, &t3b), 2);
+        assert_eq!(c.compare(&t3b, &t3a), Preference::First);
+        assert_eq!(c.compare(&t3a, &t3b), Preference::Second);
+    }
+
+    #[test]
+    fn large_tolerance_suppresses_a_property() {
+        // With ε₁ large enough, the privacy difference (1.0 − 0.3 = 0.7) is
+        // no longer significant, so utility decides and T3a wins.
+        let (t3a, t3b) = paper_sets();
+        let c = LexicographicComparator::new(vec![0.8, 0.0], cov_indices(2));
+        assert_eq!(c.lex_value(&t3b, &t3a), 3, "no significant superiority");
+        assert_eq!(c.lex_value(&t3a, &t3b), 2, "utility at rank 2");
+        assert_eq!(c.compare(&t3a, &t3b), Preference::First);
+    }
+
+    #[test]
+    fn identical_sets_tie() {
+        let (t3a, _) = paper_sets();
+        let c = LexicographicComparator::strict(cov_indices(2));
+        assert_eq!(c.compare(&t3a, &t3a.clone()), Preference::Tie);
+        assert_eq!(c.lex_value(&t3a, &t3a.clone()), 3);
+    }
+
+    #[test]
+    fn tolerance_edge_is_exclusive() {
+        // The paper requires a difference strictly greater than ε.
+        let (t3a, t3b) = paper_sets();
+        let c = LexicographicComparator::new(vec![0.7, 0.0], cov_indices(2));
+        // Privacy difference is exactly 0.7 → not significant.
+        assert_eq!(c.lex_value(&t3b, &t3a), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tolerance per property")]
+    fn arity_mismatch_panics() {
+        let _ = LexicographicComparator::new(vec![0.0], cov_indices(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_tolerance_panics() {
+        let _ = LexicographicComparator::new(vec![-0.1, 0.0], cov_indices(2));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(LexicographicComparator::strict(cov_indices(1)).name(), "LEX");
+    }
+}

@@ -1,0 +1,72 @@
+//! Preference-based comparison across multiple properties (paper §5.5–5.7).
+//!
+//! The four single-property comparators of §5.1–§5.4 cannot weigh, say,
+//! privacy against utility. When an r-property anonymization induces a
+//! *set* of property vectors, the paper proposes three preference schemes:
+//! the weighted-sum comparator ▶WTD, the ε-lexicographic comparator ▶LEX,
+//! and the goal-based comparator ▶GOAL. All three consume a per-property
+//! [`BinaryIndex`](crate::index::BinaryIndex) (different indices may be
+//! used for different properties).
+
+mod goal;
+mod lex;
+mod weighted;
+
+pub use goal::{GoalBasis, GoalComparator};
+pub use lex::LexicographicComparator;
+pub use weighted::WeightedComparator;
+
+use crate::comparators::Preference;
+use crate::vector::PropertySet;
+
+/// An ordering operation on aligned property *sets* — the multi-property
+/// analogue of [`Comparator`](crate::comparators::Comparator).
+pub trait SetComparator {
+    /// Display name, e.g. `"WTD"`.
+    fn name(&self) -> String;
+
+    /// Compares two aligned property sets.
+    ///
+    /// # Panics
+    /// Implementations panic when the sets are not aligned (different
+    /// properties or dimensions) or when the configuration arity does not
+    /// match `r`.
+    fn compare(&self, s1: &PropertySet, s2: &PropertySet) -> Preference;
+}
+
+pub(crate) fn assert_aligned(s1: &PropertySet, s2: &PropertySet, r: usize) {
+    assert!(
+        s1.aligned_with(s2),
+        "property sets '{}' and '{}' are not aligned",
+        s1.anonymization(),
+        s2.anonymization()
+    );
+    assert_eq!(
+        s1.r(),
+        r,
+        "comparator is configured for {} properties but the sets carry {}",
+        r,
+        s1.r()
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::vector::{PropertySet, PropertyVector};
+
+    /// The paper's §5.5 worked example: privacy (equivalence-class size)
+    /// and Iyengar utility vectors for T3a and T3b.
+    pub fn paper_sets() -> (PropertySet, PropertySet) {
+        let pa = PropertyVector::from_usizes("priv", &[3, 3, 3, 3, 4, 4, 4, 3, 3, 4]);
+        let pb = PropertyVector::from_usizes("priv", &[3, 7, 7, 3, 7, 7, 7, 3, 7, 7]);
+        let ua = PropertyVector::new(
+            "util",
+            vec![2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6],
+        );
+        let ub = PropertyVector::new(
+            "util",
+            vec![2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97],
+        );
+        (PropertySet::new("T3a", vec![pa, ua]), PropertySet::new("T3b", vec![pb, ub]))
+    }
+}

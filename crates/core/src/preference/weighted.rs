@@ -1,0 +1,167 @@
+//! The ▶WTD-better comparator (paper §5.5).
+//!
+//! `P_WTD(Υ₁,Υ₂) = Σ_i w_i · P(D₁ᵢ, D₂ᵢ)` with weights expressing the
+//! relative importance of the `r` properties, and
+//! `Υ₁ ▶WTD Υ₂ ⟺ P_WTD(Υ₁,Υ₂) > P_WTD(Υ₂,Υ₁)`. The paper notes "it is
+//! advisable to normalize the P values before computing the weighted sum";
+//! normalization is on by default and divides each ordered pair of index
+//! values by their sum.
+
+use crate::comparators::{prefer_higher, Preference};
+use crate::index::{normalize_pair, BinaryIndex};
+use crate::preference::{assert_aligned, SetComparator};
+use crate::vector::PropertySet;
+
+/// The ▶WTD-better comparator.
+pub struct WeightedComparator {
+    weights: Vec<f64>,
+    indices: Vec<Box<dyn BinaryIndex>>,
+    normalize: bool,
+}
+
+impl WeightedComparator {
+    /// Builds a weighted comparator from per-property weights and binary
+    /// indices. Weights must be positive; they are rescaled to sum to 1
+    /// (the paper's `0 < w_i < 1`, `Σ w_i = 1` convention).
+    ///
+    /// # Panics
+    /// Panics if `weights` and `indices` lengths differ, are empty, or any
+    /// weight is not strictly positive.
+    pub fn new(weights: Vec<f64>, indices: Vec<Box<dyn BinaryIndex>>) -> Self {
+        assert_eq!(weights.len(), indices.len(), "one weight per property index");
+        assert!(!weights.is_empty(), "at least one property is required");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let total: f64 = weights.iter().sum();
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        WeightedComparator { weights, indices, normalize: true }
+    }
+
+    /// Equal weights over the given indices.
+    pub fn equal(indices: Vec<Box<dyn BinaryIndex>>) -> Self {
+        let r = indices.len();
+        WeightedComparator::new(vec![1.0 / r as f64; r], indices)
+    }
+
+    /// Disables pre-weighting normalization of index values (use when all
+    /// indices are already on a common scale, e.g. all coverage).
+    pub fn without_normalization(mut self) -> Self {
+        self.normalize = false;
+        self
+    }
+
+    /// The normalized weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `P_WTD` for both argument orders, as `(P_WTD(s1,s2), P_WTD(s2,s1))`.
+    pub fn values(&self, s1: &PropertySet, s2: &PropertySet) -> (f64, f64) {
+        assert_aligned(s1, s2, self.weights.len());
+        let mut fwd = 0.0;
+        let mut bwd = 0.0;
+        for i in 0..self.weights.len() {
+            let a = self.indices[i].value(s1.vector(i), s2.vector(i));
+            let b = self.indices[i].value(s2.vector(i), s1.vector(i));
+            let (a, b) = if self.normalize { normalize_pair(a, b) } else { (a, b) };
+            fwd += self.weights[i] * a;
+            bwd += self.weights[i] * b;
+        }
+        (fwd, bwd)
+    }
+}
+
+impl SetComparator for WeightedComparator {
+    fn name(&self) -> String {
+        "WTD".into()
+    }
+
+    fn compare(&self, s1: &PropertySet, s2: &PropertySet) -> Preference {
+        let (fwd, bwd) = self.values(s1, s2);
+        prefer_higher(fwd, bwd, 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparators::CoverageComparator;
+    use crate::preference::test_support::paper_sets;
+
+    fn cov_indices(r: usize) -> Vec<Box<dyn BinaryIndex>> {
+        (0..r).map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>).collect()
+    }
+
+    #[test]
+    fn paper_equal_weights_tie() {
+        // §5.5: "if equal weights are assigned to both privacy and utility,
+        // then generalizations T3a and T3b are equally good."
+        let (t3a, t3b) = paper_sets();
+        let c = WeightedComparator::equal(cov_indices(2)).without_normalization();
+        let (fwd, bwd) = c.values(&t3a, &t3b);
+        // P_cov(p_a,p_b) = 0.3, P_cov(u_a,u_b) = 1.0 → 0.65 each way.
+        assert!((fwd - 0.65).abs() < 1e-12);
+        assert!((bwd - 0.65).abs() < 1e-12);
+        assert_eq!(c.compare(&t3a, &t3b), Preference::Tie);
+    }
+
+    #[test]
+    fn privacy_weight_breaks_the_tie_toward_t3b() {
+        let (t3a, t3b) = paper_sets();
+        let c = WeightedComparator::new(vec![0.8, 0.2], cov_indices(2)).without_normalization();
+        assert_eq!(c.compare(&t3b, &t3a), Preference::First);
+        assert_eq!(c.compare(&t3a, &t3b), Preference::Second);
+    }
+
+    #[test]
+    fn utility_weight_breaks_the_tie_toward_t3a() {
+        let (t3a, t3b) = paper_sets();
+        let c = WeightedComparator::new(vec![0.2, 0.8], cov_indices(2)).without_normalization();
+        assert_eq!(c.compare(&t3a, &t3b), Preference::First);
+    }
+
+    #[test]
+    fn weights_are_rescaled() {
+        let c = WeightedComparator::new(vec![2.0, 2.0], cov_indices(2));
+        assert_eq!(c.weights(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalization_keeps_values_in_unit_interval() {
+        use crate::comparators::SpreadComparator;
+        let (t3a, t3b) = paper_sets();
+        let indices: Vec<Box<dyn BinaryIndex>> =
+            vec![Box::new(SpreadComparator), Box::new(SpreadComparator)];
+        let c = WeightedComparator::equal(indices);
+        let (fwd, bwd) = c.values(&t3a, &t3b);
+        assert!((0.0..=1.0).contains(&fwd));
+        assert!((0.0..=1.0).contains(&bwd));
+        assert!((fwd + bwd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per property")]
+    fn arity_mismatch_panics() {
+        let _ = WeightedComparator::new(vec![1.0], cov_indices(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_panics() {
+        let _ = WeightedComparator::new(vec![0.0, 1.0], cov_indices(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_sets_panic() {
+        use crate::vector::{PropertySet, PropertyVector};
+        let c = WeightedComparator::equal(cov_indices(1));
+        let s1 = PropertySet::new("a", vec![PropertyVector::new("x", vec![1.0])]);
+        let s2 = PropertySet::new("b", vec![PropertyVector::new("y", vec![1.0])]);
+        let _ = c.compare(&s1, &s2);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(WeightedComparator::equal(cov_indices(1)).name(), "WTD");
+    }
+}

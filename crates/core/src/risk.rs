@@ -1,0 +1,145 @@
+//! Re-identification risk analysis.
+//!
+//! §1 frames per-tuple privacy as "probability of privacy breach": under
+//! the standard prosecutor model an adversary who knows a target is in the
+//! release and knows its quasi-identifier re-identifies it with
+//! probability `1 / |EC(t)|`. This module aggregates those probabilities
+//! into the risk summaries disclosure-control practice reports
+//! (prosecutor/journalist risk, expected re-identifications, records at
+//! risk) — the operational reading of the paper's per-tuple privacy
+//! vectors.
+
+use anoncmp_microdata::prelude::AnonymizedTable;
+use serde::{Deserialize, Serialize};
+
+use crate::vector::PropertyVector;
+
+/// Risk summary of one anonymized release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// Highest per-tuple re-identification probability (prosecutor risk of
+    /// the most exposed record) — `1 / k` for a k-anonymous release.
+    pub max_risk: f64,
+    /// Average per-tuple re-identification probability.
+    pub mean_risk: f64,
+    /// Expected number of correct re-identifications if the adversary
+    /// targets everyone: `Σ_t 1 / |EC(t)|` — equal to the number of
+    /// equivalence classes.
+    pub expected_reidentifications: f64,
+    /// Fraction of records whose risk strictly exceeds the threshold the
+    /// report was built with.
+    pub at_risk_fraction: f64,
+    /// The threshold used for `at_risk_fraction`.
+    pub threshold: f64,
+}
+
+impl RiskReport {
+    /// Builds the report for `table`, flagging records whose risk exceeds
+    /// `threshold` (e.g. `0.2` for the common "k ≥ 5" policy).
+    ///
+    /// # Panics
+    /// Panics on an empty table or a threshold outside `(0, 1]`.
+    pub fn of(table: &AnonymizedTable, threshold: f64) -> RiskReport {
+        assert!(!table.is_empty(), "risk report of an empty release is undefined");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be a probability in (0, 1]"
+        );
+        let risks = per_tuple_risk(table);
+        let n = risks.len() as f64;
+        let max_risk = risks.max().expect("non-empty");
+        let sum = risks.sum();
+        let at_risk =
+            risks.iter().filter(|&r| r > threshold + 1e-12).count() as f64;
+        RiskReport {
+            max_risk,
+            mean_risk: sum / n,
+            expected_reidentifications: sum,
+            at_risk_fraction: at_risk / n,
+            threshold,
+        }
+    }
+}
+
+/// The per-tuple prosecutor risk vector `1 / |EC(t)|` (lower is better;
+/// this is the *raw* orientation, mirroring
+/// [`BreachProbability::raw`](crate::properties::BreachProbability::raw)).
+pub fn per_tuple_risk(table: &AnonymizedTable) -> PropertyVector {
+    let v: Vec<f64> = (0..table.len())
+        .map(|t| 1.0 / table.classes().class_size_of(t) as f64)
+        .collect();
+    PropertyVector::new("prosecutor-risk", v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use anoncmp_microdata::prelude::*;
+
+    /// Classes of sizes 2 and 3 (ages {1,2} and {11,12,13}).
+    fn fixture() -> AnonymizedTable {
+        let schema = Schema::new(vec![Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
+            .with_hierarchy(IntervalLadder::uniform(0, &[10]).unwrap().into())
+            .unwrap()])
+        .unwrap();
+        let ds = Dataset::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(11)],
+                vec![Value::Int(12)],
+                vec![Value::Int(13)],
+            ],
+        )
+        .unwrap();
+        Lattice::new(schema).unwrap().apply(&ds, &[1], "f").unwrap()
+    }
+
+    #[test]
+    fn per_tuple_risks() {
+        let t = fixture();
+        let r = per_tuple_risk(&t);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_values() {
+        let t = fixture();
+        let r = RiskReport::of(&t, 0.4);
+        assert!((r.max_risk - 0.5).abs() < 1e-12);
+        // Expected re-identifications = number of classes = 2.
+        assert!((r.expected_reidentifications - 2.0).abs() < 1e-12);
+        // Two of five records exceed 0.4.
+        assert!((r.at_risk_fraction - 0.4).abs() < 1e-12);
+        assert!((r.mean_risk - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(r.threshold, 0.4);
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        let t = fixture();
+        // Exactly 0.5 does not exceed a 0.5 threshold.
+        let r = RiskReport::of(&t, 0.5);
+        assert_eq!(r.at_risk_fraction, 0.0);
+    }
+
+    #[test]
+    fn expected_reidentifications_equals_class_count() {
+        let t = fixture();
+        let ds = t.dataset().clone();
+        let sup = AnonymizedTable::fully_suppressed(ds, "sup");
+        let r = RiskReport::of(&sup, 0.2);
+        assert!((r.expected_reidentifications - 1.0).abs() < 1e-12);
+        assert!((r.max_risk - 0.2).abs() < 1e-12);
+        assert_eq!(r.at_risk_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_threshold_panics() {
+        let _ = RiskReport::of(&fixture(), 0.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Empirical apparatus for Theorem 1 and its corollaries (paper §4).
+//!
+//! *Theorem 1.* If `n` unary quality indices `P₁…P_n` satisfy
+//! `∀i: Pᵢ(D₁) ≥ Pᵢ(D₂) ⟺ D₁ ⪰ D₂` for property vectors on a dataset of
+//! size `N`, then `n ≥ N`.
+//!
+//! The theorem is proved analytically in the paper; this module provides
+//! the *computational* counterpart used by experiment E12:
+//!
+//! * [`check_pair`] tests whether a concrete index family satisfies the
+//!   equivalence on one ordered pair of vectors;
+//! * [`falsify`] searches for counterexample pairs, seeding the search with
+//!   the proof's own constructions (the incomparable pair `(a,b)/(b,a)` and
+//!   the `(a,…,a,c)/(b,…,b,c)` family) before random sampling;
+//! * [`projection_family`] exhibits the `n = N` family of coordinate
+//!   projections that *does* satisfy the equivalence, showing the bound is
+//!   tight.
+
+use crate::dominance::weakly_dominates;
+use crate::index::UnaryIndex;
+use crate::vector::PropertyVector;
+
+/// A coordinate projection `P(D) = d_i` — `N` of these decide dominance
+/// exactly, witnessing tightness of Theorem 1's bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Projection {
+    /// The projected coordinate.
+    pub coordinate: usize,
+}
+
+impl UnaryIndex for Projection {
+    fn name(&self) -> String {
+        format!("P_proj{}", self.coordinate)
+    }
+
+    fn value(&self, d: &PropertyVector) -> f64 {
+        d[self.coordinate]
+    }
+}
+
+/// The family of all `n` coordinate projections for dimension `n`.
+pub fn projection_family(n: usize) -> Vec<Box<dyn UnaryIndex>> {
+    (0..n)
+        .map(|coordinate| Box::new(Projection { coordinate }) as Box<dyn UnaryIndex>)
+        .collect()
+}
+
+/// How a family fails the Theorem-1 equivalence on an ordered pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// All indices order `D₁ ≥ D₂` but `D₁` does not weakly dominate `D₂`
+    /// (the `⟸` direction fails): the indices *claim* superiority that the
+    /// vectors do not have.
+    ForwardFailure,
+    /// `D₁ ⪰ D₂` but some index strictly decreases (the `⟹` direction
+    /// fails): the indices miss a real superiority.
+    BackwardFailure,
+}
+
+/// A concrete counterexample to the equivalence for a family.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The first vector of the violating ordered pair.
+    pub d1: PropertyVector,
+    /// The second vector of the violating ordered pair.
+    pub d2: PropertyVector,
+    /// Which direction of the equivalence fails.
+    pub kind: ViolationKind,
+}
+
+/// Tests the equivalence `∀i: Pᵢ(D₁) ≥ Pᵢ(D₂) ⟺ D₁ ⪰ D₂` on the ordered
+/// pair `(d1, d2)`.
+pub fn check_pair(
+    family: &[Box<dyn UnaryIndex>],
+    d1: &PropertyVector,
+    d2: &PropertyVector,
+) -> Option<ViolationKind> {
+    let indices_agree = family.iter().all(|p| p.value(d1) >= p.value(d2));
+    let dominates = weakly_dominates(d1, d2);
+    match (indices_agree, dominates) {
+        (true, false) => Some(ViolationKind::ForwardFailure),
+        (false, true) => Some(ViolationKind::BackwardFailure),
+        _ => None,
+    }
+}
+
+/// Deterministic SplitMix64 generator: keeps the falsification search
+/// reproducible without external dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+/// The proof's seed pairs for dimension `n`: the incomparable base pair
+/// `(a, b, …)` / `(b, a, …)` and the induction pair
+/// `(a, …, a, c)` / `(b, …, b, c)` with `a < b`.
+pub fn proof_seed_pairs(n: usize) -> Vec<(PropertyVector, PropertyVector)> {
+    assert!(n >= 2, "Theorem 1's constructions need N ≥ 2");
+    let (a, b, c) = (1.0, 2.0, 5.0);
+    let mut pairs = Vec::new();
+    // Incomparable swap pair.
+    let mut v1 = vec![a; n];
+    let mut v2 = vec![a; n];
+    v1[0] = b;
+    v2[1] = b;
+    pairs.push((
+        PropertyVector::new("swap1", v1),
+        PropertyVector::new("swap2", v2),
+    ));
+    // Induction pair: (a,…,a,c) vs (b,…,b,c); the second strongly
+    // dominates nothing in the last coordinate but everywhere else.
+    let mut w1 = vec![a; n];
+    let mut w2 = vec![b; n];
+    w1[n - 1] = c;
+    w2[n - 1] = c;
+    pairs.push((
+        PropertyVector::new("ind1", w1),
+        PropertyVector::new("ind2", w2),
+    ));
+    pairs
+}
+
+/// Searches for a counterexample to the equivalence for `family` on
+/// dimension `n`: first the proof's deterministic seed pairs (both
+/// orders), then `tries` random pairs — half fully random, half built to
+/// be incomparable (random vector with two coordinates perturbed in
+/// opposite directions, the shape Theorem 1's base case exploits).
+pub fn falsify(
+    family: &[Box<dyn UnaryIndex>],
+    n: usize,
+    seed: u64,
+    tries: usize,
+) -> Option<Counterexample> {
+    let consider = |d1: &PropertyVector, d2: &PropertyVector| -> Option<Counterexample> {
+        if let Some(kind) = check_pair(family, d1, d2) {
+            return Some(Counterexample { d1: d1.clone(), d2: d2.clone(), kind });
+        }
+        if let Some(kind) = check_pair(family, d2, d1) {
+            return Some(Counterexample { d1: d2.clone(), d2: d1.clone(), kind });
+        }
+        None
+    };
+
+    for (d1, d2) in proof_seed_pairs(n) {
+        if let Some(cx) = consider(&d1, &d2) {
+            return Some(cx);
+        }
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    for t in 0..tries {
+        let (d1, d2) = if t % 2 == 0 {
+            // Fully random pair.
+            let v1: Vec<f64> = (0..n).map(|_| rng.range(0.5, 10.0)).collect();
+            let v2: Vec<f64> = (0..n).map(|_| rng.range(0.5, 10.0)).collect();
+            (PropertyVector::new("r1", v1), PropertyVector::new("r2", v2))
+        } else {
+            // Incomparable pair: perturb two coordinates oppositely.
+            let base: Vec<f64> = (0..n).map(|_| rng.range(0.5, 10.0)).collect();
+            let i = (rng.next_u64() as usize) % n;
+            let mut j = (rng.next_u64() as usize) % n;
+            if j == i {
+                j = (j + 1) % n;
+            }
+            let delta = rng.range(0.01, 2.0);
+            let mut v1 = base.clone();
+            let mut v2 = base;
+            v1[i] += delta;
+            v2[j] += delta;
+            (PropertyVector::new("i1", v1), PropertyVector::new("i2", v2))
+        };
+        if let Some(cx) = consider(&d1, &d2) {
+            return Some(cx);
+        }
+    }
+    None
+}
+
+/// The three vector families from Corollary 1's proof, sampled at a given
+/// parameter: for `a ⪰ b`,
+///
+/// * `x ∈ X = {(a₁c₁, …, a_N c_N) | cᵢ ≥ 1}` — scaled *above* `a`;
+/// * `y ∈ Y = {(bᵢ + (aᵢ − bᵢ)eᵢ) | 0 ≤ eᵢ ≤ 1}` — interpolated between;
+/// * `z ∈ Z = {(bᵢ/dᵢ) | dᵢ ≥ 1}` — scaled *below* `b`;
+///
+/// yielding the chain `x ⪰ a ⪰ y ⪰ b ⪰ z` the corollary's closure
+/// argument iterates. `t ∈ [0, 1]` selects the sample within each family
+/// (`t = 0` gives `x = a`, `y = b`, `z = b`).
+///
+/// # Panics
+/// Panics unless `a ⪰ b`, components are positive, and `t ∈ [0, 1]`.
+pub fn corollary1_cones(
+    a: &PropertyVector,
+    b: &PropertyVector,
+    t: f64,
+) -> (PropertyVector, PropertyVector, PropertyVector) {
+    assert!(weakly_dominates(a, b), "Corollary 1's construction requires a ⪰ b");
+    assert!(
+        a.iter().all(|v| v > 0.0) && b.iter().all(|v| v > 0.0),
+        "the scaling cones require positive components"
+    );
+    assert!((0.0..=1.0).contains(&t), "sample parameter must lie in [0, 1]");
+    let scale_up = 1.0 + t; // cᵢ = 1 + t ≥ 1
+    let x = PropertyVector::new("x", a.iter().map(|v| v * scale_up).collect());
+    let y = PropertyVector::new(
+        "y",
+        a.iter().zip(b.iter()).map(|(ai, bi)| bi + (ai - bi) * (1.0 - t)).collect(),
+    );
+    let z = PropertyVector::new("z", b.iter().map(|v| v / scale_up).collect());
+    (x, y, z)
+}
+
+/// The open hyperrectangle `I_c` from Theorem 1's proof for an index
+/// family: per-index open intervals
+/// `( Pᵢ((a,…,a,c)), Pᵢ((b,…,b,c)) )`.
+pub fn proof_hyperrectangle(
+    family: &[Box<dyn UnaryIndex>],
+    n: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+) -> Vec<(f64, f64)> {
+    let mut lo = vec![a; n];
+    lo[n - 1] = c;
+    let mut hi = vec![b; n];
+    hi[n - 1] = c;
+    let dlo = PropertyVector::new("lo", lo);
+    let dhi = PropertyVector::new("hi", hi);
+    family.iter().map(|p| (p.value(&dlo), p.value(&dhi))).collect()
+}
+
+/// Whether two open hyperrectangles are disjoint (the proof's
+/// `I_c ∩ I_f = ∅` step).
+pub fn hyperrectangles_disjoint(r1: &[(f64, f64)], r2: &[(f64, f64)]) -> bool {
+    assert_eq!(r1.len(), r2.len(), "hyperrectangles must share a dimension");
+    r1.iter().zip(r2).any(|((lo1, hi1), (lo2, hi2))| {
+        let lo = lo1.max(*lo2);
+        let hi = hi1.min(*hi2);
+        lo >= hi // empty open intersection in this dimension
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::classic::{MaxIndex, MeanIndex, MedianIndex, MinIndex, SumIndex};
+
+    fn small_family() -> Vec<Box<dyn UnaryIndex>> {
+        vec![Box::new(MinIndex), Box::new(MeanIndex)]
+    }
+
+    #[test]
+    fn projections_decide_dominance_exactly() {
+        // The n = N family of projections satisfies the equivalence on any
+        // pair — the bound of Theorem 1 is attainable.
+        let fam = projection_family(4);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..500 {
+            let v1: Vec<f64> = (0..4).map(|_| rng.range(0.0, 5.0)).collect();
+            let v2: Vec<f64> = (0..4).map(|_| rng.range(0.0, 5.0)).collect();
+            let d1 = PropertyVector::new("a", v1);
+            let d2 = PropertyVector::new("b", v2);
+            assert_eq!(check_pair(&fam, &d1, &d2), None);
+            assert_eq!(check_pair(&fam, &d2, &d1), None);
+        }
+        assert!(falsify(&fam, 4, 11, 5_000).is_none());
+    }
+
+    #[test]
+    fn min_mean_family_is_falsified_in_dimension_3() {
+        // Two indices on N = 3 < required 3? n = 2 < N = 3: Theorem 1 says
+        // a counterexample must exist; the search finds one.
+        let cx = falsify(&small_family(), 3, 42, 10_000).expect("counterexample exists");
+        assert!(check_pair(&small_family(), &cx.d1, &cx.d2).is_some());
+    }
+
+    #[test]
+    fn even_n_indices_fail_if_not_projections() {
+        // n = N = 2 indices, but aggregate ones (min, mean): the forward
+        // direction fails on incomparable pairs that happen to be ordered
+        // by both indices.
+        let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let cx = falsify(&fam, 2, 1, 10_000);
+        assert!(cx.is_some(), "aggregate families are not equivalence-deciding");
+    }
+
+    #[test]
+    fn one_index_fails_on_the_base_case() {
+        // Theorem 1's base case: with one index and the incomparable pair
+        // (a,b)/(b,a), some order must hold, contradicting non-dominance.
+        for fam in [
+            vec![Box::new(MinIndex) as Box<dyn UnaryIndex>],
+            vec![Box::new(MaxIndex) as Box<dyn UnaryIndex>],
+            vec![Box::new(SumIndex) as Box<dyn UnaryIndex>],
+            vec![Box::new(MedianIndex) as Box<dyn UnaryIndex>],
+        ] {
+            let cx = falsify(&fam, 2, 3, 0).expect("seed pairs suffice");
+            assert_eq!(cx.kind, ViolationKind::ForwardFailure);
+        }
+    }
+
+    #[test]
+    fn check_pair_directions() {
+        // Family {min}: d1 = (2,2), d2 = (1,3). min(d1)=2 ≥ 1=min(d2) but
+        // d1 does not dominate d2 → forward failure.
+        let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex)];
+        let d1 = PropertyVector::new("a", vec![2.0, 2.0]);
+        let d2 = PropertyVector::new("b", vec![1.0, 3.0]);
+        assert_eq!(check_pair(&fam, &d1, &d2), Some(ViolationKind::ForwardFailure));
+
+        // Family {-min (as max of negation) } can't be built here; instead
+        // use a family where dominance holds but an index decreases:
+        // P(D) = -mean via a custom index.
+        struct NegMean;
+        impl UnaryIndex for NegMean {
+            fn name(&self) -> String {
+                "negmean".into()
+            }
+            fn value(&self, d: &PropertyVector) -> f64 {
+                -d.mean().unwrap_or(0.0)
+            }
+        }
+        let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(NegMean)];
+        let d1 = PropertyVector::new("a", vec![3.0, 3.0]);
+        let d2 = PropertyVector::new("b", vec![1.0, 1.0]);
+        assert_eq!(check_pair(&fam, &d1, &d2), Some(ViolationKind::BackwardFailure));
+    }
+
+    #[test]
+    fn corollary1_chain_holds_for_all_samples() {
+        // x ⪰ a ⪰ y ⪰ b ⪰ z for every sample parameter.
+        let a = PropertyVector::new("a", vec![4.0, 6.0, 5.0]);
+        let b = PropertyVector::new("b", vec![2.0, 6.0, 1.0]);
+        for t in [0.0, 0.25, 0.5, 1.0] {
+            let (x, y, z) = corollary1_cones(&a, &b, t);
+            assert!(weakly_dominates(&x, &a), "x ⪰ a at t = {t}");
+            assert!(weakly_dominates(&a, &y), "a ⪰ y at t = {t}");
+            assert!(weakly_dominates(&y, &b), "y ⪰ b at t = {t}");
+            assert!(weakly_dominates(&b, &z), "b ⪰ z at t = {t}");
+        }
+        // t = 0 degenerates to x = a, y = a? No: e = 1 gives y = a; our
+        // parametrization uses e = 1 − t, so t = 0 → y = a and t = 1 → y = b.
+        let (x0, y0, _) = corollary1_cones(&a, &b, 0.0);
+        assert_eq!(x0.values(), a.values());
+        assert_eq!(y0.values(), a.values());
+        let (_, y1, _) = corollary1_cones(&a, &b, 1.0);
+        assert_eq!(y1.values(), b.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a ⪰ b")]
+    fn corollary1_requires_dominance() {
+        let a = PropertyVector::new("a", vec![1.0, 2.0]);
+        let b = PropertyVector::new("b", vec![2.0, 1.0]);
+        let _ = corollary1_cones(&a, &b, 0.5);
+    }
+
+    #[test]
+    fn proof_seed_pairs_shapes() {
+        let pairs = proof_seed_pairs(4);
+        assert_eq!(pairs.len(), 2);
+        let (s1, s2) = &pairs[0];
+        assert!(crate::dominance::non_dominated(s1, s2));
+        let (i1, i2) = &pairs[1];
+        assert!(crate::dominance::strongly_dominates(i2, i1));
+        assert_eq!(i1[3], i2[3], "last coordinate shared");
+    }
+
+    #[test]
+    #[should_panic(expected = "N ≥ 2")]
+    fn seed_pairs_need_dimension_two() {
+        let _ = proof_seed_pairs(1);
+    }
+
+    #[test]
+    fn hyperrectangles_from_proof_are_disjoint_for_projections() {
+        // With the projection family the proof's rectangles I_c and I_f for
+        // c ≠ f are disjoint (they differ in the last coordinate, which is
+        // a degenerate open interval — trivially disjoint).
+        let fam = projection_family(3);
+        let r1 = proof_hyperrectangle(&fam, 3, 1.0, 2.0, 5.0);
+        let r2 = proof_hyperrectangle(&fam, 3, 1.0, 2.0, 6.0);
+        assert!(hyperrectangles_disjoint(&r1, &r2));
+    }
+
+    #[test]
+    fn overlapping_rectangles_detected() {
+        let r1 = vec![(0.0, 2.0), (0.0, 2.0)];
+        let r2 = vec![(1.0, 3.0), (1.0, 3.0)];
+        assert!(!hyperrectangles_disjoint(&r1, &r2));
+        let r3 = vec![(2.0, 3.0), (1.0, 3.0)];
+        assert!(hyperrectangles_disjoint(&r1, &r3), "touching open intervals are disjoint");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SplitMix64::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let r = c.range(5.0, 6.0);
+        assert!((5.0..6.0).contains(&r));
+    }
+}

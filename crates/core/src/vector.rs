@@ -1,0 +1,292 @@
+//! Property vectors and r-property anonymization views.
+//!
+//! *Definition 1 (Property Vector).* "A property vector `D` for a data set
+//! of size `N` is an `N`-dimensional vector `(d_1, …, d_N)` with `d_i ∈ ℝ`
+//! specifying a measure of a property for the `i`-th tuple of the data set."
+//!
+//! *Definition 2 (r-Property Anonymization).* An anonymization viewed
+//! through a pre-specified set of `r` properties, inducing `r` property
+//! vectors. [`PropertySet`] is that induced set.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+/// An `N`-dimensional vector of per-tuple property measurements
+/// (paper Definition 1).
+///
+/// By the paper's §5 convention, a **higher component value is better**;
+/// property extractors negate or invert lower-is-better measurements before
+/// constructing a vector (see
+/// [`Property::extract`](crate::properties::Property::extract)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyVector {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl PropertyVector {
+    /// Wraps per-tuple measurements under a property name.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        PropertyVector { name: name.into(), values }
+    }
+
+    /// Builds from integer measurements (e.g. equivalence-class sizes).
+    pub fn from_usizes(name: impl Into<String>, values: &[usize]) -> Self {
+        PropertyVector::new(name, values.iter().map(|&v| v as f64).collect())
+    }
+
+    /// The property name this vector measures.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension `N` (dataset size).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying component slice.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates components.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Minimum component (`NaN`-free input assumed); `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum component; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of components.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.values.len() as f64)
+        }
+    }
+
+    /// Euclidean distance to another vector of the same dimension.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ (property vectors under comparison always
+    /// come from anonymizations of the same dataset, per §3).
+    pub fn euclidean_distance(&self, other: &PropertyVector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "property vectors must have equal dimension to be compared"
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Component-wise negation: converts a lower-is-better measurement to
+    /// the higher-is-better convention.
+    pub fn negated(&self) -> PropertyVector {
+        PropertyVector {
+            name: format!("-{}", self.name),
+            values: self.values.iter().map(|v| -v).collect(),
+        }
+    }
+
+    /// Renames the vector, preserving values.
+    pub fn renamed(mut self, name: impl Into<String>) -> PropertyVector {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Index<usize> for PropertyVector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for PropertyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = (", self.name)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if (v.fract()).abs() < 1e-9 {
+                write!(f, "{}", *v as i64)?;
+            } else {
+                write!(f, "{v:.3}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// The set of `r` property vectors induced by an r-property anonymization
+/// (paper Definition 2), in a fixed property order shared by all
+/// anonymizations under comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertySet {
+    anonymization: String,
+    vectors: Vec<PropertyVector>,
+}
+
+impl PropertySet {
+    /// Wraps the vectors induced on one anonymization.
+    pub fn new(anonymization: impl Into<String>, vectors: Vec<PropertyVector>) -> Self {
+        PropertySet { anonymization: anonymization.into(), vectors }
+    }
+
+    /// The anonymization's display name.
+    pub fn anonymization(&self) -> &str {
+        &self.anonymization
+    }
+
+    /// `r`, the number of properties.
+    pub fn r(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The property vectors, in property order.
+    pub fn vectors(&self) -> &[PropertyVector] {
+        &self.vectors
+    }
+
+    /// The `i`-th property vector.
+    pub fn vector(&self, i: usize) -> &PropertyVector {
+        &self.vectors[i]
+    }
+
+    /// Whether two sets are aligned for comparison: same `r`, same property
+    /// names in the same order, same dimension.
+    pub fn aligned_with(&self, other: &PropertySet) -> bool {
+        self.r() == other.r()
+            && self
+                .vectors
+                .iter()
+                .zip(&other.vectors)
+                .all(|(a, b)| a.name() == b.name() && a.len() == b.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[f64]) -> PropertyVector {
+        PropertyVector::new("p", vals.to_vec())
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let d = v(&[3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 3.0, 3.0, 4.0]);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.min(), Some(3.0));
+        assert_eq!(d.max(), Some(4.0));
+        // The paper's P_s-avg example: 3.4 for T3a.
+        assert!((d.mean().unwrap() - 3.4).abs() < 1e-12);
+        assert_eq!(d.sum(), 34.0);
+        assert_eq!(d[4], 4.0);
+    }
+
+    #[test]
+    fn empty_vector_statistics() {
+        let d = v(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.sum(), 0.0);
+    }
+
+    #[test]
+    fn from_usizes_converts() {
+        let d = PropertyVector::from_usizes("s", &[3, 7, 7]);
+        assert_eq!(d.values(), &[3.0, 7.0, 7.0]);
+        assert_eq!(d.name(), "s");
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let a = v(&[0.0, 3.0]);
+        let b = v(&[4.0, 0.0]);
+        assert!((a.euclidean_distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.euclidean_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn distance_dimension_mismatch_panics() {
+        let _ = v(&[1.0]).euclidean_distance(&v(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn negation_flips_orientation() {
+        let d = v(&[1.0, -2.0]).negated();
+        assert_eq!(d.values(), &[-1.0, 2.0]);
+        assert_eq!(d.name(), "-p");
+    }
+
+    #[test]
+    fn display_renders_integers_compactly() {
+        let d = PropertyVector::new("s", vec![3.0, 7.0]);
+        assert_eq!(d.to_string(), "s = (3, 7)");
+        let d = PropertyVector::new("u", vec![2.03]);
+        assert_eq!(d.to_string(), "u = (2.030)");
+    }
+
+    #[test]
+    fn property_set_alignment() {
+        let s1 = PropertySet::new(
+            "T3a",
+            vec![PropertyVector::new("priv", vec![1.0]), PropertyVector::new("util", vec![2.0])],
+        );
+        let s2 = PropertySet::new(
+            "T3b",
+            vec![PropertyVector::new("priv", vec![3.0]), PropertyVector::new("util", vec![4.0])],
+        );
+        assert!(s1.aligned_with(&s2));
+        assert_eq!(s1.r(), 2);
+        assert_eq!(s1.anonymization(), "T3a");
+        assert_eq!(s1.vector(1).values(), &[2.0]);
+
+        let s3 = PropertySet::new("x", vec![PropertyVector::new("other", vec![1.0])]);
+        assert!(!s1.aligned_with(&s3));
+        let s4 = PropertySet::new(
+            "y",
+            vec![PropertyVector::new("priv", vec![1.0, 2.0]), PropertyVector::new("util", vec![1.0, 2.0])],
+        );
+        assert!(!s1.aligned_with(&s4));
+    }
+
+    #[test]
+    fn renamed_preserves_values() {
+        let d = v(&[1.0]).renamed("q");
+        assert_eq!(d.name(), "q");
+        assert_eq!(d.values(), &[1.0]);
+    }
+}

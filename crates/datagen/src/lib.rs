@@ -1,0 +1,35 @@
+//! # anoncmp-datagen
+//!
+//! Data sources for the `anoncmp` workspace:
+//!
+//! * [`paper`] — the EDBT'09 paper's running example: Table 1's microdata
+//!   and the generalizations T3a/T3b/T4 (Tables 2–3), produced by the
+//!   generalization engine from declared hierarchies, plus the hypothetical
+//!   vectors used in §5.3–§5.4.
+//! * [`census`] — a deterministic synthetic census generator standing in
+//!   for the UCI Adult data used by the algorithms the paper cites
+//!   (substitution documented in DESIGN.md).
+//! * [`healthcare`] — synthetic hospital-discharge records with skewed,
+//!   age-correlated diagnoses (stresses ℓ-diversity/t-closeness).
+//! * [`random`] — random-but-valid schema/dataset pairs for fuzzing.
+//!
+//! ```
+//! use anoncmp_datagen::paper;
+//!
+//! let t3a = paper::paper_t3a();
+//! assert_eq!(t3a.classes().min_class_size(), 3); // 3-anonymous
+//! assert_eq!(t3a.render_cell(0, 1), "(25,35]");  // Table 2's age ranges
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod census;
+pub mod healthcare;
+pub mod paper;
+pub mod random;
+
+pub use census::{census_schema, generate, CensusConfig};
+pub use healthcare::{generate_hospital, hospital_schema, HospitalConfig};
+pub use random::{generate_random, RandomConfig};
+pub use paper::{paper_schema_t3, paper_schema_t4, paper_t3a, paper_t3b, paper_t4, paper_table1};

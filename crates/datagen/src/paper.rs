@@ -1,0 +1,232 @@
+//! The paper's running example: Table 1's hypothetical microdata and the
+//! three generalizations T3a, T3b (Table 2) and T4 (Table 3).
+//!
+//! The anonymizations are **produced by the generalization engine** from
+//! declared hierarchies and level vectors — not hard-coded — so that
+//! reproducing the paper's numbers end-to-end exercises the real code
+//! paths (experiments E01–E03).
+
+use std::sync::Arc;
+
+use anoncmp_microdata::prelude::*;
+
+/// Marital-status leaf labels in taxonomy order: `Married = {CF-Spouse,
+/// Spouse Present}`, `Not Married = {Separated, Never Married, Divorced,
+/// Spouse Absent}`.
+pub const MARITAL_STATUS: [&str; 6] =
+    ["CF-Spouse", "Spouse Present", "Separated", "Never Married", "Divorced", "Spouse Absent"];
+
+/// The ten `(zip, age, marital status)` rows of Table 1, in tuple order.
+pub const TABLE1_ROWS: [(&str, i64, &str); 10] = [
+    ("13053", 28, "CF-Spouse"),
+    ("13268", 41, "Separated"),
+    ("13268", 39, "Never Married"),
+    ("13053", 26, "CF-Spouse"),
+    ("13253", 50, "Divorced"),
+    ("13253", 55, "Spouse Absent"),
+    ("13250", 49, "Divorced"),
+    ("13052", 31, "Spouse Present"),
+    ("13269", 42, "Separated"),
+    ("13250", 47, "Separated"),
+];
+
+/// The marital-status taxonomy of the paper (§1): two internal categories
+/// under the root.
+pub fn marital_taxonomy() -> Taxonomy {
+    let mut b = Taxonomy::builder("*");
+    b.node("Married", |b| {
+        b.leaf("CF-Spouse");
+        b.leaf("Spouse Present");
+    });
+    b.node("Not Married", |b| {
+        b.leaf("Separated");
+        b.leaf("Never Married");
+        b.leaf("Divorced");
+        b.leaf("Spouse Absent");
+    });
+    b.build().expect("static taxonomy is valid")
+}
+
+/// The zip-code masking taxonomy over the six distinct zips of Table 1.
+pub fn zip_taxonomy() -> Taxonomy {
+    let zips: Vec<&str> = {
+        let mut seen = Vec::new();
+        for (z, _, _) in TABLE1_ROWS {
+            if !seen.contains(&z) {
+                seen.push(z);
+            }
+        }
+        seen
+    };
+    Taxonomy::masking(&zips, &[1, 2, 3, 4]).expect("zip masking is valid")
+}
+
+fn schema_with_age_ladder(ladder: IntervalLadder) -> Arc<Schema> {
+    Schema::new(vec![
+        Attribute::from_taxonomy("Zip Code", Role::QuasiIdentifier, zip_taxonomy()),
+        Attribute::integer("Age", Role::QuasiIdentifier, 0, 120)
+            .with_hierarchy(ladder.into())
+            .expect("interval ladder fits integer attribute"),
+        Attribute::from_taxonomy("Marital Status", Role::Sensitive, marital_taxonomy()),
+    ])
+    .expect("paper schema is valid")
+}
+
+/// Schema used for the 3-anonymous generalizations: the age ladder's level
+/// 1 buckets by width 10 from origin 25 (T3a's `(25,35]`-style ranges) and
+/// level 2 by width 20 from origin 15 (T3b's `(15,35]`-style ranges).
+pub fn paper_schema_t3() -> Arc<Schema> {
+    schema_with_age_ladder(
+        IntervalLadder::new_nested(vec![
+            IntervalLevel { origin: 25, width: 10 },
+            IntervalLevel { origin: 15, width: 20 },
+        ])
+        .expect("T3 age ladder is nested"),
+    )
+}
+
+/// Schema used for the 4-anonymous generalization T4: age buckets by width
+/// 20 from origin 20 (`(20,40]`, `(40,60]`).
+pub fn paper_schema_t4() -> Arc<Schema> {
+    schema_with_age_ladder(
+        IntervalLadder::new_nested(vec![IntervalLevel { origin: 20, width: 20 }])
+            .expect("T4 age ladder is valid"),
+    )
+}
+
+/// Builds Table 1 against the given paper schema (both schema variants
+/// share identical rows).
+pub fn paper_table1(schema: Arc<Schema>) -> Arc<Dataset> {
+    let mut b = DatasetBuilder::with_capacity(schema, TABLE1_ROWS.len());
+    for (zip, age, ms) in TABLE1_ROWS {
+        let age = age.to_string();
+        b.push_labels(&[zip, age.as_str(), ms]).expect("Table 1 rows fit the schema");
+    }
+    b.build().expect("Table 1 is valid")
+}
+
+/// The generalization T3a of Table 2 (left): zip masked one digit, age in
+/// width-10 buckets, marital status at the Married/Not-Married level.
+pub fn paper_t3a() -> AnonymizedTable {
+    let schema = paper_schema_t3();
+    let ds = paper_table1(schema.clone());
+    let lattice = Lattice::new(schema).expect("lattice over paper schema");
+    let ms_col = 2;
+    lattice.apply_with_extra(&ds, &[1, 1], &[(ms_col, 1)], "T3a").expect("T3a levels are valid")
+}
+
+/// The generalization T3b of Table 2 (right): zip masked two digits, age in
+/// width-20 buckets, marital status at the Married/Not-Married level.
+pub fn paper_t3b() -> AnonymizedTable {
+    let schema = paper_schema_t3();
+    let ds = paper_table1(schema.clone());
+    let lattice = Lattice::new(schema).expect("lattice over paper schema");
+    let ms_col = 2;
+    lattice.apply_with_extra(&ds, &[2, 2], &[(ms_col, 1)], "T3b").expect("T3b levels are valid")
+}
+
+/// The generalization T4 of Table 3: zip masked three digits, age in
+/// width-20 buckets from origin 20, marital status fully suppressed.
+pub fn paper_t4() -> AnonymizedTable {
+    let schema = paper_schema_t4();
+    let ds = paper_table1(schema.clone());
+    let lattice = Lattice::new(schema).expect("lattice over paper schema");
+    let ms_col = 2;
+    lattice.apply_with_extra(&ds, &[3, 1], &[(ms_col, 2)], "T4").expect("T4 levels are valid")
+}
+
+/// The paper's §5.3 hypothetical vectors `D1 = (2,2,3,4,5)` and
+/// `D2 = (3,2,4,2,3)` (Figure 3).
+pub const FIG3_D1: [f64; 5] = [2.0, 2.0, 3.0, 4.0, 5.0];
+/// See [`FIG3_D1`].
+pub const FIG3_D2: [f64; 5] = [3.0, 2.0, 4.0, 2.0, 3.0];
+
+/// §5.3's second example: the 3-anonymous class-size vector.
+pub const SPR_3ANON: [f64; 15] =
+    [3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0];
+/// §5.3's second example: the 2-anonymous class-size vector.
+pub const SPR_2ANON: [f64; 15] =
+    [2.0, 2.0, 6.0, 6.0, 6.0, 6.0, 6.0, 6.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0];
+
+/// §5.4's hypervolume example: `s = (3,3,3,5,5,5,5,5)`.
+pub const HV_S: [f64; 8] = [3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+/// §5.4's hypervolume example: `t = (4,4,4,4,4,4,4,4)`.
+pub const HV_T: [f64; 8] = [4.0; 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let ds = paper_table1(paper_schema_t3());
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.schema().len(), 3);
+        assert_eq!(ds.schema().quasi_identifiers().len(), 2);
+        assert_eq!(ds.schema().sensitive(), &[2]);
+        // Six distinct zips, ten distinct ages, six distinct statuses.
+        assert_eq!(ds.distinct(0).count(), 6);
+        assert_eq!(ds.distinct(1).count(), 10);
+        assert_eq!(ds.distinct(2).count(), 6);
+    }
+
+    #[test]
+    fn t3a_matches_table2_left() {
+        let t = paper_t3a();
+        // Tuple 1: 1305*, (25,35], Married.
+        assert_eq!(t.render_cell(0, 0), "1305*");
+        assert_eq!(t.render_cell(0, 1), "(25,35]");
+        assert_eq!(t.render_cell(0, 2), "Married");
+        // Tuple 2: 1326*, (35,45], Not Married.
+        assert_eq!(t.render_cell(1, 0), "1326*");
+        assert_eq!(t.render_cell(1, 1), "(35,45]");
+        assert_eq!(t.render_cell(1, 2), "Not Married");
+        // Tuple 5: 1325*, (45,55].
+        assert_eq!(t.render_cell(4, 0), "1325*");
+        assert_eq!(t.render_cell(4, 1), "(45,55]");
+        // Class structure {1,4,8}, {2,3,9}, {5,6,7,10} → sizes per tuple.
+        let sizes: Vec<usize> =
+            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 3, 4, 4, 4, 3, 3, 4]);
+    }
+
+    #[test]
+    fn t3b_matches_table2_right() {
+        let t = paper_t3b();
+        assert_eq!(t.render_cell(0, 0), "130**");
+        assert_eq!(t.render_cell(0, 1), "(15,35]");
+        assert_eq!(t.render_cell(0, 2), "Married");
+        assert_eq!(t.render_cell(1, 0), "132**");
+        assert_eq!(t.render_cell(1, 1), "(35,55]");
+        let sizes: Vec<usize> =
+            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        assert_eq!(sizes, vec![3, 7, 7, 3, 7, 7, 7, 3, 7, 7]);
+    }
+
+    #[test]
+    fn t4_matches_table3() {
+        let t = paper_t4();
+        assert_eq!(t.render_cell(0, 0), "13***");
+        assert_eq!(t.render_cell(0, 1), "(20,40]");
+        assert_eq!(t.render_cell(0, 2), "*");
+        assert_eq!(t.render_cell(1, 1), "(40,60]");
+        let sizes: Vec<usize> =
+            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        // Classes {1,3,4,8} and {2,5,6,7,9,10}.
+        assert_eq!(sizes, vec![4, 6, 4, 4, 6, 6, 6, 4, 6, 6]);
+        assert_eq!(t.classes().min_class_size(), 4, "T4 is 4-anonymous");
+    }
+
+    #[test]
+    fn anonymity_levels() {
+        assert_eq!(paper_t3a().classes().min_class_size(), 3);
+        assert_eq!(paper_t3b().classes().min_class_size(), 3);
+        assert_eq!(paper_t4().classes().min_class_size(), 4);
+    }
+
+    #[test]
+    fn marital_taxonomy_matches_module_level_order() {
+        let t = marital_taxonomy();
+        assert_eq!(t.leaf_labels(), MARITAL_STATUS.to_vec());
+    }
+}

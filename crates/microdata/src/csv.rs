@@ -1,0 +1,227 @@
+//! Minimal CSV import/export for datasets and anonymized tables.
+//!
+//! Hand-rolled (no external csv crate) with support for the subset of RFC
+//! 4180 this workspace needs: comma separation, double-quoted fields with
+//! escaped quotes, and a header row.
+
+use std::sync::Arc;
+
+use crate::anonymized::AnonymizedTable;
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+
+/// Splits one CSV line into fields, honoring double quotes.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                ',' => fields.push(std::mem::take(&mut field)),
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(Error::Parse {
+                            line: line_no,
+                            detail: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Parse { line: line_no, detail: "unterminated quoted field".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quotes a field if it contains separators, quotes, or newlines.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Parses CSV text (header + records) into a dataset against a known
+/// schema. Header names must match the schema's attribute names in order.
+///
+/// # Errors
+/// [`Error::Parse`] for malformed CSV or header mismatches; value
+/// resolution errors as in
+/// [`DatasetBuilder::push_labels`](crate::dataset::DatasetBuilder::push_labels).
+pub fn dataset_from_csv(schema: Arc<Schema>, text: &str) -> Result<Arc<Dataset>> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (hdr_no, header) = lines
+        .next()
+        .ok_or(Error::Parse { line: 1, detail: "missing header row".into() })?;
+    let names = split_line(header, hdr_no + 1)?;
+    if names.len() != schema.len() {
+        return Err(Error::Parse {
+            line: hdr_no + 1,
+            detail: format!("header has {} columns, schema has {}", names.len(), schema.len()),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if name.trim() != schema.attribute(i).name() {
+            return Err(Error::Parse {
+                line: hdr_no + 1,
+                detail: format!(
+                    "header column {} is '{}', expected '{}'",
+                    i,
+                    name.trim(),
+                    schema.attribute(i).name()
+                ),
+            });
+        }
+    }
+    let mut builder = DatasetBuilder::with_capacity(schema, 64);
+    for (no, line) in lines {
+        let fields = split_line(line, no + 1)?;
+        builder.push_labels(&fields).map_err(|e| match e {
+            Error::Parse { .. } => e,
+            other => Error::Parse { line: no + 1, detail: other.to_string() },
+        })?;
+    }
+    builder.build()
+}
+
+/// Serializes a dataset as CSV (header + raw values).
+pub fn dataset_to_csv(ds: &Dataset) -> String {
+    let schema = ds.schema();
+    let mut out = String::new();
+    let header: Vec<String> =
+        schema.attributes().iter().map(|a| quote(a.name())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..ds.len() {
+        let cells: Vec<String> =
+            (0..schema.len()).map(|col| quote(&ds.render(row, col))).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes an anonymized table as CSV using the released (generalized)
+/// cell renderings.
+pub fn anonymized_to_csv(table: &AnonymizedTable) -> String {
+    let schema = table.dataset().schema();
+    let mut out = String::new();
+    let header: Vec<String> =
+        schema.attributes().iter().map(|a| quote(a.name())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for tuple in 0..table.len() {
+        let cells: Vec<String> =
+            (0..schema.len()).map(|col| quote(&table.render_cell(tuple, col))).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Role};
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::integer("age", Role::QuasiIdentifier, 0, 120),
+            Attribute::categorical("status", Role::Sensitive, ["a,b", "plain", "qu\"ote"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let ds = Dataset::new(
+            schema(),
+            vec![
+                vec![Value::Int(28), Value::Cat(0)],
+                vec![Value::Int(41), Value::Cat(1)],
+                vec![Value::Int(50), Value::Cat(2)],
+            ],
+        )
+        .unwrap();
+        let text = dataset_to_csv(&ds);
+        let back = dataset_from_csv(schema(), &text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.value(0, 0), &Value::Int(28));
+        assert_eq!(back.value(0, 1), &Value::Cat(0));
+        assert_eq!(back.value(2, 1), &Value::Cat(2));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "age,status\n28,\"unterminated\n";
+        let err = dataset_from_csv(schema(), text).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }));
+
+        let text = "age,status\nnotanum,plain\n";
+        let err = dataset_from_csv(schema(), text).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(dataset_from_csv(schema(), "").is_err());
+        assert!(dataset_from_csv(schema(), "age\n").is_err());
+        assert!(dataset_from_csv(schema(), "age,wrong\n").is_err());
+        // Whitespace around header names is tolerated.
+        assert!(dataset_from_csv(schema(), " age , status \n28,plain\n").is_ok());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "age,status\n\n28,plain\n\n41,plain\n";
+        let ds = dataset_from_csv(schema(), text).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn split_line_quoted_fields() {
+        assert_eq!(split_line("a,b,c", 1).unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_line("\"a,b\",c", 1).unwrap(), vec!["a,b", "c"]);
+        assert_eq!(split_line("\"say \"\"hi\"\"\",x", 1).unwrap(), vec!["say \"hi\"", "x"]);
+        assert_eq!(split_line("", 1).unwrap(), vec![""]);
+        assert_eq!(split_line("a,", 1).unwrap(), vec!["a", ""]);
+        assert!(split_line("ab\"cd", 1).is_err());
+    }
+
+    #[test]
+    fn anonymized_export_renders_generalizations() {
+        use crate::value::GenValue;
+        let ds = Dataset::new(schema(), vec![vec![Value::Int(28), Value::Cat(1)]]).unwrap();
+        let t = AnonymizedTable::new(
+            ds,
+            vec![vec![GenValue::Interval { lo: 25, hi: 35 }, GenValue::Cat(1)]],
+            "t",
+        )
+        .unwrap();
+        let text = anonymized_to_csv(&t);
+        assert!(text.contains("\"(25,35]\"") || text.contains("(25,35]"));
+        assert!(text.contains("plain"));
+    }
+}

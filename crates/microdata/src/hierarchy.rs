@@ -1,0 +1,179 @@
+//! The unified generalization hierarchy attached to an attribute.
+
+use crate::error::{Error, Result};
+use crate::intervals::IntervalLadder;
+use crate::taxonomy::Taxonomy;
+use crate::value::{GenValue, Value};
+
+/// A generalization hierarchy for one attribute: either a categorical
+/// [`Taxonomy`] or a numeric [`IntervalLadder`].
+///
+/// Both expose the same level-based interface: level 0 is the raw value and
+/// `max_level()` is full suppression (`*`).
+#[derive(Debug, Clone)]
+pub enum Hierarchy {
+    /// Taxonomy tree over categorical values.
+    Taxonomy(Taxonomy),
+    /// Interval ladder over integer values.
+    Intervals(IntervalLadder),
+}
+
+impl Hierarchy {
+    /// Highest admissible generalization level (full suppression).
+    pub fn max_level(&self) -> usize {
+        match self {
+            Hierarchy::Taxonomy(t) => t.height(),
+            Hierarchy::Intervals(l) => l.max_level(),
+        }
+    }
+
+    /// Generalizes a raw value to `level`.
+    ///
+    /// For taxonomies the top level returns [`GenValue::Suppressed`] rather
+    /// than the root node so that full suppression renders uniformly as `*`
+    /// across attribute kinds.
+    ///
+    /// # Errors
+    /// Returns [`Error::LevelOutOfRange`] for levels above `max_level()` and
+    /// [`Error::KindMismatch`] when the value kind does not match the
+    /// hierarchy kind.
+    pub fn generalize(&self, value: &Value, level: usize) -> Result<GenValue> {
+        match (self, value) {
+            (Hierarchy::Taxonomy(t), Value::Cat(c)) => {
+                if level == 0 {
+                    return Ok(GenValue::Cat(*c));
+                }
+                if level == t.height() {
+                    return Ok(GenValue::Suppressed);
+                }
+                t.ancestor_at_level(*c, level).map(GenValue::Node)
+            }
+            (Hierarchy::Intervals(l), Value::Int(v)) => l.generalize(*v, level),
+            (Hierarchy::Taxonomy(_), Value::Int(_)) => Err(Error::KindMismatch {
+                attribute: String::new(),
+                detail: "integer value against a taxonomy hierarchy".into(),
+            }),
+            (Hierarchy::Intervals(_), Value::Cat(_)) => Err(Error::KindMismatch {
+                attribute: String::new(),
+                detail: "categorical value against an interval hierarchy".into(),
+            }),
+        }
+    }
+
+    /// The generalization level at which `gv` lives, if it could have been
+    /// produced by this hierarchy.
+    pub fn level_of(&self, gv: &GenValue) -> Option<usize> {
+        match (self, gv) {
+            (Hierarchy::Taxonomy(_), GenValue::Cat(_)) => Some(0),
+            (Hierarchy::Taxonomy(t), GenValue::Node(n)) => Some(t.level_of(*n)),
+            (Hierarchy::Taxonomy(t), GenValue::Suppressed) => Some(t.height()),
+            (Hierarchy::Intervals(l), gv) => l.level_of(gv),
+            _ => None,
+        }
+    }
+
+    /// Whether the generalized value `gv` covers the raw value `value`
+    /// under this hierarchy.
+    pub fn covers(&self, gv: &GenValue, value: &Value) -> bool {
+        match (self, gv, value) {
+            (Hierarchy::Taxonomy(t), GenValue::Node(n), Value::Cat(c)) => {
+                t.node_covers_leaf(*n, *c)
+            }
+            _ => gv.covers_raw(value),
+        }
+    }
+
+    /// The underlying taxonomy, if categorical.
+    pub fn as_taxonomy(&self) -> Option<&Taxonomy> {
+        match self {
+            Hierarchy::Taxonomy(t) => Some(t),
+            Hierarchy::Intervals(_) => None,
+        }
+    }
+
+    /// The underlying interval ladder, if numeric.
+    pub fn as_intervals(&self) -> Option<&IntervalLadder> {
+        match self {
+            Hierarchy::Intervals(l) => Some(l),
+            Hierarchy::Taxonomy(_) => None,
+        }
+    }
+}
+
+impl From<Taxonomy> for Hierarchy {
+    fn from(t: Taxonomy) -> Self {
+        Hierarchy::Taxonomy(t)
+    }
+}
+
+impl From<IntervalLadder> for Hierarchy {
+    fn from(l: IntervalLadder) -> Self {
+        Hierarchy::Intervals(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::IntervalLevel;
+    use crate::taxonomy::marital_status_taxonomy;
+
+    #[test]
+    fn taxonomy_generalization_levels() {
+        let h: Hierarchy = marital_status_taxonomy().into();
+        assert_eq!(h.max_level(), 2);
+        assert_eq!(h.generalize(&Value::Cat(0), 0).unwrap(), GenValue::Cat(0));
+        let g1 = h.generalize(&Value::Cat(0), 1).unwrap();
+        assert!(matches!(g1, GenValue::Node(_)));
+        assert_eq!(h.generalize(&Value::Cat(0), 2).unwrap(), GenValue::Suppressed);
+        assert!(h.generalize(&Value::Cat(0), 3).is_err());
+        assert!(h.generalize(&Value::Int(5), 1).is_err());
+    }
+
+    #[test]
+    fn interval_generalization_levels() {
+        let ladder = IntervalLadder::new_unchecked(vec![IntervalLevel { origin: 25, width: 10 }])
+            .unwrap();
+        let h: Hierarchy = ladder.into();
+        assert_eq!(h.max_level(), 2);
+        assert_eq!(h.generalize(&Value::Int(28), 1).unwrap(), GenValue::Interval { lo: 25, hi: 35 });
+        assert_eq!(h.generalize(&Value::Int(28), 2).unwrap(), GenValue::Suppressed);
+        assert!(h.generalize(&Value::Cat(0), 1).is_err());
+    }
+
+    #[test]
+    fn coverage_through_hierarchy() {
+        let h: Hierarchy = marital_status_taxonomy().into();
+        let married = h.generalize(&Value::Cat(0), 1).unwrap();
+        assert!(h.covers(&married, &Value::Cat(0)));
+        assert!(h.covers(&married, &Value::Cat(1)));
+        assert!(!h.covers(&married, &Value::Cat(2)));
+        assert!(h.covers(&GenValue::Suppressed, &Value::Cat(5)));
+    }
+
+    #[test]
+    fn level_of_for_both_kinds() {
+        let h: Hierarchy = marital_status_taxonomy().into();
+        for level in 0..=h.max_level() {
+            let gv = h.generalize(&Value::Cat(3), level).unwrap();
+            assert_eq!(h.level_of(&gv), Some(level));
+        }
+        let h: Hierarchy =
+            IntervalLadder::uniform(0, &[10, 20]).unwrap().into();
+        for level in 0..=h.max_level() {
+            let gv = h.generalize(&Value::Int(13), level).unwrap();
+            assert_eq!(h.level_of(&gv), Some(level));
+        }
+        assert_eq!(h.level_of(&GenValue::Node(1)), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let h: Hierarchy = marital_status_taxonomy().into();
+        assert!(h.as_taxonomy().is_some());
+        assert!(h.as_intervals().is_none());
+        let h: Hierarchy = IntervalLadder::uniform(0, &[10]).unwrap().into();
+        assert!(h.as_intervals().is_some());
+        assert!(h.as_taxonomy().is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Interval ladders: generalization hierarchies for numeric attributes.
+//!
+//! The paper generalizes ages to half-open ranges such as `(25,35]`
+//! (Table 2) and `(20,40]` (Table 3). An [`IntervalLadder`] is an ordered
+//! list of bucketings (width + origin per level); level 0 releases the raw
+//! value and the level above the last bucketing suppresses it entirely.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::value::GenValue;
+
+/// One bucketing level of an [`IntervalLadder`].
+///
+/// A value `v` falls into the half-open interval `(lo, lo + width]` where
+/// `lo = origin + k·width` for the unique integer `k` with
+/// `lo < v ≤ lo + width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalLevel {
+    /// A point that is the *exclusive lower bound* of some interval.
+    pub origin: i64,
+    /// Interval width; must be positive.
+    pub width: i64,
+}
+
+impl IntervalLevel {
+    /// The interval of this level containing `v`, under the half-open
+    /// convention `(lo, hi]`.
+    pub fn bucket(&self, v: i64) -> (i64, i64) {
+        // Solve origin + k*width < v <= origin + (k+1)*width for integer k,
+        // i.e. k = ceil((v - origin) / width) - 1, in pure integer math.
+        let delta = v - self.origin;
+        let k = if delta > 0 { (delta + self.width - 1) / self.width - 1 } else { delta / self.width - 1 };
+        let lo = self.origin + k * self.width;
+        (lo, lo + self.width)
+    }
+}
+
+/// A ladder of increasingly coarse bucketings for a numeric attribute.
+///
+/// Level 0 is the raw value; levels `1..=n` use `levels[i-1]`; level `n+1`
+/// is full suppression (`*`). Use [`IntervalLadder::new_nested`] when the
+/// ladder must form a proper refinement chain (each coarser interval a union
+/// of finer ones) — required for the anti-monotonicity assumptions of
+/// lattice-search algorithms — or [`IntervalLadder::new_unchecked`] to allow
+/// arbitrary ladders (the paper's T3a/T3b/T4 use three *different* ladders).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalLadder {
+    levels: Vec<IntervalLevel>,
+}
+
+impl IntervalLadder {
+    /// Builds a ladder and verifies it is a refinement chain: each level's
+    /// buckets must be unions of the previous level's buckets, i.e.
+    /// `width[i+1] % width[i] == 0` and
+    /// `(origin[i+1] - origin[i]) % width[i] == 0`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidHierarchy`] on empty ladders, non-positive
+    /// widths, non-increasing widths, or misaligned origins.
+    pub fn new_nested(levels: Vec<IntervalLevel>) -> Result<Self> {
+        Self::validate_basics(&levels)?;
+        for w in levels.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.width % a.width != 0 {
+                return Err(Error::InvalidHierarchy(format!(
+                    "ladder not nested: width {} does not divide width {}",
+                    a.width, b.width
+                )));
+            }
+            if (b.origin - a.origin) % a.width != 0 {
+                return Err(Error::InvalidHierarchy(format!(
+                    "ladder not nested: origins {} and {} misaligned modulo width {}",
+                    a.origin, b.origin, a.width
+                )));
+            }
+        }
+        Ok(IntervalLadder { levels })
+    }
+
+    /// Builds a ladder without the refinement check. Widths must still be
+    /// positive and strictly increasing.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidHierarchy`] on empty ladders, non-positive
+    /// widths, or non-increasing widths.
+    pub fn new_unchecked(levels: Vec<IntervalLevel>) -> Result<Self> {
+        Self::validate_basics(&levels)?;
+        Ok(IntervalLadder { levels })
+    }
+
+    /// Convenience: a nested ladder with a shared origin and the given
+    /// widths.
+    ///
+    /// # Errors
+    /// As [`IntervalLadder::new_nested`].
+    pub fn uniform(origin: i64, widths: &[i64]) -> Result<Self> {
+        Self::new_nested(widths.iter().map(|&width| IntervalLevel { origin, width }).collect())
+    }
+
+    fn validate_basics(levels: &[IntervalLevel]) -> Result<()> {
+        if levels.is_empty() {
+            return Err(Error::InvalidHierarchy("interval ladder has no levels".into()));
+        }
+        for l in levels {
+            if l.width <= 0 {
+                return Err(Error::InvalidHierarchy(format!(
+                    "interval width must be positive, got {}",
+                    l.width
+                )));
+            }
+        }
+        for w in levels.windows(2) {
+            if w[1].width <= w[0].width {
+                return Err(Error::InvalidHierarchy(format!(
+                    "interval widths must strictly increase, got {} then {}",
+                    w[0].width, w[1].width
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Highest admissible generalization level: `levels + 1` (the final
+    /// level is suppression).
+    pub fn max_level(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// The bucketing levels, finest first (excluding raw and suppression).
+    pub fn levels(&self) -> &[IntervalLevel] {
+        &self.levels
+    }
+
+    /// Generalizes `v` to `level`: 0 = raw, `1..=n` = interval at
+    /// `levels[level-1]`, `n+1` = suppressed.
+    ///
+    /// # Errors
+    /// Returns [`Error::LevelOutOfRange`] if `level > max_level()`.
+    pub fn generalize(&self, v: i64, level: usize) -> Result<GenValue> {
+        if level == 0 {
+            return Ok(GenValue::Int(v));
+        }
+        if level == self.max_level() {
+            return Ok(GenValue::Suppressed);
+        }
+        let l = self.levels.get(level - 1).ok_or(Error::LevelOutOfRange {
+            attribute: String::new(),
+            level,
+            max: self.max_level(),
+        })?;
+        let (lo, hi) = l.bucket(v);
+        Ok(GenValue::Interval { lo, hi })
+    }
+
+    /// The generalization level at which `gv` lives, if `gv` could have
+    /// been produced by this ladder: raw → 0, suppressed → `max_level()`,
+    /// interval → the matching bucketing level.
+    pub fn level_of(&self, gv: &GenValue) -> Option<usize> {
+        match gv {
+            GenValue::Int(_) => Some(0),
+            GenValue::Suppressed => Some(self.max_level()),
+            GenValue::Interval { lo, hi } => {
+                let width = hi - lo;
+                self.levels.iter().position(|l| {
+                    l.width == width && (lo - l.origin) % l.width == 0
+                }).map(|i| i + 1)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_matches_paper_t3a() {
+        // T3a ages: width 10, origin 25 → (25,35], (35,45], (45,55].
+        let l = IntervalLevel { origin: 25, width: 10 };
+        assert_eq!(l.bucket(28), (25, 35));
+        assert_eq!(l.bucket(26), (25, 35));
+        assert_eq!(l.bucket(31), (25, 35));
+        assert_eq!(l.bucket(35), (25, 35), "upper bound inclusive");
+        assert_eq!(l.bucket(36), (35, 45));
+        assert_eq!(l.bucket(41), (35, 45));
+        assert_eq!(l.bucket(50), (45, 55));
+        assert_eq!(l.bucket(55), (45, 55));
+        assert_eq!(l.bucket(25), (15, 25), "lower bound exclusive");
+    }
+
+    #[test]
+    fn bucket_matches_paper_t3b_and_t4() {
+        // T3b ages: width 20, origin 15 → (15,35], (35,55].
+        let l = IntervalLevel { origin: 15, width: 20 };
+        assert_eq!(l.bucket(28), (15, 35));
+        assert_eq!(l.bucket(55), (35, 55));
+        // T4 ages: width 20, origin 20 → (20,40], (40,60].
+        let l = IntervalLevel { origin: 20, width: 20 };
+        assert_eq!(l.bucket(28), (20, 40));
+        assert_eq!(l.bucket(39), (20, 40));
+        assert_eq!(l.bucket(41), (40, 60));
+        assert_eq!(l.bucket(60), (40, 60));
+    }
+
+    #[test]
+    fn bucket_handles_negatives_and_boundaries() {
+        let l = IntervalLevel { origin: 0, width: 10 };
+        assert_eq!(l.bucket(-5), (-10, 0));
+        assert_eq!(l.bucket(0), (-10, 0), "0 is the inclusive upper bound");
+        assert_eq!(l.bucket(-10), (-20, -10));
+        assert_eq!(l.bucket(1), (0, 10));
+        assert_eq!(l.bucket(10), (0, 10));
+    }
+
+    #[test]
+    fn nested_validation() {
+        // 10 then 20 with aligned origins: ok.
+        assert!(IntervalLadder::new_nested(vec![
+            IntervalLevel { origin: 25, width: 10 },
+            IntervalLevel { origin: 15, width: 20 },
+        ])
+        .is_ok());
+        // Misaligned origin (difference not multiple of 10): err.
+        assert!(IntervalLadder::new_nested(vec![
+            IntervalLevel { origin: 25, width: 10 },
+            IntervalLevel { origin: 20, width: 20 },
+        ])
+        .is_err());
+        // Width not a multiple: err.
+        assert!(IntervalLadder::new_nested(vec![
+            IntervalLevel { origin: 0, width: 10 },
+            IntervalLevel { origin: 0, width: 25 },
+        ])
+        .is_err());
+        // Unchecked allows the misaligned one.
+        assert!(IntervalLadder::new_unchecked(vec![
+            IntervalLevel { origin: 25, width: 10 },
+            IntervalLevel { origin: 20, width: 20 },
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn basic_validation() {
+        assert!(IntervalLadder::new_unchecked(vec![]).is_err());
+        assert!(IntervalLadder::new_unchecked(vec![IntervalLevel { origin: 0, width: 0 }]).is_err());
+        assert!(IntervalLadder::new_unchecked(vec![
+            IntervalLevel { origin: 0, width: 10 },
+            IntervalLevel { origin: 0, width: 10 },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn generalize_levels() {
+        let ladder = IntervalLadder::uniform(0, &[10, 20]).unwrap();
+        assert_eq!(ladder.max_level(), 3);
+        assert_eq!(ladder.generalize(17, 0).unwrap(), GenValue::Int(17));
+        assert_eq!(ladder.generalize(17, 1).unwrap(), GenValue::Interval { lo: 10, hi: 20 });
+        assert_eq!(ladder.generalize(17, 2).unwrap(), GenValue::Interval { lo: 0, hi: 20 });
+        assert_eq!(ladder.generalize(17, 3).unwrap(), GenValue::Suppressed);
+        assert!(ladder.generalize(17, 4).is_err());
+    }
+
+    #[test]
+    fn level_of_roundtrip() {
+        let ladder = IntervalLadder::uniform(5, &[10, 30]).unwrap();
+        for level in 0..=ladder.max_level() {
+            let gv = ladder.generalize(22, level).unwrap();
+            assert_eq!(ladder.level_of(&gv), Some(level), "level {level} roundtrip");
+        }
+        // A foreign interval is not recognized.
+        assert_eq!(ladder.level_of(&GenValue::Interval { lo: 0, hi: 7 }), None);
+        assert_eq!(ladder.level_of(&GenValue::Cat(0)), None);
+    }
+}

@@ -1,0 +1,370 @@
+//! Attribute and schema definitions.
+//!
+//! A [`Schema`] describes the attributes of a microdata table. Each
+//! [`Attribute`] carries a [`Role`] (quasi-identifier, sensitive, or
+//! insensitive), a domain, and optionally a generalization
+//! `Hierarchy` used by disclosure control
+//! algorithms.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::hierarchy::Hierarchy;
+use crate::value::Value;
+
+/// The disclosure-control role of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Role {
+    /// Part of the quasi-identifier: combinations of these attributes may
+    /// re-identify individuals and are subject to generalization.
+    QuasiIdentifier,
+    /// A sensitive attribute whose association with an individual must be
+    /// protected (e.g. disease, marital status in the paper's example).
+    Sensitive,
+    /// Neither quasi-identifying nor sensitive; released as-is.
+    Insensitive,
+}
+
+/// The value domain of an attribute.
+#[derive(Debug, Clone)]
+pub enum Domain {
+    /// Integer-valued attribute with an (inclusive) admissible range.
+    Integer {
+        /// Minimum admissible value.
+        min: i64,
+        /// Maximum admissible value.
+        max: i64,
+    },
+    /// Categorical attribute; values are indices into `labels`.
+    Categorical {
+        /// The category labels; a [`Value::Cat`] is an index into this list.
+        labels: Vec<String>,
+    },
+}
+
+impl Domain {
+    /// Number of distinct admissible values, if finite and known.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Integer { min, max } => {
+                usize::try_from(max.checked_sub(*min)?.checked_add(1)?).ok()
+            }
+            Domain::Categorical { labels } => Some(labels.len()),
+        }
+    }
+
+    /// Whether the domain admits `value`.
+    pub fn contains(&self, value: &Value) -> bool {
+        match (self, value) {
+            (Domain::Integer { min, max }, Value::Int(v)) => min <= v && v <= max,
+            (Domain::Categorical { labels }, Value::Cat(c)) => (*c as usize) < labels.len(),
+            _ => false,
+        }
+    }
+}
+
+/// One attribute (column) of a microdata table.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    name: String,
+    role: Role,
+    domain: Domain,
+    hierarchy: Option<Hierarchy>,
+}
+
+impl Attribute {
+    /// Creates an integer attribute.
+    pub fn integer(name: impl Into<String>, role: Role, min: i64, max: i64) -> Self {
+        Attribute { name: name.into(), role, domain: Domain::Integer { min, max }, hierarchy: None }
+    }
+
+    /// Creates a categorical attribute from its category labels.
+    pub fn categorical<S: Into<String>>(
+        name: impl Into<String>,
+        role: Role,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Attribute {
+            name: name.into(),
+            role,
+            domain: Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() },
+            hierarchy: None,
+        }
+    }
+
+    /// Creates a categorical attribute whose category labels are derived
+    /// from the taxonomy's leaves (in leaf order), guaranteeing that
+    /// category ids and taxonomy leaf indices agree.
+    pub fn from_taxonomy(
+        name: impl Into<String>,
+        role: Role,
+        taxonomy: crate::taxonomy::Taxonomy,
+    ) -> Self {
+        let labels: Vec<String> = taxonomy.leaf_labels().iter().map(|s| s.to_string()).collect();
+        Attribute {
+            name: name.into(),
+            role,
+            domain: Domain::Categorical { labels },
+            hierarchy: Some(Hierarchy::Taxonomy(taxonomy)),
+        }
+    }
+
+    /// Attaches a generalization hierarchy, consuming and returning `self`
+    /// for builder-style chaining.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidHierarchy`] if the hierarchy is incompatible
+    /// with the attribute's domain (e.g. a taxonomy whose leaf count differs
+    /// from the number of category labels).
+    pub fn with_hierarchy(mut self, hierarchy: Hierarchy) -> Result<Self> {
+        match (&self.domain, &hierarchy) {
+            (Domain::Categorical { labels }, Hierarchy::Taxonomy(t)) => {
+                if t.leaf_count() != labels.len() {
+                    return Err(Error::InvalidHierarchy(format!(
+                        "taxonomy has {} leaves but attribute '{}' has {} categories",
+                        t.leaf_count(),
+                        self.name,
+                        labels.len()
+                    )));
+                }
+                // Category ids index the taxonomy's leaf table, so the label
+                // orders must agree exactly.
+                for (i, leaf) in t.leaf_labels().iter().enumerate() {
+                    if *leaf != labels[i] {
+                        return Err(Error::InvalidHierarchy(format!(
+                            "taxonomy leaf {} is '{}' but attribute '{}' category {} is '{}'",
+                            i, leaf, self.name, i, labels[i]
+                        )));
+                    }
+                }
+            }
+            (Domain::Integer { .. }, Hierarchy::Intervals(_)) => {}
+            (Domain::Integer { .. }, Hierarchy::Taxonomy(_)) => {
+                return Err(Error::InvalidHierarchy(format!(
+                    "taxonomy hierarchy on integer attribute '{}'",
+                    self.name
+                )));
+            }
+            (Domain::Categorical { .. }, Hierarchy::Intervals(_)) => {
+                return Err(Error::InvalidHierarchy(format!(
+                    "interval hierarchy on categorical attribute '{}'",
+                    self.name
+                )));
+            }
+        }
+        self.hierarchy = Some(hierarchy);
+        Ok(self)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's disclosure-control role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The attribute's value domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The attached generalization hierarchy, if any.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Looks up a category id by label. Only meaningful for categorical
+    /// attributes.
+    pub fn category_id(&self, label: &str) -> Option<u32> {
+        match &self.domain {
+            Domain::Categorical { labels } => {
+                labels.iter().position(|l| l == label).map(|i| i as u32)
+            }
+            Domain::Integer { .. } => None,
+        }
+    }
+
+    /// The label of category `id`, if this is a categorical attribute and
+    /// the id is in range.
+    pub fn category_label(&self, id: u32) -> Option<&str> {
+        match &self.domain {
+            Domain::Categorical { labels } => labels.get(id as usize).map(String::as_str),
+            Domain::Integer { .. } => None,
+        }
+    }
+
+    /// Renders a raw value in this attribute's domain for display.
+    pub fn render(&self, value: &Value) -> String {
+        match value {
+            Value::Int(v) => v.to_string(),
+            Value::Cat(c) => self
+                .category_label(*c)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("<cat {c}>")),
+        }
+    }
+}
+
+/// An ordered collection of attributes describing a microdata table.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    qi_indices: Vec<usize>,
+    sensitive_indices: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema from an attribute list.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidDataset`] if two attributes share a name or
+    /// the attribute list is empty.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Arc<Self>> {
+        if attributes.is_empty() {
+            return Err(Error::InvalidDataset("schema must have at least one attribute".into()));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::InvalidDataset(format!("duplicate attribute name '{}'", a.name)));
+            }
+        }
+        let qi_indices = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == Role::QuasiIdentifier)
+            .map(|(i, _)| i)
+            .collect();
+        let sensitive_indices = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == Role::Sensitive)
+            .map(|(i, _)| i)
+            .collect();
+        Ok(Arc::new(Schema { attributes, qi_indices, sensitive_indices }))
+    }
+
+    /// All attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has zero attributes (never true for a constructed
+    /// schema; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attribute at column `idx`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Column indices of the quasi-identifier attributes, in schema order.
+    pub fn quasi_identifiers(&self) -> &[usize] {
+        &self.qi_indices
+    }
+
+    /// Column indices of the sensitive attributes, in schema order.
+    pub fn sensitive(&self) -> &[usize] {
+        &self.sensitive_indices
+    }
+
+    /// Index of the attribute named `name`.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownAttribute`] if no attribute has that name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::categorical("zip", Role::QuasiIdentifier, ["13053", "13268"]),
+            Attribute::integer("age", Role::QuasiIdentifier, 0, 120),
+            Attribute::categorical("status", Role::Sensitive, ["a", "b", "c"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_partitions_roles() {
+        let s = sample_schema();
+        assert_eq!(s.quasi_identifiers(), &[0, 1]);
+        assert_eq!(s.sensitive(), &[2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn index_of_finds_attributes() {
+        let s = sample_schema();
+        assert_eq!(s.index_of("age").unwrap(), 1);
+        assert!(matches!(s.index_of("nope"), Err(Error::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Attribute::integer("x", Role::Insensitive, 0, 1),
+            Attribute::integer("x", Role::Insensitive, 0, 1),
+        ]);
+        assert!(matches!(r, Err(Error::InvalidDataset(_))));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn domain_cardinality_and_containment() {
+        let d = Domain::Integer { min: 10, max: 19 };
+        assert_eq!(d.cardinality(), Some(10));
+        assert!(d.contains(&Value::Int(10)));
+        assert!(d.contains(&Value::Int(19)));
+        assert!(!d.contains(&Value::Int(20)));
+        assert!(!d.contains(&Value::Cat(0)));
+
+        let d = Domain::Categorical { labels: vec!["a".into(), "b".into()] };
+        assert_eq!(d.cardinality(), Some(2));
+        assert!(d.contains(&Value::Cat(1)));
+        assert!(!d.contains(&Value::Cat(2)));
+        assert!(!d.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn category_lookup_roundtrip() {
+        let s = sample_schema();
+        let zip = s.attribute(0);
+        assert_eq!(zip.category_id("13268"), Some(1));
+        assert_eq!(zip.category_label(1), Some("13268"));
+        assert_eq!(zip.category_id("99999"), None);
+        assert_eq!(zip.category_label(9), None);
+        // Integer attributes have no categories.
+        assert_eq!(s.attribute(1).category_id("13268"), None);
+        assert_eq!(s.attribute(1).category_label(0), None);
+    }
+
+    #[test]
+    fn render_values() {
+        let s = sample_schema();
+        assert_eq!(s.attribute(0).render(&Value::Cat(0)), "13053");
+        assert_eq!(s.attribute(1).render(&Value::Int(42)), "42");
+        assert_eq!(s.attribute(0).render(&Value::Cat(77)), "<cat 77>");
+    }
+}

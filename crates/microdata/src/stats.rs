@@ -1,0 +1,196 @@
+//! Dataset profiling: how identifying is the raw data?
+//!
+//! Before anonymizing, publishers profile the quasi-identifier: how many
+//! records are unique on each QI attribute alone, on pairs, on the whole
+//! combination? The profile explains *why* generalization is needed and
+//! which attributes drive re-identification — the operational prelude to
+//! the paper's per-tuple privacy measurements.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::value::Value;
+
+/// Uniqueness statistics of one column subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetProfile {
+    /// The column indices of the subset, ascending.
+    pub columns: Vec<usize>,
+    /// Number of distinct value combinations.
+    pub distinct_combinations: usize,
+    /// Number of records whose combination is unique (class of size 1).
+    pub unique_records: usize,
+    /// Size of the smallest combination group (the subset's scalar "k").
+    pub min_group: usize,
+}
+
+/// Computes the profile of one column subset.
+///
+/// # Panics
+/// Panics if `columns` is empty or contains an out-of-range index.
+pub fn subset_profile(dataset: &Dataset, columns: &[usize]) -> SubsetProfile {
+    assert!(!columns.is_empty(), "profile needs at least one column");
+    for &c in columns {
+        assert!(c < dataset.schema().len(), "column {c} out of range");
+    }
+    let mut sorted: Vec<usize> = columns.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    for t in 0..dataset.len() {
+        let key: Vec<Value> = sorted.iter().map(|&c| *dataset.value(t, c)).collect();
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    let unique_records = groups.values().filter(|&&g| g == 1).count();
+    let min_group = groups.values().copied().min().unwrap_or(0);
+    SubsetProfile {
+        columns: sorted,
+        distinct_combinations: groups.len(),
+        unique_records,
+        min_group,
+    }
+}
+
+/// The uniqueness profile over every single quasi-identifier, every QI
+/// pair, and the full quasi-identifier, ordered by subset size then
+/// lexicographically. The full-QI entry is always last.
+pub fn uniqueness_profile(dataset: &Dataset) -> Vec<SubsetProfile> {
+    let qi = dataset.schema().quasi_identifiers().to_vec();
+    let mut out = Vec::new();
+    for &c in &qi {
+        out.push(subset_profile(dataset, &[c]));
+    }
+    for i in 0..qi.len() {
+        for j in (i + 1)..qi.len() {
+            out.push(subset_profile(dataset, &[qi[i], qi[j]]));
+        }
+    }
+    if qi.len() > 2 {
+        out.push(subset_profile(dataset, &qi));
+    }
+    out
+}
+
+/// Renders the profile as an aligned text table with attribute names.
+pub fn render_profile(dataset: &Dataset, profiles: &[SubsetProfile]) -> String {
+    let schema = dataset.schema();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:>9} {:>8} {:>7}\n",
+        "quasi-identifier subset", "distinct", "unique", "min |g|"
+    ));
+    for p in profiles {
+        let names: Vec<&str> =
+            p.columns.iter().map(|&c| schema.attribute(c).name()).collect();
+        out.push_str(&format!(
+            "{:<40} {:>9} {:>8} {:>7}\n",
+            names.join(" + "),
+            p.distinct_combinations,
+            p.unique_records,
+            p.min_group
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::schema::{Attribute, Role, Schema};
+
+    fn dataset() -> Arc<Dataset> {
+        let schema = Schema::new(vec![
+            Attribute::integer("age", Role::QuasiIdentifier, 0, 100),
+            Attribute::categorical("sex", Role::QuasiIdentifier, ["F", "M"]),
+            Attribute::categorical("zip", Role::QuasiIdentifier, ["a", "b"]),
+            Attribute::categorical("d", Role::Sensitive, ["x", "y"]),
+        ])
+        .unwrap();
+        Dataset::new(
+            schema,
+            vec![
+                vec![Value::Int(30), Value::Cat(0), Value::Cat(0), Value::Cat(0)],
+                vec![Value::Int(30), Value::Cat(0), Value::Cat(1), Value::Cat(1)],
+                vec![Value::Int(30), Value::Cat(1), Value::Cat(0), Value::Cat(0)],
+                vec![Value::Int(40), Value::Cat(1), Value::Cat(0), Value::Cat(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_column_profiles() {
+        let ds = dataset();
+        let p = subset_profile(&ds, &[0]);
+        // Ages: 30×3, 40×1.
+        assert_eq!(p.distinct_combinations, 2);
+        assert_eq!(p.unique_records, 1);
+        assert_eq!(p.min_group, 1);
+        let p = subset_profile(&ds, &[1]);
+        // Sex: F×2, M×2.
+        assert_eq!(p.distinct_combinations, 2);
+        assert_eq!(p.unique_records, 0);
+        assert_eq!(p.min_group, 2);
+    }
+
+    #[test]
+    fn full_qi_profile() {
+        let ds = dataset();
+        let p = subset_profile(&ds, &[0, 1, 2]);
+        // All four combinations distinct.
+        assert_eq!(p.distinct_combinations, 4);
+        assert_eq!(p.unique_records, 4);
+        assert_eq!(p.min_group, 1);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_columns_are_normalized() {
+        let ds = dataset();
+        let a = subset_profile(&ds, &[2, 0, 2]);
+        let b = subset_profile(&ds, &[0, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.columns, vec![0, 2]);
+    }
+
+    #[test]
+    fn uniqueness_profile_covers_singles_pairs_and_full() {
+        let ds = dataset();
+        let profiles = uniqueness_profile(&ds);
+        // 3 singles + 3 pairs + 1 full.
+        assert_eq!(profiles.len(), 7);
+        assert_eq!(profiles.last().unwrap().columns, vec![0, 1, 2]);
+        // Monotonicity: adding columns cannot decrease uniqueness.
+        let single_age = &profiles[0];
+        let full = profiles.last().unwrap();
+        assert!(full.unique_records >= single_age.unique_records);
+    }
+
+    #[test]
+    fn rendering_contains_names_and_counts() {
+        let ds = dataset();
+        let profiles = uniqueness_profile(&ds);
+        let s = render_profile(&ds, &profiles);
+        assert!(s.contains("age + sex"));
+        assert!(s.contains("age + sex + zip"));
+        assert!(s.contains("distinct"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_subset_rejected() {
+        let ds = dataset();
+        let _ = subset_profile(&ds, &[]);
+    }
+
+    #[test]
+    fn empty_dataset_profile() {
+        let schema = Schema::new(vec![Attribute::integer("a", Role::QuasiIdentifier, 0, 9)])
+            .unwrap();
+        let ds = Dataset::new(schema, vec![]).unwrap();
+        let p = subset_profile(&ds, &[0]);
+        assert_eq!(p.distinct_combinations, 0);
+        assert_eq!(p.min_group, 0);
+    }
+}

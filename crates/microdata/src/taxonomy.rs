@@ -1,0 +1,553 @@
+//! Balanced taxonomy trees for categorical generalization.
+//!
+//! A [`Taxonomy`] is a value generalization hierarchy (VGH) in the sense of
+//! Sweeney/Samarati: leaves are the category labels of an attribute and each
+//! internal node is a more general value covering the leaves below it. The
+//! tree must be *balanced* (all leaves at the same depth) so that "level ℓ"
+//! full-domain recoding is well defined: level 0 is the leaf itself, level
+//! `height` is the root (rendered `*`).
+
+use crate::error::{Error, Result};
+use crate::value::NodeId;
+
+/// One node of a taxonomy arena.
+#[derive(Debug, Clone)]
+struct TaxNode {
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Distance from this node down to its (equidistant) leaves.
+    height_above_leaf: usize,
+    /// Number of leaves in this node's subtree.
+    leaf_count: usize,
+}
+
+/// A balanced generalization taxonomy over categorical values.
+///
+/// Nodes are arena-allocated; node 0 is always the root. Leaves are indexed
+/// by *category id* in the order they were declared, matching the category
+/// ids of the owning attribute's domain.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    nodes: Vec<TaxNode>,
+    /// `leaves[cat_id]` is the node id of that category's leaf.
+    leaves: Vec<NodeId>,
+    /// Height of the tree: number of generalization steps from leaf to root.
+    height: usize,
+    /// `ancestors[cat_id * (height + 1) + level]` is the node id of the
+    /// ancestor of leaf `cat_id` at generalization level `level`.
+    ancestors: Vec<NodeId>,
+}
+
+impl Taxonomy {
+    /// Starts building a taxonomy. The `root_label` is conventionally `"*"`.
+    pub fn builder(root_label: impl Into<String>) -> TaxonomyBuilder {
+        TaxonomyBuilder::new(root_label.into())
+    }
+
+    /// Builds the canonical two-level taxonomy: every label is a direct
+    /// child of `*`. Generalization level 1 suppresses the value entirely.
+    pub fn flat<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Result<Taxonomy> {
+        let mut b = Taxonomy::builder("*");
+        for l in labels {
+            b.leaf(l);
+        }
+        b.build()
+    }
+
+    /// Builds a digit/character-masking taxonomy from string values, as used
+    /// for zip codes in the paper (`13053 → 1305* → 130** → …`).
+    ///
+    /// ```
+    /// use anoncmp_microdata::prelude::*;
+    /// let zips = ["13053", "13268", "13052"];
+    /// let tax = Taxonomy::masking(&zips, &[1, 2, 3, 4]).unwrap();
+    /// let cat = tax.leaf_labels().iter().position(|l| *l == "13053").unwrap() as u32;
+    /// let node = tax.ancestor_at_level(cat, 1).unwrap();
+    /// assert_eq!(tax.label(node), "1305*");
+    /// assert_eq!(tax.leaves_under(node), 2); // 13053 and 13052
+    /// ```
+    ///
+    /// `mask_steps[i]` is the *total* number of trailing characters masked at
+    /// level `i + 1`; it must be strictly increasing. A final all-masked
+    /// level (the root `*`) is added automatically if the last step does not
+    /// already mask every character of every value.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidHierarchy`] if `values` is empty, values have
+    /// differing lengths, `mask_steps` is not strictly increasing, or a step
+    /// exceeds the value length.
+    pub fn masking<S: AsRef<str>>(values: &[S], mask_steps: &[usize]) -> Result<Taxonomy> {
+        if values.is_empty() {
+            return Err(Error::InvalidHierarchy("masking taxonomy needs at least one value".into()));
+        }
+        let width = values[0].as_ref().chars().count();
+        for v in values {
+            if v.as_ref().chars().count() != width {
+                return Err(Error::InvalidHierarchy(format!(
+                    "masking taxonomy requires equal-length values; '{}' differs",
+                    v.as_ref()
+                )));
+            }
+        }
+        let mut steps: Vec<usize> = Vec::with_capacity(mask_steps.len() + 1);
+        for &s in mask_steps {
+            if s == 0 || s > width {
+                return Err(Error::InvalidHierarchy(format!(
+                    "mask step {s} out of range for width-{width} values"
+                )));
+            }
+            if let Some(&last) = steps.last() {
+                if s <= last {
+                    return Err(Error::InvalidHierarchy(
+                        "mask steps must be strictly increasing".into(),
+                    ));
+                }
+            }
+            steps.push(s);
+        }
+        if steps.last() != Some(&width) {
+            steps.push(width);
+        }
+
+        let mask = |v: &str, n: usize| -> String {
+            let keep = width - n;
+            let mut out: String = v.chars().take(keep).collect();
+            out.extend(std::iter::repeat_n('*', n));
+            out
+        };
+
+        // Distinct values in first-appearance order become the leaves.
+        let mut distinct: Vec<&str> = Vec::with_capacity(values.len());
+        for v in values {
+            let v = v.as_ref();
+            if !distinct.contains(&v) {
+                distinct.push(v);
+            }
+        }
+
+        /// Declares, under the current builder parent (which corresponds to
+        /// the last entry of `steps`), one child per distinct rendering at
+        /// the next-finer step, recursing until the leaves.
+        fn insert(
+            b: &mut TaxonomyBuilder,
+            values: &[&str],
+            steps: &[usize],
+            mask: &dyn Fn(&str, usize) -> String,
+        ) {
+            let (_, rest) = steps.split_last().expect("insert is called with ≥1 step");
+            if rest.is_empty() {
+                for v in values {
+                    b.leaf(*v);
+                }
+                return;
+            }
+            let sub_step = rest[rest.len() - 1];
+            let mut groups: Vec<(String, Vec<&str>)> = Vec::new();
+            for v in values {
+                let key = mask(v, sub_step);
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, g)) => g.push(v),
+                    None => groups.push((key, vec![v])),
+                }
+            }
+            for (key, group) in groups {
+                b.node(key, |inner| insert(inner, &group, rest, mask));
+            }
+        }
+
+        let mut b = Taxonomy::builder("*");
+        insert(&mut b, &distinct, &steps, &mask);
+        b.build()
+    }
+
+    /// Number of generalization steps from a leaf to the root.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of leaves (categories).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total number of nodes, internal and leaf.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// The node id of the leaf for category `cat`.
+    pub fn leaf(&self, cat: u32) -> NodeId {
+        self.leaves[cat as usize]
+    }
+
+    /// The label of node `node`.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.nodes[node as usize].label
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node as usize].parent
+    }
+
+    /// The children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node as usize].children
+    }
+
+    /// Number of leaves in the subtree rooted at `node`.
+    pub fn leaves_under(&self, node: NodeId) -> usize {
+        self.nodes[node as usize].leaf_count
+    }
+
+    /// Generalization level of `node`: 0 for leaves, `height()` for the root.
+    pub fn level_of(&self, node: NodeId) -> usize {
+        self.nodes[node as usize].height_above_leaf
+    }
+
+    /// The ancestor of category `cat`'s leaf at generalization level
+    /// `level` (0 = the leaf itself, `height()` = the root). O(1).
+    ///
+    /// # Errors
+    /// Returns [`Error::LevelOutOfRange`] if `level > height()`.
+    pub fn ancestor_at_level(&self, cat: u32, level: usize) -> Result<NodeId> {
+        if level > self.height {
+            return Err(Error::LevelOutOfRange {
+                attribute: String::new(),
+                level,
+                max: self.height,
+            });
+        }
+        Ok(self.ancestors[cat as usize * (self.height + 1) + level])
+    }
+
+    /// Whether the subtree of `node` contains the leaf of category `cat`.
+    pub fn node_covers_leaf(&self, node: NodeId, cat: u32) -> bool {
+        let mut cur = Some(self.leaves[cat as usize]);
+        while let Some(n) = cur {
+            if n == node {
+                return true;
+            }
+            cur = self.nodes[n as usize].parent;
+        }
+        false
+    }
+
+    /// Iterates the category ids of all leaves under `node`.
+    pub fn leaf_cats_under(&self, node: NodeId) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.leaves_under(node));
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            let tn = &self.nodes[n as usize];
+            if tn.children.is_empty() {
+                if let Some(cat) = self.leaves.iter().position(|&l| l == n) {
+                    out.push(cat as u32);
+                }
+            } else {
+                stack.extend_from_slice(&tn.children);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The leaf labels, in category-id order.
+    pub fn leaf_labels(&self) -> Vec<&str> {
+        self.leaves.iter().map(|&l| self.label(l)).collect()
+    }
+}
+
+/// Builder for [`Taxonomy`]. Nodes are declared top-down; leaves are
+/// assigned category ids in declaration order.
+pub struct TaxonomyBuilder {
+    nodes: Vec<TaxNode>,
+    leaves: Vec<NodeId>,
+    /// Stack of open internal nodes; the last is the current parent.
+    open: Vec<NodeId>,
+}
+
+impl TaxonomyBuilder {
+    fn new(root_label: String) -> Self {
+        let root = TaxNode {
+            label: root_label,
+            parent: None,
+            children: Vec::new(),
+            height_above_leaf: 0,
+            leaf_count: 0,
+        };
+        TaxonomyBuilder { nodes: vec![root], leaves: Vec::new(), open: vec![0] }
+    }
+
+    fn push_node(&mut self, label: String) -> NodeId {
+        let parent = *self.open.last().expect("builder always has an open node");
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(TaxNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            height_above_leaf: 0,
+            leaf_count: 0,
+        });
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// Declares an internal node under the current parent; `f` declares its
+    /// children.
+    pub fn node(&mut self, label: impl Into<String>, f: impl FnOnce(&mut Self)) -> &mut Self {
+        let id = self.push_node(label.into());
+        self.open.push(id);
+        f(self);
+        self.open.pop();
+        self
+    }
+
+    /// Declares a leaf (category) under the current parent.
+    pub fn leaf(&mut self, label: impl Into<String>) -> &mut Self {
+        let id = self.push_node(label.into());
+        self.leaves.push(id);
+        self
+    }
+
+    /// Finalizes the taxonomy.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidHierarchy`] if there are no leaves, if an
+    /// internal node has no children, or if the tree is unbalanced.
+    pub fn build(mut self) -> Result<Taxonomy> {
+        if self.leaves.is_empty() {
+            return Err(Error::InvalidHierarchy("taxonomy has no leaves".into()));
+        }
+        // Verify every non-leaf node has children (a childless internal node
+        // would have been declared with `node` but never populated).
+        let leaf_set: std::collections::HashSet<NodeId> = self.leaves.iter().copied().collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let is_leaf = leaf_set.contains(&(i as NodeId));
+            if !is_leaf && n.children.is_empty() && self.nodes.len() > 1 {
+                return Err(Error::InvalidHierarchy(format!(
+                    "internal node '{}' has no children",
+                    n.label
+                )));
+            }
+        }
+        // Compute depths, check balance.
+        let mut depth = vec![0usize; self.nodes.len()];
+        for i in 1..self.nodes.len() {
+            let p = self.nodes[i].parent.expect("non-root has parent") as usize;
+            depth[i] = depth[p] + 1;
+        }
+        let height = depth[self.leaves[0] as usize];
+        if self.leaves.iter().any(|&l| depth[l as usize] != height) {
+            return Err(Error::InvalidHierarchy(
+                "taxonomy is unbalanced: leaves at differing depths".into(),
+            ));
+        }
+        if height == 0 && self.nodes.len() > 1 {
+            return Err(Error::InvalidHierarchy("root cannot also be a leaf".into()));
+        }
+        // Special case: a single node that is both root and the only leaf is
+        // degenerate; reject it for clarity.
+        if self.nodes.len() == 1 {
+            return Err(Error::InvalidHierarchy("taxonomy must have a root above its leaves".into()));
+        }
+        // height_above_leaf and leaf counts, bottom-up (children have larger
+        // arena indices than parents, so reverse index order works).
+        for i in (0..self.nodes.len()).rev() {
+            let node = &self.nodes[i];
+            if node.children.is_empty() {
+                self.nodes[i].height_above_leaf = 0;
+                self.nodes[i].leaf_count = 1;
+            } else {
+                let mut h = 0usize;
+                let mut lc = 0usize;
+                for &c in &self.nodes[i].children.clone() {
+                    h = h.max(self.nodes[c as usize].height_above_leaf + 1);
+                    lc += self.nodes[c as usize].leaf_count;
+                }
+                self.nodes[i].height_above_leaf = h;
+                self.nodes[i].leaf_count = lc;
+            }
+        }
+        debug_assert_eq!(self.nodes[0].height_above_leaf, height);
+        // Ancestor table.
+        let mut ancestors = vec![0 as NodeId; self.leaves.len() * (height + 1)];
+        for (cat, &leaf) in self.leaves.iter().enumerate() {
+            let mut cur = leaf;
+            for level in 0..=height {
+                ancestors[cat * (height + 1) + level] = cur;
+                if let Some(p) = self.nodes[cur as usize].parent {
+                    cur = p;
+                }
+            }
+        }
+        Ok(Taxonomy { nodes: self.nodes, leaves: self.leaves, height, ancestors })
+    }
+}
+
+/// Builds the paper's marital-status taxonomy (§1, Table 2):
+/// `* → {Married, Not Married}`, with `Married = {CF-Spouse, Spouse Present}`
+/// and `Not Married = {Separated, Never Married, Divorced, Spouse Absent}`.
+///
+/// Leaf category ids follow the order: CF-Spouse, Spouse Present, Separated,
+/// Never Married, Divorced, Spouse Absent.
+pub fn marital_status_taxonomy() -> Taxonomy {
+    let mut b = Taxonomy::builder("*");
+    b.node("Married", |b| {
+        b.leaf("CF-Spouse");
+        b.leaf("Spouse Present");
+    });
+    b.node("Not Married", |b| {
+        b.leaf("Separated");
+        b.leaf("Never Married");
+        b.leaf("Divorced");
+        b.leaf("Spouse Absent");
+    });
+    b.build().expect("static taxonomy is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marital_status_structure() {
+        let t = marital_status_taxonomy();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaf_count(), 6);
+        assert_eq!(t.label(t.root()), "*");
+        // CF-Spouse (cat 0) generalizes to "Married" at level 1.
+        let n = t.ancestor_at_level(0, 1).unwrap();
+        assert_eq!(t.label(n), "Married");
+        assert_eq!(t.leaves_under(n), 2);
+        // Divorced (cat 4) generalizes to "Not Married" at level 1.
+        let n = t.ancestor_at_level(4, 1).unwrap();
+        assert_eq!(t.label(n), "Not Married");
+        assert_eq!(t.leaves_under(n), 4);
+        // Level 2 is the root.
+        assert_eq!(t.ancestor_at_level(3, 2).unwrap(), t.root());
+        // Level 0 is the leaf.
+        assert_eq!(t.label(t.ancestor_at_level(1, 0).unwrap()), "Spouse Present");
+    }
+
+    #[test]
+    fn level_out_of_range_rejected() {
+        let t = marital_status_taxonomy();
+        assert!(matches!(t.ancestor_at_level(0, 3), Err(Error::LevelOutOfRange { .. })));
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let t = marital_status_taxonomy();
+        let married = t.ancestor_at_level(0, 1).unwrap();
+        assert!(t.node_covers_leaf(married, 0)); // CF-Spouse
+        assert!(t.node_covers_leaf(married, 1)); // Spouse Present
+        assert!(!t.node_covers_leaf(married, 2)); // Separated
+        assert!(t.node_covers_leaf(t.root(), 5));
+        assert_eq!(t.leaf_cats_under(married), vec![0, 1]);
+        assert_eq!(t.leaf_cats_under(t.root()).len(), 6);
+    }
+
+    #[test]
+    fn flat_taxonomy() {
+        let t = Taxonomy::flat(["a", "b", "c"]).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.ancestor_at_level(2, 1).unwrap(), t.root());
+        assert_eq!(t.leaf_labels(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn masking_zipcodes_matches_paper() {
+        // The six distinct zip codes of Table 1.
+        let zips = ["13053", "13268", "13253", "13250", "13052", "13269"];
+        let t = Taxonomy::masking(&zips, &[1, 2, 3, 4]).unwrap();
+        // Levels: 0 leaf, 1 mask1, 2 mask2, 3 mask3, 4 mask4, 5 root (mask5).
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.leaf_count(), 6);
+        // Leaves are grouped by prefix, so category ids follow leaf order,
+        // not input order; resolve them via the labels.
+        let cat = |label: &str| {
+            t.leaf_labels().iter().position(|l| *l == label).expect("leaf exists") as u32
+        };
+        // 13053 at level 1 → "1305*", covering 13053 and 13052.
+        let n = t.ancestor_at_level(cat("13053"), 1).unwrap();
+        assert_eq!(t.label(n), "1305*");
+        assert_eq!(t.leaves_under(n), 2);
+        // 13268 at level 2 → "132**", covering 13268, 13253, 13250, 13269.
+        let n = t.ancestor_at_level(cat("13268"), 2).unwrap();
+        assert_eq!(t.label(n), "132**");
+        assert_eq!(t.leaves_under(n), 4);
+        // 13053 at level 2 → "130**" covering 13053 and 13052.
+        let n = t.ancestor_at_level(cat("13053"), 2).unwrap();
+        assert_eq!(t.label(n), "130**");
+        assert_eq!(t.leaves_under(n), 2);
+        // Level 3 → "13***" covering all 6.
+        let n = t.ancestor_at_level(cat("13053"), 3).unwrap();
+        assert_eq!(t.label(n), "13***");
+        assert_eq!(t.leaves_under(n), 6);
+        // Top is the root.
+        assert_eq!(t.ancestor_at_level(0, 5).unwrap(), t.root());
+    }
+
+    #[test]
+    fn masking_rejects_bad_inputs() {
+        let zips = ["13053", "13268"];
+        assert!(Taxonomy::masking(&zips, &[0]).is_err());
+        assert!(Taxonomy::masking(&zips, &[6]).is_err());
+        assert!(Taxonomy::masking(&zips, &[2, 2]).is_err());
+        assert!(Taxonomy::masking(&zips, &[3, 1]).is_err());
+        assert!(Taxonomy::masking(&["abc", "ab"], &[1]).is_err());
+        let empty: [&str; 0] = [];
+        assert!(Taxonomy::masking(&empty, &[1]).is_err());
+    }
+
+    #[test]
+    fn masking_adds_final_star_level() {
+        let t = Taxonomy::masking(&["ab", "cd"], &[1]).unwrap();
+        // Levels: 0 leaves, 1 = mask 1 ("a*", "c*"), 2 = root "**"? No —
+        // the final level masks all chars, and the builder root is "*".
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.label(t.ancestor_at_level(0, 1).unwrap()), "a*");
+        assert_eq!(t.ancestor_at_level(0, 2).unwrap(), t.root());
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        let mut b = Taxonomy::builder("*");
+        b.leaf("x");
+        b.node("g", |b| {
+            b.leaf("y");
+        });
+        assert!(matches!(b.build(), Err(Error::InvalidHierarchy(_))));
+    }
+
+    #[test]
+    fn empty_and_degenerate_rejected() {
+        let b = Taxonomy::builder("*");
+        assert!(b.build().is_err());
+
+        let mut b = Taxonomy::builder("*");
+        b.node("dead", |_| {});
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn parent_child_navigation() {
+        let t = marital_status_taxonomy();
+        let married = t.ancestor_at_level(0, 1).unwrap();
+        assert_eq!(t.parent(married), Some(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.children(married).len(), 2);
+        assert_eq!(t.children(t.root()).len(), 2);
+        assert_eq!(t.node_count(), 1 + 2 + 6);
+        assert_eq!(t.level_of(t.root()), 2);
+        assert_eq!(t.level_of(married), 1);
+        assert_eq!(t.level_of(t.leaf(0)), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Raw and generalized cell values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A raw microdata cell value.
+///
+/// Categorical values are stored as indices into the owning attribute's
+/// category label table (see
+/// [`Attribute::category_label`](crate::schema::Attribute::category_label)),
+/// which keeps `Value` `Copy` and hashing cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A categorical value (index into the attribute's labels).
+    Cat(u32),
+}
+
+impl Value {
+    /// The integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Cat(_) => None,
+        }
+    }
+
+    /// The category id, if this is a categorical value.
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(*c),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+/// Identifier of a node in a [`Taxonomy`](crate::taxonomy::Taxonomy) arena.
+pub type NodeId = u32;
+
+/// A generalized cell value, as released in an anonymized table.
+///
+/// The paper (§3) treats suppression as a special case of generalization, so
+/// [`GenValue::Suppressed`] represents the top of every hierarchy and a
+/// record-suppressed tuple simply carries `Suppressed` in every
+/// quasi-identifier cell.
+///
+/// All variants are plain integers so equality and hashing — the basis of
+/// equivalence-class induction — are O(1) per cell and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GenValue {
+    /// An ungeneralized integer value (hierarchy level 0).
+    Int(i64),
+    /// A half-open interval `(lo, hi]` produced by an interval ladder.
+    ///
+    /// The paper renders age generalizations this way, e.g. `(25,35]`.
+    Interval {
+        /// Exclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// An ungeneralized categorical value (hierarchy level 0).
+    Cat(u32),
+    /// An internal taxonomy node (hierarchy level ≥ 1).
+    Node(NodeId),
+    /// Fully suppressed: the top `*` of any hierarchy.
+    Suppressed,
+}
+
+impl GenValue {
+    /// Whether this cell is fully suppressed.
+    pub fn is_suppressed(&self) -> bool {
+        matches!(self, GenValue::Suppressed)
+    }
+
+    /// Whether this cell still carries its raw, ungeneralized value.
+    pub fn is_raw(&self) -> bool {
+        matches!(self, GenValue::Int(_) | GenValue::Cat(_))
+    }
+
+    /// Wraps a raw [`Value`] without generalizing it.
+    pub fn raw(value: Value) -> Self {
+        match value {
+            Value::Int(v) => GenValue::Int(v),
+            Value::Cat(c) => GenValue::Cat(c),
+        }
+    }
+
+    /// Whether `value` is covered by this generalized cell.
+    ///
+    /// Interval containment uses the paper's half-open convention
+    /// `lo < v ≤ hi`. Taxonomy-node containment cannot be decided without
+    /// the taxonomy and is handled by
+    /// [`Taxonomy::node_covers_leaf`](crate::taxonomy::Taxonomy::node_covers_leaf);
+    /// this method returns `false` for [`GenValue::Node`].
+    pub fn covers_raw(&self, value: &Value) -> bool {
+        match (self, value) {
+            (GenValue::Int(g), Value::Int(v)) => g == v,
+            (GenValue::Interval { lo, hi }, Value::Int(v)) => lo < v && v <= hi,
+            (GenValue::Cat(g), Value::Cat(c)) => g == c,
+            (GenValue::Suppressed, _) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for GenValue {
+    /// Context-free rendering. Categorical ids and taxonomy nodes render as
+    /// placeholders; use
+    /// [`AnonymizedTable::render_cell`](crate::anonymized::AnonymizedTable::render_cell)
+    /// for label-aware output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenValue::Int(v) => write!(f, "{v}"),
+            GenValue::Interval { lo, hi } => write!(f, "({lo},{hi}]"),
+            GenValue::Cat(c) => write!(f, "<cat {c}>"),
+            GenValue::Node(n) => write!(f, "<node {n}>"),
+            GenValue::Suppressed => write!(f, "*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_cat(), None);
+        assert_eq!(Value::Cat(2).as_cat(), Some(2));
+        assert_eq!(Value::Cat(2).as_int(), None);
+        assert_eq!(Value::from(7i64), Value::Int(7));
+    }
+
+    #[test]
+    fn interval_containment_is_half_open() {
+        let g = GenValue::Interval { lo: 25, hi: 35 };
+        assert!(!g.covers_raw(&Value::Int(25)), "lower bound is exclusive");
+        assert!(g.covers_raw(&Value::Int(26)));
+        assert!(g.covers_raw(&Value::Int(35)), "upper bound is inclusive");
+        assert!(!g.covers_raw(&Value::Int(36)));
+    }
+
+    #[test]
+    fn suppressed_covers_everything() {
+        assert!(GenValue::Suppressed.covers_raw(&Value::Int(1)));
+        assert!(GenValue::Suppressed.covers_raw(&Value::Cat(9)));
+        assert!(GenValue::Suppressed.is_suppressed());
+        assert!(!GenValue::Suppressed.is_raw());
+    }
+
+    #[test]
+    fn raw_wrapping() {
+        assert_eq!(GenValue::raw(Value::Int(3)), GenValue::Int(3));
+        assert_eq!(GenValue::raw(Value::Cat(1)), GenValue::Cat(1));
+        assert!(GenValue::raw(Value::Cat(1)).is_raw());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(GenValue::Interval { lo: 25, hi: 35 }.to_string(), "(25,35]");
+        assert_eq!(GenValue::Suppressed.to_string(), "*");
+        assert_eq!(GenValue::Int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn node_does_not_cover_without_taxonomy() {
+        assert!(!GenValue::Node(3).covers_raw(&Value::Cat(0)));
+    }
+
+    #[test]
+    fn genvalue_hash_eq_consistency() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(GenValue::Interval { lo: 0, hi: 10 });
+        set.insert(GenValue::Interval { lo: 0, hi: 10 });
+        set.insert(GenValue::Suppressed);
+        assert_eq!(set.len(), 2);
+    }
+}

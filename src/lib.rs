@@ -1,0 +1,65 @@
+//! # anoncmp
+//!
+//! A production-quality Rust reproduction of *"On the Comparison of
+//! Microdata Disclosure Control Algorithms"* (Dewri, Ray, Ray & Whitley,
+//! EDBT 2009): vector-based comparison of anonymizations, the disclosure
+//! control algorithms being compared, and the microdata substrate they
+//! run on.
+//!
+//! This meta-crate re-exports the workspace members:
+//!
+//! * [`microdata`] — schemas, hierarchies, datasets, equivalence classes,
+//!   the generalization lattice, loss metrics ([`anoncmp_microdata`]);
+//! * [`core`] — property vectors, quality indices, dominance and ▶-better
+//!   comparators, preference schemes, bias statistics, Theorem-1 tools
+//!   ([`anoncmp_core`]);
+//! * [`anonymize`] — Datafly, Samarati, Incognito-style search, Mondrian,
+//!   greedy recoding, genetic search, and the privacy models
+//!   ([`anoncmp_anonymize`]);
+//! * [`datagen`] — the paper's Table 1–3 examples and a synthetic census
+//!   generator ([`anoncmp_datagen`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anoncmp::prelude::*;
+//!
+//! // The paper's two 3-anonymous releases of Table 1.
+//! let t3a = anoncmp::datagen::paper::paper_t3a();
+//! let t3b = anoncmp::datagen::paper::paper_t3b();
+//!
+//! // Same scalar k…
+//! assert_eq!(t3a.classes().min_class_size(), t3b.classes().min_class_size());
+//!
+//! // …but the per-tuple privacy vectors tell them apart.
+//! let s = EqClassSize.extract(&t3a);
+//! let t = EqClassSize.extract(&t3b);
+//! assert!(strongly_dominates(&t, &s));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod infer;
+
+pub use anoncmp_anonymize as anonymize;
+pub use anoncmp_core as core;
+pub use anoncmp_datagen as datagen;
+pub use anoncmp_microdata as microdata;
+
+/// One-stop prelude: the union of the member crates' preludes.
+///
+/// `Result`/`Error` refer to the microdata substrate's types; the
+/// anonymization error type is exported as
+/// [`AnonymizeError`](anoncmp_anonymize::error::AnonymizeError).
+pub mod prelude {
+    pub use anoncmp_anonymize::prelude::{
+        Anonymizer, AnonymizeError, Constraint, Crossover, Datafly, DiversityKind, Genetic, GreedyCluster, OptimalLattice,
+        GeneticConfig, GreedyRecoder, Incognito, IncognitoOutcome, KAnonymity, LDiversity,
+        MeanClassSize, MinClassSize, MogaConfig, Mondrian, MultiObjectiveGenetic, NegLoss,
+        NegPrivacyGini, Objective, PSensitive, ParetoSolution, PrivacyModel, Samarati,
+        SamaratiOutcome, SubsetIncognito, SubsetIncognitoOutcome, TCloseness, TopDown, personalized_slack_vector, PersonalizedKAnonymity,
+    };
+    pub use anoncmp_core::prelude::*;
+    pub use anoncmp_microdata::prelude::*;
+}

@@ -1,0 +1,195 @@
+//! End-to-end reproduction of every worked number in the paper, through
+//! the public API only: Tables 1–3, Figure 1's vectors, the §3 index
+//! values, the §5 comparator examples, and the §5.5 utility vectors.
+
+use anoncmp::datagen::paper;
+use anoncmp::microdata::loss::LossMetric;
+use anoncmp::prelude::*;
+
+#[test]
+fn table1_is_the_paper_dataset() {
+    let ds = paper::paper_table1(paper::paper_schema_t3());
+    assert_eq!(ds.len(), 10);
+    // Spot-check tuple 5: (13253, 50, Divorced).
+    assert_eq!(ds.render(4, 0), "13253");
+    assert_eq!(ds.render(4, 1), "50");
+    assert_eq!(ds.render(4, 2), "Divorced");
+}
+
+#[test]
+fn table2_generalizations_render_exactly() {
+    let t3a = paper::paper_t3a();
+    // Every released row of Table 2 (left), tuple order 1..10.
+    let expected_a = [
+        ("1305*", "(25,35]", "Married"),
+        ("1326*", "(35,45]", "Not Married"),
+        ("1326*", "(35,45]", "Not Married"),
+        ("1305*", "(25,35]", "Married"),
+        ("1325*", "(45,55]", "Not Married"),
+        ("1325*", "(45,55]", "Not Married"),
+        ("1325*", "(45,55]", "Not Married"),
+        ("1305*", "(25,35]", "Married"),
+        ("1326*", "(35,45]", "Not Married"),
+        ("1325*", "(45,55]", "Not Married"),
+    ];
+    for (i, (zip, age, ms)) in expected_a.iter().enumerate() {
+        assert_eq!(&t3a.render_cell(i, 0), zip, "tuple {} zip", i + 1);
+        assert_eq!(&t3a.render_cell(i, 1), age, "tuple {} age", i + 1);
+        assert_eq!(&t3a.render_cell(i, 2), ms, "tuple {} ms", i + 1);
+    }
+
+    let t3b = paper::paper_t3b();
+    let expected_b = [
+        ("130**", "(15,35]"),
+        ("132**", "(35,55]"),
+        ("132**", "(35,55]"),
+        ("130**", "(15,35]"),
+        ("132**", "(35,55]"),
+        ("132**", "(35,55]"),
+        ("132**", "(35,55]"),
+        ("130**", "(15,35]"),
+        ("132**", "(35,55]"),
+        ("132**", "(35,55]"),
+    ];
+    for (i, (zip, age)) in expected_b.iter().enumerate() {
+        assert_eq!(&t3b.render_cell(i, 0), zip, "tuple {} zip", i + 1);
+        assert_eq!(&t3b.render_cell(i, 1), age, "tuple {} age", i + 1);
+    }
+}
+
+#[test]
+fn table3_t4_renders_exactly() {
+    let t4 = paper::paper_t4();
+    for i in 0..10 {
+        assert_eq!(t4.render_cell(i, 0), "13***");
+        assert_eq!(t4.render_cell(i, 2), "*");
+    }
+    let young = [0usize, 2, 3, 7]; // tuples 1, 3, 4, 8
+    for i in 0..10 {
+        let expected = if young.contains(&i) { "(20,40]" } else { "(40,60]" };
+        assert_eq!(t4.render_cell(i, 1), expected, "tuple {}", i + 1);
+    }
+}
+
+#[test]
+fn figure1_class_size_vectors() {
+    let s = EqClassSize.extract(&paper::paper_t3a());
+    let t = EqClassSize.extract(&paper::paper_t3b());
+    let u = EqClassSize.extract(&paper::paper_t4());
+    assert_eq!(s.values(), &[3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 3.0, 3.0, 4.0]);
+    assert_eq!(t.values(), &[3.0, 7.0, 7.0, 3.0, 7.0, 7.0, 7.0, 3.0, 7.0, 7.0]);
+    assert_eq!(u.values(), &[4.0, 6.0, 4.0, 4.0, 6.0, 6.0, 6.0, 4.0, 6.0, 6.0]);
+}
+
+#[test]
+fn section1_breach_probabilities() {
+    // §1: "tuples {2,3,5,6,7,9,10} in T3b has 1/7 probability of breach".
+    let t3b = paper::paper_t3b();
+    let p = BreachProbability.raw(&t3b);
+    for i in [1usize, 2, 4, 5, 6, 8, 9] {
+        assert!((p[i] - 1.0 / 7.0).abs() < 1e-12, "tuple {}", i + 1);
+    }
+    for i in [0usize, 3, 7] {
+        assert!((p[i] - 1.0 / 3.0).abs() < 1e-12, "tuple {}", i + 1);
+    }
+}
+
+#[test]
+fn section3_index_values() {
+    let s = EqClassSize.extract(&paper::paper_t3a());
+    let t = EqClassSize.extract(&paper::paper_t3b());
+    assert_eq!(classic::MinIndex.value(&s), 3.0);
+    assert!((classic::MeanIndex.value(&s) - 3.4).abs() < 1e-12);
+    let counts = SensitiveValueCount::default().extract(&paper::paper_t3a());
+    assert_eq!(counts.values(), &[2.0, 2.0, 1.0, 2.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0]);
+    assert_eq!(classic::MinIndex.value(&counts), 1.0);
+    assert_eq!(classic::CountStrictlyGreater.value(&s, &t), 0.0);
+    assert_eq!(classic::CountStrictlyGreater.value(&t, &s), 7.0);
+}
+
+#[test]
+fn section53_cov_and_spread_examples() {
+    let d1 = PropertyVector::new("D1", paper::FIG3_D1.to_vec());
+    let d2 = PropertyVector::new("D2", paper::FIG3_D2.to_vec());
+    assert!((coverage_index(&d1, &d2) - 0.6).abs() < 1e-12);
+    assert!((coverage_index(&d2, &d1) - 0.6).abs() < 1e-12);
+    assert_eq!(spread_index(&d1, &d2), 4.0);
+    assert_eq!(spread_index(&d2, &d1), 2.0);
+
+    let three = PropertyVector::new("3", paper::SPR_3ANON.to_vec());
+    let two = PropertyVector::new("2", paper::SPR_2ANON.to_vec());
+    assert_eq!(spread_index(&three, &two), 2.0);
+    assert_eq!(spread_index(&two, &three), 8.0);
+    assert_eq!(SpreadComparator.compare(&two, &three), Preference::First);
+}
+
+#[test]
+fn section54_hypervolume_example() {
+    let s = PropertyVector::new("s", paper::HV_S.to_vec());
+    let t = PropertyVector::new("t", paper::HV_T.to_vec());
+    assert_eq!(hypervolume_index(&s, &t), 56_727.0);
+    assert_eq!(hypervolume_index(&t, &s), 37_888.0);
+    assert_eq!(HypervolumeComparator::default().compare(&s, &t), Preference::First);
+}
+
+#[test]
+fn section55_utility_vectors_and_wtd_tie() {
+    let t3a = paper::paper_t3a();
+    let t3b = paper::paper_t3b();
+    let metric = LossMetric::paper_ratio();
+    let ua = metric.utility_vector(&t3a);
+    let ub = metric.utility_vector(&t3b);
+    let paper_ua = [2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6];
+    let paper_ub = [2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97];
+    for (got, want) in ua.iter().zip(&paper_ua) {
+        assert!((got - want).abs() < 5e-3, "u_a: got {got}, paper prints {want}");
+    }
+    for (got, want) in ub.iter().zip(&paper_ub) {
+        assert!((got - want).abs() < 5e-3, "u_b: got {got}, paper prints {want}");
+    }
+    // Coverage values from §5.5.
+    let pa = EqClassSize.extract(&t3a);
+    let pb = EqClassSize.extract(&t3b);
+    let ua = PropertyVector::new("u", ua);
+    let ub = PropertyVector::new("u", ub);
+    assert!((coverage_index(&pa, &pb) - 0.3).abs() < 1e-12);
+    assert!((coverage_index(&pb, &pa) - 1.0).abs() < 1e-12);
+    assert!((coverage_index(&ua, &ub) - 1.0).abs() < 1e-12);
+    assert!((coverage_index(&ub, &ua) - 0.3).abs() < 1e-12);
+    // Equal weights: tie.
+    let sa = PropertySet::new("T3a", vec![pa.renamed("p"), ua.renamed("u2")]);
+    let sb = PropertySet::new("T3b", vec![pb.renamed("p"), ub.renamed("u2")]);
+    let wtd = WeightedComparator::equal(vec![
+        Box::new(CoverageComparator),
+        Box::new(CoverageComparator),
+    ]);
+    assert_eq!(wtd.compare(&sa, &sb), Preference::Tie);
+}
+
+#[test]
+fn section2_dominance_story() {
+    let s = EqClassSize.extract(&paper::paper_t3a());
+    let t = EqClassSize.extract(&paper::paper_t3b());
+    let u = EqClassSize.extract(&paper::paper_t4());
+    // T3b strongly dominates T3a (§3).
+    assert!(strongly_dominates(&t, &s));
+    // T4 and T3b are incomparable (§2: user 8 vs user 3).
+    assert_eq!(relation(&u, &t), DominanceRelation::Incomparable);
+    // T4 strongly dominates T3a component-wise.
+    assert!(strongly_dominates(&u, &s));
+    // The ▶cov order of §5.2: T4 ▶cov T3a, T3b ▶cov T4.
+    assert_eq!(CoverageComparator.compare(&u, &s), Preference::First);
+    assert_eq!(CoverageComparator.compare(&t, &u), Preference::First);
+}
+
+#[test]
+fn ldiversity_models_on_the_paper_tables() {
+    // T3a's classes have 2, 2, 3 distinct statuses → distinct 2-diversity
+    // holds, 3-diversity does not.
+    let t3a = paper::paper_t3a();
+    assert!(LDiversity::distinct(2).satisfied(&t3a));
+    assert!(!LDiversity::distinct(3).satisfied(&t3a));
+    // T4's two classes are large and diverse.
+    let t4 = paper::paper_t4();
+    assert!(LDiversity::distinct(3).satisfied(&t4));
+}
