@@ -39,8 +39,10 @@ impl Ctx<'_> {
             .iter()
             .zip(&self.spans)
             .map(|(&col, &span)| {
-                match (self.dataset.value(a as usize, col), self.dataset.value(b as usize, col))
-                {
+                match (
+                    self.dataset.value(a as usize, col),
+                    self.dataset.value(b as usize, col),
+                ) {
                     (Value::Int(x), Value::Int(y)) => (x - y).abs() as f64 / span,
                     (Value::Cat(x), Value::Cat(y)) if x == y => 0.0,
                     _ => 1.0,
@@ -74,7 +76,11 @@ impl GreedyCluster {
                 Domain::Categorical { .. } => 1.0,
             })
             .collect();
-        let ctx = Ctx { dataset, qi: schema.quasi_identifiers().to_vec(), spans };
+        let ctx = Ctx {
+            dataset,
+            qi: schema.quasi_identifiers().to_vec(),
+            spans,
+        };
 
         let n = dataset.len() as u32;
         let mut unassigned: Vec<u32> = (0..n).collect();
@@ -201,7 +207,9 @@ mod tests {
         let c = Constraint::k_anonymity(5).with_suppression(6);
         let m = LossMetric::classic();
         let cluster = GreedyCluster.anonymize(&ds, &c).unwrap();
-        let datafly = crate::algorithms::datafly::Datafly.anonymize(&ds, &c).unwrap();
+        let datafly = crate::algorithms::datafly::Datafly
+            .anonymize(&ds, &c)
+            .unwrap();
         assert!(m.total_loss(&cluster) <= m.total_loss(&datafly) + 1e-9);
     }
 
@@ -217,7 +225,9 @@ mod tests {
     #[test]
     fn k_equals_n_single_cluster() {
         let ds = small_census();
-        let (t, parts) = GreedyCluster.run(&ds, &Constraint::k_anonymity(ds.len())).unwrap();
+        let (t, parts) = GreedyCluster
+            .run(&ds, &Constraint::k_anonymity(ds.len()))
+            .unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(t.classes().class_count(), 1);
     }

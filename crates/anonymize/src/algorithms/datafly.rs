@@ -54,8 +54,7 @@ impl Datafly {
                 if levels[dim] >= lattice.max_levels()[dim] {
                     continue;
                 }
-                let distinct: HashSet<_> =
-                    (0..table.len()).map(|t| *table.cell(t, col)).collect();
+                let distinct: HashSet<_> = (0..table.len()).map(|t| *table.cell(t, col)).collect();
                 if best.is_none_or(|(_, d)| distinct.len() > d) {
                     best = Some((dim, distinct.len()));
                 }
@@ -101,7 +100,9 @@ mod tests {
         let ds = small_census();
         for k in [2, 3, 5, 10] {
             let c = Constraint::k_anonymity(k).with_suppression(ds.len() / 10);
-            let t = Datafly.anonymize(&ds, &c).expect("datafly finds a solution");
+            let t = Datafly
+                .anonymize(&ds, &c)
+                .expect("datafly finds a solution");
             assert!(c.satisfied(&t), "k = {k}");
             assert_eq!(t.len(), ds.len(), "suppressed tuples are retained");
         }
@@ -111,7 +112,9 @@ mod tests {
     fn zero_suppression_still_works() {
         let ds = small_census();
         let c = Constraint::k_anonymity(3);
-        let t = Datafly.anonymize(&ds, &c).expect("solvable by generalizing enough");
+        let t = Datafly
+            .anonymize(&ds, &c)
+            .expect("solvable by generalizing enough");
         assert!(c.satisfied(&t));
         assert_eq!(t.suppressed_count(), 0);
     }

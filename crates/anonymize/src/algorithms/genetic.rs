@@ -74,7 +74,10 @@ pub struct Genetic {
 
 impl Default for Genetic {
     fn default() -> Self {
-        Genetic { config: GeneticConfig::default(), metric: LossMetric::classic() }
+        Genetic {
+            config: GeneticConfig::default(),
+            metric: LossMetric::classic(),
+        }
     }
 }
 
@@ -96,7 +99,11 @@ impl Genetic {
         match constraint.enforce(&table) {
             Some(enforced) => {
                 let fitness = -self.metric.total_loss(&enforced);
-                Ok(Evaluated { levels, fitness, feasible: Some(enforced) })
+                Ok(Evaluated {
+                    levels,
+                    fitness,
+                    feasible: Some(enforced),
+                })
             }
             None => {
                 // Infeasible: rank below every feasible individual, better
@@ -106,7 +113,11 @@ impl Genetic {
                 let a = dataset.schema().quasi_identifiers().len() as f64;
                 // Worst feasible fitness is -(loss ≤ a per tuple) ≥ -a·n.
                 let fitness = -a * n - viol;
-                Ok(Evaluated { levels, fitness, feasible: None })
+                Ok(Evaluated {
+                    levels,
+                    fitness,
+                    feasible: None,
+                })
             }
         }
     }
@@ -206,7 +217,11 @@ impl Genetic {
         population
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.fitness.partial_cmp(&b.1.fitness).expect("fitness not NaN"))
+            .max_by(|a, b| {
+                a.1.fitness
+                    .partial_cmp(&b.1.fitness)
+                    .expect("fitness not NaN")
+            })
             .map(|(i, _)| i)
             .expect("population is non-empty")
     }
@@ -248,7 +263,11 @@ mod tests {
 
     fn quick() -> Genetic {
         Genetic {
-            config: GeneticConfig { population: 16, generations: 12, ..Default::default() },
+            config: GeneticConfig {
+                population: 16,
+                generations: 12,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -309,7 +328,10 @@ mod tests {
     fn invalid_config_rejected() {
         let ds = small_census();
         let ga = Genetic {
-            config: GeneticConfig { population: 1, ..Default::default() },
+            config: GeneticConfig {
+                population: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!(matches!(

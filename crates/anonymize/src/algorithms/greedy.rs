@@ -29,7 +29,9 @@ pub struct GreedyRecoder {
 
 impl Default for GreedyRecoder {
     fn default() -> Self {
-        GreedyRecoder { metric: LossMetric::classic() }
+        GreedyRecoder {
+            metric: LossMetric::classic(),
+        }
     }
 }
 
@@ -138,8 +140,9 @@ mod tests {
     #[test]
     fn trivial_constraint_returns_raw_release() {
         let ds = small_census();
-        let (t, levels) =
-            GreedyRecoder::default().run(&ds, &Constraint::k_anonymity(1)).unwrap();
+        let (t, levels) = GreedyRecoder::default()
+            .run(&ds, &Constraint::k_anonymity(1))
+            .unwrap();
         assert_eq!(levels, vec![0; 6]);
         assert_eq!(t.suppressed_count(), 0);
     }

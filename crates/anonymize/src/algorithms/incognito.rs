@@ -30,7 +30,9 @@ pub struct Incognito {
 
 impl Default for Incognito {
     fn default() -> Self {
-        Incognito { preference: LossMetric::classic() }
+        Incognito {
+            preference: LossMetric::classic(),
+        }
     }
 }
 
@@ -49,11 +51,7 @@ pub struct IncognitoOutcome {
 
 impl Incognito {
     /// Runs the sweep, exposing the minimal frontier and evaluation count.
-    pub fn run(
-        &self,
-        dataset: &Arc<Dataset>,
-        constraint: &Constraint,
-    ) -> Result<IncognitoOutcome> {
+    pub fn run(&self, dataset: &Arc<Dataset>, constraint: &Constraint) -> Result<IncognitoOutcome> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
 
@@ -120,7 +118,12 @@ impl Incognito {
             minimal.iter().map(|&i| frontier[i].0.clone()).collect();
         let levels = frontier[best].0.clone();
         let table = frontier[best].1.clone().renamed("incognito");
-        Ok(IncognitoOutcome { frontier: frontier_levels, evaluated, table, levels })
+        Ok(IncognitoOutcome {
+            frontier: frontier_levels,
+            evaluated,
+            table,
+            levels,
+        })
     }
 }
 
@@ -159,7 +162,10 @@ mod tests {
             // …and minimal: every predecessor violates.
             for pred in lattice.predecessors(levels) {
                 let t = lattice.apply(&ds, &pred, "x").unwrap();
-                assert!(c.enforce(&t).is_none(), "predecessor satisfies: not minimal");
+                assert!(
+                    c.enforce(&t).is_none(),
+                    "predecessor satisfies: not minimal"
+                );
             }
         }
     }
@@ -202,9 +208,12 @@ mod tests {
     #[test]
     fn k_one_frontier_is_the_bottom() {
         let ds = small_census();
-        let outcome = Incognito::default().run(&ds, &Constraint::k_anonymity(1)).unwrap();
-        assert_eq!(outcome.frontier, vec![Lattice::new(ds.schema().clone())
-            .unwrap()
-            .bottom()]);
+        let outcome = Incognito::default()
+            .run(&ds, &Constraint::k_anonymity(1))
+            .unwrap();
+        assert_eq!(
+            outcome.frontier,
+            vec![Lattice::new(ds.schema().clone()).unwrap().bottom()]
+        );
     }
 }

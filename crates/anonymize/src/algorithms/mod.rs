@@ -22,9 +22,9 @@
 pub mod clustering;
 pub mod datafly;
 pub mod genetic;
-pub mod moga;
 pub mod greedy;
 pub mod incognito;
+pub mod moga;
 pub mod mondrian;
 pub mod optimal;
 pub(crate) mod recoding;
@@ -55,10 +55,7 @@ pub trait Anonymizer {
         -> Result<AnonymizedTable>;
 }
 
-pub(crate) fn validate_common(
-    dataset: &Dataset,
-    constraint: &Constraint,
-) -> Result<()> {
+pub(crate) fn validate_common(dataset: &Dataset, constraint: &Constraint) -> Result<()> {
     use crate::error::AnonymizeError;
     if constraint.k == 0 {
         return Err(AnonymizeError::InvalidConfig("k must be at least 1".into()));
@@ -85,11 +82,19 @@ pub(crate) mod test_support {
 
     /// A small deterministic census sample shared by algorithm tests.
     pub fn small_census() -> Arc<Dataset> {
-        generate(&CensusConfig { rows: 120, seed: 99, zip_pool: 12 })
+        generate(&CensusConfig {
+            rows: 120,
+            seed: 99,
+            zip_pool: 12,
+        })
     }
 
     /// A larger sample for behavioural assertions.
     pub fn medium_census() -> Arc<Dataset> {
-        generate(&CensusConfig { rows: 600, seed: 123, zip_pool: 25 })
+        generate(&CensusConfig {
+            rows: 600,
+            seed: 123,
+            zip_pool: 25,
+        })
     }
 }

@@ -75,7 +75,9 @@ pub struct NegLoss {
 
 impl Default for NegLoss {
     fn default() -> Self {
-        NegLoss { metric: LossMetric::classic() }
+        NegLoss {
+            metric: LossMetric::classic(),
+        }
     }
 }
 
@@ -138,7 +140,12 @@ pub struct MogaConfig {
 
 impl Default for MogaConfig {
     fn default() -> Self {
-        MogaConfig { population: 32, generations: 30, mutation_rate: 0.2, seed: 42 }
+        MogaConfig {
+            population: 32,
+            generations: 30,
+            mutation_rate: 0.2,
+            seed: 42,
+        }
     }
 }
 
@@ -210,7 +217,9 @@ impl MultiObjectiveGenetic {
             ));
         }
         if self.config.population < 4 {
-            return Err(AnonymizeError::InvalidConfig("population must be ≥ 4".into()));
+            return Err(AnonymizeError::InvalidConfig(
+                "population must be ≥ 4".into(),
+            ));
         }
         let lattice = Lattice::new(dataset.schema().clone())?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -220,16 +229,18 @@ impl MultiObjectiveGenetic {
         population.push(self.evaluate(&lattice, dataset, lattice.bottom())?);
         population.push(self.evaluate(&lattice, dataset, lattice.top())?);
         while population.len() < self.config.population {
-            let levels: LevelVector =
-                lattice.max_levels().iter().map(|&m| rng.gen_range(0..=m)).collect();
+            let levels: LevelVector = lattice
+                .max_levels()
+                .iter()
+                .map(|&m| rng.gen_range(0..=m))
+                .collect();
             population.push(self.evaluate(&lattice, dataset, levels)?);
         }
 
         for _ in 0..self.config.generations {
             // Variation: binary tournaments on (front, crowding), one-point
             // crossover, ±1 mutation.
-            let points: Vec<Vec<f64>> =
-                population.iter().map(|i| i.objectives.clone()).collect();
+            let points: Vec<Vec<f64>> = population.iter().map(|i| i.objectives.clone()).collect();
             let order = rank_lookup(&points);
             let mut offspring: Vec<Individual> = Vec::with_capacity(self.config.population);
             while offspring.len() < self.config.population {
@@ -259,8 +270,7 @@ impl MultiObjectiveGenetic {
             }
             // Environmental selection: μ+λ, keep the NSGA-II best.
             population.extend(offspring);
-            let points: Vec<Vec<f64>> =
-                population.iter().map(|i| i.objectives.clone()).collect();
+            let points: Vec<Vec<f64>> = population.iter().map(|i| i.objectives.clone()).collect();
             let keep = anoncmp_core::pareto::nsga2_order(&points);
             let mut next: Vec<Individual> = Vec::with_capacity(self.config.population);
             let mut taken = vec![false; population.len()];
@@ -278,8 +288,7 @@ impl MultiObjectiveGenetic {
         // Final front, deduplicated by level vector.
         population.sort_by(|a, b| a.levels.cmp(&b.levels));
         population.dedup_by(|a, b| a.levels == b.levels);
-        let points: Vec<Vec<f64>> =
-            population.iter().map(|i| i.objectives.clone()).collect();
+        let points: Vec<Vec<f64>> = population.iter().map(|i| i.objectives.clone()).collect();
         let front = pareto_front(&points);
         let mut solutions: Vec<ParetoSolution> = Vec::with_capacity(front.len());
         for i in front {
@@ -291,7 +300,9 @@ impl MultiObjectiveGenetic {
             });
         }
         solutions.sort_by(|a, b| {
-            b.objectives[0].partial_cmp(&a.objectives[0]).expect("objectives are not NaN")
+            b.objectives[0]
+                .partial_cmp(&a.objectives[0])
+                .expect("objectives are not NaN")
         });
         Ok(solutions)
     }
@@ -334,7 +345,11 @@ mod tests {
 
     fn quick() -> MultiObjectiveGenetic {
         MultiObjectiveGenetic {
-            config: MogaConfig { population: 12, generations: 8, ..Default::default() },
+            config: MogaConfig {
+                population: 12,
+                generations: 8,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -389,7 +404,11 @@ mod tests {
     fn three_objective_run_with_fairness() {
         let ds = small_census();
         let moga = MultiObjectiveGenetic {
-            config: MogaConfig { population: 12, generations: 6, ..Default::default() },
+            config: MogaConfig {
+                population: 12,
+                generations: 6,
+                ..Default::default()
+            },
             objectives: vec![
                 Arc::new(MeanClassSize),
                 Arc::new(NegLoss::default()),
@@ -429,7 +448,10 @@ mod tests {
         };
         assert!(matches!(m.run(&ds), Err(AnonymizeError::InvalidConfig(_))));
         let m = MultiObjectiveGenetic {
-            config: MogaConfig { population: 2, ..Default::default() },
+            config: MogaConfig {
+                population: 2,
+                ..Default::default()
+            },
             ..MultiObjectiveGenetic::default()
         };
         assert!(matches!(m.run(&ds), Err(AnonymizeError::InvalidConfig(_))));
@@ -444,6 +466,9 @@ mod tests {
         let best_privacy = front.first().unwrap();
         let best_utility = front.last().unwrap();
         assert!(best_privacy.objectives[0] >= ds.len() as f64 - 1e-9);
-        assert!(best_utility.objectives[1] >= -1e-9, "raw release has zero loss");
+        assert!(
+            best_utility.objectives[1] >= -1e-9,
+            "raw release has zero loss"
+        );
     }
 }

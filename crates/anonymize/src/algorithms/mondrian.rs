@@ -174,7 +174,6 @@ impl Mondrian {
             }
         }
     }
-
 }
 
 impl Anonymizer for Mondrian {
@@ -272,7 +271,9 @@ mod tests {
     #[test]
     fn k_equal_to_n_yields_single_partition() {
         let ds = small_census();
-        let (t, parts) = Mondrian.run(&ds, &Constraint::k_anonymity(ds.len())).unwrap();
+        let (t, parts) = Mondrian
+            .run(&ds, &Constraint::k_anonymity(ds.len()))
+            .unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(t.classes().class_count(), 1);
     }

@@ -29,7 +29,9 @@ pub struct OptimalLattice {
 
 impl Default for OptimalLattice {
     fn default() -> Self {
-        OptimalLattice { metric: LossMetric::classic() }
+        OptimalLattice {
+            metric: LossMetric::classic(),
+        }
     }
 }
 
@@ -100,8 +102,7 @@ mod tests {
         let ds = small_census();
         for k in [2usize, 3, 4] {
             let c = Constraint::k_anonymity(k);
-            let (opt_table, opt_levels, _) =
-                OptimalLattice::default().run(&ds, &c).unwrap();
+            let (opt_table, opt_levels, _) = OptimalLattice::default().run(&ds, &c).unwrap();
             let inc = Incognito::default().run(&ds, &c).unwrap();
             let m = LossMetric::classic();
             assert!(
@@ -142,7 +143,10 @@ mod tests {
             .run(&ds, &Constraint::k_anonymity(4))
             .unwrap();
         let (_, _, loose) = OptimalLattice::default()
-            .run(&ds, &Constraint::k_anonymity(4).with_suppression(ds.len() / 5))
+            .run(
+                &ds,
+                &Constraint::k_anonymity(4).with_suppression(ds.len() / 5),
+            )
             .unwrap();
         assert!(loose >= tight);
     }

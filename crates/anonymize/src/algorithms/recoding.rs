@@ -5,9 +5,7 @@
 
 use std::sync::Arc;
 
-use anoncmp_microdata::prelude::{
-    AnonymizedTable, Dataset, Domain, GenValue, Taxonomy,
-};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Domain, GenValue, Taxonomy};
 
 use crate::error::Result;
 
@@ -41,7 +39,12 @@ pub(crate) fn cover(dataset: &Dataset, col: usize, part: &[u32]) -> GenValue {
             if cats.len() == 1 {
                 return GenValue::Cat(cats[0]);
             }
-            match dataset.schema().attribute(col).hierarchy().and_then(|h| h.as_taxonomy()) {
+            match dataset
+                .schema()
+                .attribute(col)
+                .hierarchy()
+                .and_then(|h| h.as_taxonomy())
+            {
                 Some(tax) => lca(tax, &cats),
                 None => GenValue::Suppressed,
             }
@@ -54,7 +57,9 @@ pub(crate) fn cover(dataset: &Dataset, col: usize, part: &[u32]) -> GenValue {
 pub(crate) fn lca(tax: &Taxonomy, cats: &[u32]) -> GenValue {
     let first = cats[0];
     for level in 1..tax.height() {
-        let node = tax.ancestor_at_level(first, level).expect("level within height");
+        let node = tax
+            .ancestor_at_level(first, level)
+            .expect("level within height");
         if cats.iter().all(|&c| tax.node_covers_leaf(node, c)) {
             return GenValue::Node(node);
         }
@@ -122,7 +127,11 @@ mod tests {
     fn numeric_cover_is_tight() {
         let ds = dataset();
         assert_eq!(cover(&ds, 0, &[0, 1]), GenValue::Interval { lo: 9, hi: 20 });
-        assert_eq!(cover(&ds, 0, &[1, 2]), GenValue::Int(20), "single value stays raw");
+        assert_eq!(
+            cover(&ds, 0, &[1, 2]),
+            GenValue::Int(20),
+            "single value stays raw"
+        );
     }
 
     #[test]
@@ -130,7 +139,13 @@ mod tests {
         let ds = dataset();
         // aa (cat 0) and ab (cat 1) share the "a*" node.
         let gv = cover(&ds, 1, &[0, 1]);
-        let tax = ds.schema().attribute(1).hierarchy().unwrap().as_taxonomy().unwrap();
+        let tax = ds
+            .schema()
+            .attribute(1)
+            .hierarchy()
+            .unwrap()
+            .as_taxonomy()
+            .unwrap();
         match gv {
             GenValue::Node(n) => assert_eq!(tax.label(n), "a*"),
             other => panic!("expected a node, got {other:?}"),

@@ -28,7 +28,9 @@ pub struct Samarati {
 
 impl Default for Samarati {
     fn default() -> Self {
-        Samarati { preference: LossMetric::classic() }
+        Samarati {
+            preference: LossMetric::classic(),
+        }
     }
 }
 
@@ -66,11 +68,7 @@ impl Samarati {
     }
 
     /// Runs the full search, exposing the k-minimal frontier.
-    pub fn run(
-        &self,
-        dataset: &Arc<Dataset>,
-        constraint: &Constraint,
-    ) -> Result<SamaratiOutcome> {
+    pub fn run(&self, dataset: &Arc<Dataset>, constraint: &Constraint) -> Result<SamaratiOutcome> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
 
@@ -108,7 +106,12 @@ impl Samarati {
         let k_minimal: Vec<LevelVector> = frontier.iter().map(|(l, _)| l.clone()).collect();
         let (levels, table) = frontier.into_iter().nth(best_idx).expect("index valid");
         let table = table.renamed("samarati");
-        Ok(SamaratiOutcome { height, k_minimal, table, levels })
+        Ok(SamaratiOutcome {
+            height,
+            k_minimal,
+            table,
+            levels,
+        })
     }
 }
 
@@ -174,7 +177,10 @@ mod tests {
             .run(&ds, &Constraint::k_anonymity(5))
             .unwrap();
         let loose = Samarati::default()
-            .run(&ds, &Constraint::k_anonymity(5).with_suppression(ds.len() / 5))
+            .run(
+                &ds,
+                &Constraint::k_anonymity(5).with_suppression(ds.len() / 5),
+            )
             .unwrap();
         assert!(loose.height <= tight.height);
     }
@@ -192,7 +198,9 @@ mod tests {
     #[test]
     fn k_equals_one_is_the_bottom() {
         let ds = small_census();
-        let outcome = Samarati::default().run(&ds, &Constraint::k_anonymity(1)).unwrap();
+        let outcome = Samarati::default()
+            .run(&ds, &Constraint::k_anonymity(1))
+            .unwrap();
         assert_eq!(outcome.height, 0, "raw release is 1-anonymous");
     }
 }

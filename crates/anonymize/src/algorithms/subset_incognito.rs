@@ -28,9 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{
-    AnonymizedTable, Dataset, GenValue, Lattice, LevelVector,
-};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenValue, Lattice, LevelVector};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -45,7 +43,9 @@ pub struct SubsetIncognito {
 
 impl Default for SubsetIncognito {
     fn default() -> Self {
-        SubsetIncognito { preference: LossMetric::classic() }
+        SubsetIncognito {
+            preference: LossMetric::classic(),
+        }
     }
 }
 
@@ -91,8 +91,7 @@ fn projection_satisfies(
         }
         *groups.entry(signature.clone()).or_insert(0) += 1;
     }
-    let violating: usize =
-        groups.values().filter(|&&size| size < k).copied().sum();
+    let violating: usize = groups.values().filter(|&&size| size < k).copied().sum();
     Ok(violating <= budget)
 }
 
@@ -142,8 +141,7 @@ impl SubsetIncognito {
                                 .filter(|&(i, _)| i != drop)
                                 .map(|(_, &l)| l)
                                 .collect();
-                            sat.get(&sub_dims)
-                                .is_some_and(|s| s.contains(&sub_levels))
+                            sat.get(&sub_dims).is_some_and(|s| s.contains(&sub_levels))
                         })
                     };
                     if viable {
@@ -179,8 +177,7 @@ impl SubsetIncognito {
                 candidates.sort_by_key(|c| c.iter().sum::<usize>());
                 let mut satisfying: Vec<LevelVector> = Vec::new();
                 for cand in candidates {
-                    let dominated =
-                        satisfying.iter().any(|s| Lattice::leq(s, &cand));
+                    let dominated = satisfying.iter().any(|s| Lattice::leq(s, &cand));
                     let ok = if dominated {
                         true
                     } else {
@@ -360,12 +357,14 @@ mod tests {
         let lattice = Lattice::new(ds.schema().clone()).unwrap();
         let qi = ds.schema().quasi_identifiers().to_vec();
         let dims: Vec<usize> = (0..lattice.dimensions()).collect();
-        for levels in [vec![0, 0, 0, 0, 0, 0], vec![2, 3, 1, 1, 1, 1], lattice.top()] {
+        for levels in [
+            vec![0, 0, 0, 0, 0, 0],
+            vec![2, 3, 1, 1, 1, 1],
+            lattice.top(),
+        ] {
             let table = lattice.apply(&ds, &levels, "x").unwrap();
-            let full_ok =
-                Constraint::k_anonymity(3).violating_tuples(&table) <= 6;
-            let proj_ok =
-                projection_satisfies(&ds, &qi, &dims, &levels, 3, 6).unwrap();
+            let full_ok = Constraint::k_anonymity(3).violating_tuples(&table) <= 6;
+            let proj_ok = projection_satisfies(&ds, &qi, &dims, &levels, 3, 6).unwrap();
             assert_eq!(
                 proj_ok, full_ok,
                 "projection check must agree with full grouping at {levels:?}"

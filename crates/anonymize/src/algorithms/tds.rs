@@ -30,7 +30,9 @@ pub struct TopDown {
 
 impl Default for TopDown {
     fn default() -> Self {
-        TopDown { metric: LossMetric::classic() }
+        TopDown {
+            metric: LossMetric::classic(),
+        }
     }
 }
 
@@ -154,7 +156,9 @@ mod tests {
     #[test]
     fn k_one_descends_to_the_bottom() {
         let ds = small_census();
-        let (t, levels) = TopDown::default().run(&ds, &Constraint::k_anonymity(1)).unwrap();
+        let (t, levels) = TopDown::default()
+            .run(&ds, &Constraint::k_anonymity(1))
+            .unwrap();
         assert_eq!(levels, vec![0; 6], "1-anonymity allows the raw release");
         assert_eq!(t.suppressed_count(), 0);
     }

@@ -43,7 +43,10 @@ impl std::fmt::Debug for Constraint {
         f.debug_struct("Constraint")
             .field("k", &self.k)
             .field("max_suppression", &self.max_suppression)
-            .field("models", &self.models.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .field(
+                "models",
+                &self.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -51,7 +54,11 @@ impl std::fmt::Debug for Constraint {
 impl Constraint {
     /// Plain k-anonymity with no suppression budget.
     pub fn k_anonymity(k: usize) -> Self {
-        Constraint { k, max_suppression: 0, models: Vec::new() }
+        Constraint {
+            k,
+            max_suppression: 0,
+            models: Vec::new(),
+        }
     }
 
     /// Sets the suppression budget (number of tuples).
@@ -83,7 +90,10 @@ impl Constraint {
     /// Whether one class (by members) satisfies every requirement.
     pub fn class_satisfied(&self, table: &AnonymizedTable, members: &[u32]) -> bool {
         KAnonymity { k: self.k }.class_satisfied(table, members)
-            && self.models.iter().all(|m| m.class_satisfied(table, members))
+            && self
+                .models
+                .iter()
+                .all(|m| m.class_satisfied(table, members))
     }
 
     /// Whether the table as released satisfies the constraint: every
@@ -94,8 +104,9 @@ impl Constraint {
             return false;
         }
         table.classes().iter().all(|(_, members)| {
-            let suppressed =
-                members.iter().all(|&t| table.is_tuple_suppressed(t as usize));
+            let suppressed = members
+                .iter()
+                .all(|&t| table.is_tuple_suppressed(t as usize));
             suppressed || self.class_satisfied(table, members)
         })
     }
@@ -107,8 +118,9 @@ impl Constraint {
             .classes()
             .iter()
             .filter(|(_, members)| {
-                let suppressed =
-                    members.iter().all(|&t| table.is_tuple_suppressed(t as usize));
+                let suppressed = members
+                    .iter()
+                    .all(|&t| table.is_tuple_suppressed(t as usize));
                 !suppressed && !self.class_satisfied(table, members)
             })
             .map(|(_, members)| members.len())
@@ -130,8 +142,9 @@ impl Constraint {
         }
         let mut to_suppress: Vec<usize> = Vec::with_capacity(needed);
         for (_, members) in table.classes().iter() {
-            let suppressed =
-                members.iter().all(|&t| table.is_tuple_suppressed(t as usize));
+            let suppressed = members
+                .iter()
+                .all(|&t| table.is_tuple_suppressed(t as usize));
             if !suppressed && !self.class_satisfied(table, members) {
                 to_suppress.extend(members.iter().map(|&t| t as usize));
             }
@@ -223,8 +236,7 @@ mod tests {
         let t = fixture();
         // k=1 passes alone, but distinct 2-diversity kills the singleton
         // class (1 distinct value).
-        let c = Constraint::k_anonymity(1)
-            .with_model(StdArc::new(LDiversity::distinct(2)));
+        let c = Constraint::k_anonymity(1).with_model(StdArc::new(LDiversity::distinct(2)));
         assert!(!c.satisfied(&t));
         assert_eq!(c.violating_tuples(&t), 1);
         let c = c.with_suppression(1);

@@ -62,6 +62,8 @@ mod tests {
         assert!(e.to_string().contains("microdata"));
         use std::error::Error;
         assert!(e.source().is_some());
-        assert!(AnonymizeError::Unsatisfiable(String::new()).source().is_none());
+        assert!(AnonymizeError::Unsatisfiable(String::new())
+            .source()
+            .is_none());
     }
 }

@@ -41,8 +41,8 @@ pub mod prelude {
     pub use crate::algorithms::greedy::GreedyRecoder;
     pub use crate::algorithms::incognito::{Incognito, IncognitoOutcome};
     pub use crate::algorithms::moga::{
-        MeanClassSize, MinClassSize, MogaConfig, MultiObjectiveGenetic, NegLoss,
-        NegPrivacyGini, Objective, ParetoSolution,
+        MeanClassSize, MinClassSize, MogaConfig, MultiObjectiveGenetic, NegLoss, NegPrivacyGini,
+        Objective, ParetoSolution,
     };
     pub use crate::algorithms::mondrian::Mondrian;
     pub use crate::algorithms::optimal::OptimalLattice;

@@ -91,18 +91,30 @@ pub struct LDiversity {
 impl LDiversity {
     /// Distinct ℓ-diversity on the default sensitive attribute.
     pub fn distinct(l: usize) -> Self {
-        LDiversity { l, kind: DiversityKind::Distinct, column: None }
+        LDiversity {
+            l,
+            kind: DiversityKind::Distinct,
+            column: None,
+        }
     }
 
     /// Entropy ℓ-diversity on the default sensitive attribute.
     pub fn entropy(l: usize) -> Self {
-        LDiversity { l, kind: DiversityKind::Entropy, column: None }
+        LDiversity {
+            l,
+            kind: DiversityKind::Entropy,
+            column: None,
+        }
     }
 
     /// Recursive (c, ℓ)-diversity on the default sensitive attribute.
     pub fn recursive(c: f64, l: usize) -> Self {
         assert!(c > 0.0, "the recursive constant c must be positive");
-        LDiversity { l, kind: DiversityKind::Recursive { c }, column: None }
+        LDiversity {
+            l,
+            kind: DiversityKind::Recursive { c },
+            column: None,
+        }
     }
 }
 
@@ -203,7 +215,11 @@ impl TCloseness {
                 *l += 1.0;
             }
         }
-        values.iter().map(|(_, g, l)| (g / n - l / m).abs()).sum::<f64>() / 2.0
+        values
+            .iter()
+            .map(|(_, g, l)| (g / n - l / m).abs())
+            .sum::<f64>()
+            / 2.0
     }
 }
 
@@ -243,15 +259,18 @@ impl PrivacyModel for PSensitive {
     }
 
     fn class_satisfied(&self, table: &AnonymizedTable, members: &[u32]) -> bool {
-        LDiversity { l: self.p, kind: DiversityKind::Distinct, column: self.column }
-            .class_satisfied(table, members)
+        LDiversity {
+            l: self.p,
+            kind: DiversityKind::Distinct,
+            column: self.column,
+        }
+        .class_satisfied(table, members)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     use anoncmp_microdata::prelude::*;
 

@@ -36,7 +36,10 @@ impl PersonalizedKAnonymity {
     /// Panics if any demand is zero (every individual is in a class of at
     /// least one — demand 0 is meaningless).
     pub fn new(k_of: Vec<usize>) -> Self {
-        assert!(k_of.iter().all(|&k| k >= 1), "personal k demands must be ≥ 1");
+        assert!(
+            k_of.iter().all(|&k| k >= 1),
+            "personal k demands must be ≥ 1"
+        );
         PersonalizedKAnonymity { k_of }
     }
 
@@ -49,7 +52,10 @@ impl PersonalizedKAnonymity {
         let k_of = bounds
             .iter()
             .map(|&p| {
-                assert!(p > 0.0 && p <= 1.0, "breach bounds must be probabilities in (0, 1]");
+                assert!(
+                    p > 0.0 && p <= 1.0,
+                    "breach bounds must be probabilities in (0, 1]"
+                );
                 (1.0 / p).ceil() as usize
             })
             .collect();
@@ -117,9 +123,14 @@ mod tests {
 
     /// Classes of sizes 2 ({1,2}) and 3 ({11,12,13}).
     fn fixture() -> AnonymizedTable {
-        let schema = Schema::new(vec![Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
-            .with_hierarchy(IntervalLadder::uniform(0, &[10, 100]).unwrap().into())
-            .unwrap()])
+        let schema = Schema::new(vec![Attribute::integer(
+            "age",
+            Role::QuasiIdentifier,
+            0,
+            100,
+        )
+        .with_hierarchy(IntervalLadder::uniform(0, &[10, 100]).unwrap().into())
+        .unwrap()])
         .unwrap();
         let ds = Dataset::new(
             schema.clone(),
@@ -171,10 +182,12 @@ mod tests {
         let t = fixture();
         let ds = t.dataset().clone();
         let demands = vec![3usize; ds.len()];
-        let c = Constraint::k_anonymity(1)
-            .with_model(Arc::new(PersonalizedKAnonymity::new(demands)));
+        let c =
+            Constraint::k_anonymity(1).with_model(Arc::new(PersonalizedKAnonymity::new(demands)));
         // Datafly generalizes until the strict personal demands hold.
-        let out = Datafly.anonymize(&ds, &c).expect("satisfiable by generalization");
+        let out = Datafly
+            .anonymize(&ds, &c)
+            .expect("satisfiable by generalization");
         assert!(c.satisfied(&out));
         assert!(out.classes().min_class_size() >= 3);
     }

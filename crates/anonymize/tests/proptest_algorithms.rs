@@ -41,7 +41,10 @@ fn check_satisfies(
 ) -> std::result::Result<(), TestCaseError> {
     match result {
         Ok(t) => {
-            prop_assert!(constraint.satisfied(&t), "{name} output violates constraint");
+            prop_assert!(
+                constraint.satisfied(&t),
+                "{name} output violates constraint"
+            );
             prop_assert_eq!(t.len(), n, "{} changed the tuple count", name);
         }
         Err(AnonymizeError::Unsatisfiable(_)) => {

@@ -14,15 +14,23 @@ use anoncmp_microdata::loss::{CellLossCache, LossMetric};
 use anoncmp_microdata::prelude::*;
 
 fn release(rows: usize) -> AnonymizedTable {
-    let ds = generate(&CensusConfig { rows, seed: 5, zip_pool: 20 });
+    let ds = generate(&CensusConfig {
+        rows,
+        seed: 5,
+        zip_pool: 20,
+    });
     let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
-    lattice.apply(&ds, &[2, 2, 1, 1, 0, 0], "bench").expect("mid-level recoding")
+    lattice
+        .apply(&ds, &[2, 2, 1, 1, 0, 0], "bench")
+        .expect("mid-level recoding")
 }
 
 /// DESIGN.md decision 1: signature hashing vs sort-based grouping.
 fn grouping(c: &mut Criterion) {
     let mut group = c.benchmark_group("grouping");
-    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(2));
     for rows in [1_000usize, 10_000] {
         let t = release(rows);
         let records = t.records().to_vec();
@@ -40,7 +48,9 @@ fn grouping(c: &mut Criterion) {
 /// DESIGN.md decision 2: memoized vs direct cell-loss computation.
 fn loss_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("loss_cache");
-    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(2));
     for rows in [1_000usize, 10_000] {
         let t = release(rows);
         let ds: &Arc<Dataset> = t.dataset();
@@ -78,21 +88,17 @@ fn loss_cache(c: &mut Criterion) {
 /// log space is a pure win above the overflow threshold).
 fn hv_log_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("hv_log_vs_exact");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     let n = 32usize; // still safe for exact products
     let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i % 5) + 2) as f64).collect());
     let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i % 3) + 3) as f64).collect());
     group.bench_function("exact32", |b| {
-        b.iter(|| {
-            black_box(
-                HypervolumeComparator::with_mode(HvMode::Exact).compare(&d1, &d2),
-            )
-        })
+        b.iter(|| black_box(HypervolumeComparator::with_mode(HvMode::Exact).compare(&d1, &d2)))
     });
     group.bench_function("log32", |b| {
-        b.iter(|| {
-            black_box(HypervolumeComparator::with_mode(HvMode::Log).compare(&d1, &d2))
-        })
+        b.iter(|| black_box(HypervolumeComparator::with_mode(HvMode::Log).compare(&d1, &d2)))
     });
     group.finish();
 }

@@ -1,54 +1,73 @@
 //! Algorithm scaling benches: wall-clock cost of each disclosure control
 //! algorithm as the dataset grows, at a fixed k.
-
-use std::sync::Arc;
+//!
+//! Jobs are declared as engine [`EvalJob`]s and executed on a single
+//! dedicated [`Engine`] with one worker, so the numbers measure the
+//! algorithm plus the engine's (small) dispatch overhead — the same path
+//! the experiments take. The engine's release cache is cleared between
+//! iterations (datasets stay cached), so every iteration re-runs the
+//! anonymization itself.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use anoncmp_anonymize::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
-use anoncmp_microdata::prelude::Dataset;
+use anoncmp_engine::prelude::*;
 
-fn data(rows: usize) -> Arc<Dataset> {
-    generate(&CensusConfig { rows, seed: 99, zip_pool: 20 })
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        jobs: 1,
+        ..EngineConfig::default()
+    })
+}
+
+fn job(rows: usize, algorithm: AlgorithmSpec, k: usize, max_suppression: usize) -> EvalJob {
+    EvalJob {
+        dataset: DatasetSpec::Census {
+            rows,
+            seed: 99,
+            zip_pool: 20,
+        },
+        algorithm,
+        k,
+        max_suppression,
+        properties: vec![],
+    }
 }
 
 fn algo_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("algo_scaling");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
+    let engine = engine();
     for rows in [200usize, 500, 1000] {
-        let ds = data(rows);
-        let constraint = Constraint::k_anonymity(5).with_suppression(rows / 20);
-        group.bench_with_input(BenchmarkId::new("datafly", rows), &rows, |b, _| {
-            b.iter(|| black_box(Datafly.anonymize(&ds, &constraint).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("mondrian", rows), &rows, |b, _| {
-            b.iter(|| black_box(Mondrian.anonymize(&ds, &constraint).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", rows), &rows, |b, _| {
-            b.iter(|| black_box(GreedyRecoder::default().anonymize(&ds, &constraint).unwrap()))
-        });
+        for algorithm in [
+            AlgorithmSpec::Datafly,
+            AlgorithmSpec::Mondrian,
+            AlgorithmSpec::Greedy,
+        ] {
+            let j = job(rows, algorithm, 5, rows / 20);
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), rows), &rows, |b, _| {
+                b.iter(|| {
+                    engine.clear_releases();
+                    black_box(engine.run(std::slice::from_ref(&j)))
+                })
+            });
+        }
     }
     // The exhaustive searches are benchmarked at one moderate size.
-    let ds = data(300);
-    let constraint = Constraint::k_anonymity(5).with_suppression(15);
-    group.bench_function("samarati/300", |b| {
-        b.iter(|| black_box(Samarati::default().anonymize(&ds, &constraint).unwrap()))
-    });
-    group.bench_function("incognito/300", |b| {
-        b.iter(|| black_box(Incognito::default().anonymize(&ds, &constraint).unwrap()))
-    });
-    group.bench_function("subset_incognito/300", |b| {
-        b.iter(|| black_box(SubsetIncognito::default().anonymize(&ds, &constraint).unwrap()))
-    });
-    let ga = Genetic {
-        config: GeneticConfig { population: 16, generations: 10, ..Default::default() },
-        ..Default::default()
-    };
-    group.bench_function("genetic/300", |b| {
-        b.iter(|| black_box(ga.anonymize(&ds, &constraint).unwrap()))
-    });
+    for algorithm in [
+        AlgorithmSpec::Samarati,
+        AlgorithmSpec::Incognito,
+        AlgorithmSpec::SubsetIncognito,
+        AlgorithmSpec::Genetic,
+    ] {
+        let j = job(300, algorithm, 5, 15);
+        group.bench_function(format!("{}/300", algorithm.name()), |b| {
+            b.iter(|| {
+                engine.clear_releases();
+                black_box(engine.run(std::slice::from_ref(&j)))
+            })
+        });
+    }
     group.finish();
 }
 
@@ -57,15 +76,17 @@ fn k_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("algo_k_sweep");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
-    let ds = data(500);
+    let engine = engine();
     for k in [2usize, 10, 50] {
-        let constraint = Constraint::k_anonymity(k).with_suppression(25);
-        group.bench_with_input(BenchmarkId::new("mondrian", k), &k, |b, _| {
-            b.iter(|| black_box(Mondrian.anonymize(&ds, &constraint).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("datafly", k), &k, |b, _| {
-            b.iter(|| black_box(Datafly.anonymize(&ds, &constraint).unwrap()))
-        });
+        for algorithm in [AlgorithmSpec::Mondrian, AlgorithmSpec::Datafly] {
+            let j = job(500, algorithm, k, 25);
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), k), &k, |b, _| {
+                b.iter(|| {
+                    engine.clear_releases();
+                    black_box(engine.run(std::slice::from_ref(&j)))
+                })
+            });
+        }
     }
     group.finish();
 }

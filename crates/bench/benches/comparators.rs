@@ -14,7 +14,9 @@ fn vectors(n: usize) -> (PropertyVector, PropertyVector) {
 
 fn comparator_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("comparator_scaling");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [100usize, 10_000, 1_000_000] {
         let (d1, d2) = vectors(n);
         let rank = RankComparator::toward_uniform(14.0, n);
@@ -40,7 +42,9 @@ fn comparator_scaling(c: &mut Criterion) {
 
 fn preference_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("preference_scaling");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [100usize, 10_000] {
         let (p1, p2) = vectors(n);
         let (u1, u2) = vectors(n);
@@ -76,7 +80,9 @@ fn preference_scaling(c: &mut Criterion) {
 
 fn bias_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("bias_scaling");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [100usize, 10_000, 1_000_000] {
         let (d, _) = vectors(n);
         group.bench_with_input(BenchmarkId::new("bias_report", n), &n, |b, _| {
@@ -86,5 +92,10 @@ fn bias_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, comparator_scaling, preference_scaling, bias_scaling);
+criterion_group!(
+    benches,
+    comparator_scaling,
+    preference_scaling,
+    bias_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Engine benches: what the evaluation engine itself buys.
+//!
+//! * `sweep_workers/*` — the E13-style algorithm × k grid executed with 1,
+//!   2, and 4 workers (fresh releases each iteration): the parallel
+//!   speedup of the worker pool.
+//! * `sweep_memoized` — the same grid served entirely from the
+//!   memoization cache: the cost of a fully-warm sweep.
+//! * `dispatch_overhead` — a single trivially-small job, measuring the
+//!   engine's fixed per-sweep cost (fingerprinting, channels, record
+//!   assembly).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_engine::prelude::*;
+
+/// A reduced E13-style grid: fast algorithms only, two k values.
+fn grid(rows: usize) -> Vec<EvalJob> {
+    [2usize, 5]
+        .into_iter()
+        .flat_map(|k| {
+            [
+                AlgorithmSpec::Datafly,
+                AlgorithmSpec::Mondrian,
+                AlgorithmSpec::Greedy,
+                AlgorithmSpec::TopDown,
+            ]
+            .into_iter()
+            .map(move |algorithm| EvalJob {
+                dataset: DatasetSpec::Census {
+                    rows,
+                    seed: 99,
+                    zip_pool: 20,
+                },
+                algorithm,
+                k,
+                max_suppression: rows / 20,
+                properties: vec![PropertySpec::EqClassSize],
+            })
+        })
+        .collect()
+}
+
+fn sweep_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_workers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let jobs = grid(500);
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::new(EngineConfig {
+            jobs: workers,
+            ..EngineConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("grid_500", workers), &workers, |b, _| {
+            b.iter(|| {
+                engine.clear_releases();
+                black_box(engine.run(&jobs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sweep_memoized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_memoized");
+    group.sample_size(10);
+    let jobs = grid(500);
+    let engine = Engine::new(EngineConfig {
+        jobs: 2,
+        ..EngineConfig::default()
+    });
+    engine.run(&jobs); // warm the cache
+    group.bench_function("grid_500_warm", |b| b.iter(|| black_box(engine.run(&jobs))));
+    group.finish();
+}
+
+fn dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch");
+    group.sample_size(20);
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        ..EngineConfig::default()
+    });
+    let job = EvalJob {
+        dataset: DatasetSpec::Census {
+            rows: 30,
+            seed: 1,
+            zip_pool: 5,
+        },
+        algorithm: AlgorithmSpec::Datafly,
+        k: 2,
+        max_suppression: 3,
+        properties: vec![],
+    };
+    group.bench_function("single_tiny_job", |b| {
+        b.iter(|| {
+            engine.clear_releases();
+            black_box(engine.run(std::slice::from_ref(&job)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_workers, sweep_memoized, dispatch_overhead);
+criterion_main!(benches);

@@ -15,7 +15,9 @@ fn vectors(n: usize) -> (PropertyVector, PropertyVector) {
 
 fn epsilon_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("epsilon_scaling");
-    group.sample_size(15).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [100usize, 10_000, 1_000_000] {
         let (d1, d2) = vectors(n);
         let eps = EpsilonComparator::default();
@@ -28,7 +30,9 @@ fn epsilon_scaling(c: &mut Criterion) {
 
 fn pareto_machinery(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto");
-    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [50usize, 200, 800] {
         // Random-ish 3-objective points.
         let points: Vec<Vec<f64>> = (0..n)
@@ -57,9 +61,17 @@ fn moga_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("moga");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
-    let ds = generate(&CensusConfig { rows: 200, seed: 4, zip_pool: 15 });
+    let ds = generate(&CensusConfig {
+        rows: 200,
+        seed: 4,
+        zip_pool: 15,
+    });
     let moga = MultiObjectiveGenetic {
-        config: MogaConfig { population: 12, generations: 8, ..Default::default() },
+        config: MogaConfig {
+            population: 12,
+            generations: 8,
+            ..Default::default()
+        },
         ..Default::default()
     };
     group.bench_function("nsga2_200rows_12x8", |b| {
@@ -70,8 +82,14 @@ fn moga_search(c: &mut Criterion) {
 
 fn query_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_workload");
-    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
-    let ds = generate(&CensusConfig { rows: 1000, seed: 4, zip_pool: 20 });
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let ds = generate(&CensusConfig {
+        rows: 1000,
+        seed: 4,
+        zip_pool: 20,
+    });
     let constraint = Constraint::k_anonymity(5).with_suppression(50);
     let release = Mondrian.anonymize(&ds, &constraint).unwrap();
     for queries in [20usize, 100] {
@@ -91,13 +109,17 @@ fn query_workload(c: &mut Criterion) {
 
 fn tournament_matrix(c: &mut Criterion) {
     let mut group = c.benchmark_group("tournament_matrix");
-    group.sample_size(12).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(2));
     for candidates in [4usize, 16] {
         let vectors: Vec<PropertyVector> = (0..candidates)
             .map(|i| {
                 PropertyVector::new(
                     format!("c{i}"),
-                    (0..5_000).map(|t| ((t * (i + 2)) % 17) as f64 + 1.0).collect(),
+                    (0..5_000)
+                        .map(|t| ((t * (i + 2)) % 17) as f64 + 1.0)
+                        .collect(),
                 )
             })
             .collect();

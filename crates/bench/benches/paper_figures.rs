@@ -23,7 +23,9 @@ fn fig1_eqclass(c: &mut Criterion) {
 /// Figure 2: rank-index computation at increasing dimension.
 fn fig2_rank(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_rank");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [10usize, 1_000, 100_000] {
         let d = PropertyVector::new("d", (0..n).map(|i| (i % 7) as f64 + 1.0).collect());
         let cmp = RankComparator::toward_uniform(10.0, n);
@@ -37,7 +39,9 @@ fn fig2_rank(c: &mut Criterion) {
 /// Figure 3: coverage + spread index pairs at increasing dimension.
 fn fig3_cov_spr(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_cov_spr");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
     for n in [10usize, 1_000, 100_000] {
         let d1 = PropertyVector::new("d1", (0..n).map(|i| ((i * 7) % 13) as f64).collect());
         let d2 = PropertyVector::new("d2", (0..n).map(|i| ((i * 11) % 13) as f64).collect());
@@ -65,5 +69,11 @@ fn fig4_hypervolume(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, fig1_eqclass, fig2_rank, fig3_cov_spr, fig4_hypervolume);
+criterion_group!(
+    benches,
+    fig1_eqclass,
+    fig2_rank,
+    fig3_cov_spr,
+    fig4_hypervolume
+);
 criterion_main!(benches);

@@ -2,13 +2,19 @@
 //!
 //! Usage:
 //! ```text
-//! experiments                # run everything (E01–E16)
-//! experiments e04 e09 e13    # run selected experiments
-//! experiments --list         # list the experiment index
-//! experiments --quick        # run everything, E13 in its quick config
+//! experiments                    # run everything (E01–E16)
+//! experiments e04 e09 e13        # run selected experiments
+//! experiments --list             # list the experiment index
+//! experiments --quick            # run everything, E13 in its quick config
+//! experiments e13 --jobs 8       # engine worker threads (0 = one per CPU)
+//! experiments e13 --out r.jsonl  # stream engine EvalRecords as JSONL
 //! ```
+//!
+//! `--jobs` only changes wall-clock time: engine sweeps are deterministic,
+//! so the printed reports are byte-identical whatever the worker count.
 
 use anoncmp_bench::experiments::{registry, study};
+use anoncmp_engine::Engine;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,12 +28,33 @@ fn main() {
         return;
     }
 
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // Flags with values: --jobs N, --out PATH.
+    let mut positional: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| fail("--jobs needs a non-negative integer"));
+                Engine::global().set_jobs(n);
+            }
+            "--out" => {
+                let path = it.next().unwrap_or_else(|| fail("--out needs a file path"));
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+                Engine::global().set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+            }
+            other if other.starts_with("--") => fail(&format!(
+                "unknown flag {other} (supported: --list --quick --jobs --out)"
+            )),
+            other => positional.push(other),
+        }
+    }
+    let selected = positional;
 
     let mut unknown: Vec<&str> = selected
         .iter()
@@ -36,7 +63,10 @@ fn main() {
         .collect();
     if !unknown.is_empty() {
         unknown.sort_unstable();
-        eprintln!("unknown experiment ids: {} (use --list)", unknown.join(", "));
+        eprintln!(
+            "unknown experiment ids: {} (use --list)",
+            unknown.join(", ")
+        );
         std::process::exit(2);
     }
 
@@ -52,4 +82,12 @@ fn main() {
         println!("{report}");
         println!("{}", "=".repeat(78));
     }
+
+    // Drop the sink so the JSONL file is flushed before exit.
+    Engine::global().set_sink(None);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }

@@ -9,54 +9,75 @@
 //! which comparators are interchangeable and which genuinely measure
 //! different things — practical guidance for anyone adopting the paper's
 //! framework.
+//!
+//! The candidate releases are requested from the shared
+//! [`anoncmp_engine`] engine using the *same grid point E13 sweeps*
+//! (census rows/seed/zip-pool, k = 5): when E13 has already run in this
+//! process, every release here is a memoization cache hit — the report's
+//! `engine cache:` line makes the reuse visible.
 
-use anoncmp_anonymize::prelude::*;
 use anoncmp_core::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_engine::prelude::*;
+
+use super::study::StudyConfig;
 
 fn comparator_pool(n: usize) -> Vec<(String, Box<dyn Comparator>)> {
     vec![
-        ("cov".into(), Box::new(CoverageComparator) as Box<dyn Comparator>),
+        (
+            "cov".into(),
+            Box::new(CoverageComparator) as Box<dyn Comparator>,
+        ),
         ("spr".into(), Box::new(SpreadComparator)),
-        ("rank".into(), Box::new(RankComparator::toward_uniform(n as f64, n))),
+        (
+            "rank".into(),
+            Box::new(RankComparator::toward_uniform(n as f64, n)),
+        ),
         ("hv".into(), Box::new(HypervolumeComparator::default())),
         ("eps+".into(), Box::new(EpsilonComparator::default())),
     ]
 }
 
-/// Runs E16 with the given dataset size.
+/// Runs E16 with the given dataset size. The dataset seed and zip pool
+/// match [`StudyConfig::default`], so at the default 1000 rows the eight
+/// releases coincide with E13's k = 5 grid row.
 pub fn e16_agreement_with(rows: usize) -> String {
-    let dataset = generate(&CensusConfig { rows, seed: 616, zip_pool: 20 });
-    let constraint = Constraint::k_anonymity(4).with_suppression(rows / 20);
+    let study = StudyConfig {
+        rows,
+        ..StudyConfig::default()
+    };
+    let k = 5;
+    let jobs: Vec<EvalJob> = AlgorithmSpec::standard_suite()
+        .into_iter()
+        .map(|algorithm| EvalJob {
+            dataset: study.dataset_spec(),
+            algorithm,
+            k,
+            max_suppression: rows / 20,
+            properties: vec![PropertySpec::EqClassSize],
+        })
+        .collect();
+    let sweep = Engine::global().run(&jobs);
+
     let mut out = String::new();
     out.push_str(&format!(
-        "E16 · Comparator agreement — {} tuples, k = 4, 8 candidate releases\n\n",
-        dataset.len()
+        "E16 · Comparator agreement — {rows} tuples, k = {k}, 8 candidate releases\n\n",
     ));
 
-    let algos: Vec<Box<dyn Anonymizer>> = vec![
-        Box::new(Datafly),
-        Box::new(Samarati::default()),
-        Box::new(Incognito::default()),
-        Box::new(Mondrian),
-        Box::new(GreedyRecoder::default()),
-        Box::new(Genetic::default()),
-        Box::new(TopDown::default()),
-        Box::new(GreedyCluster),
-    ];
-    let mut releases = Vec::new();
-    for algo in &algos {
-        match algo.anonymize(&dataset, &constraint) {
-            Ok(t) => releases.push(t),
-            Err(e) => out.push_str(&format!("  {} failed: {e}\n", algo.name())),
+    let mut names: Vec<String> = Vec::new();
+    let mut vectors: Vec<PropertyVector> = Vec::new();
+    for o in &sweep.outcomes {
+        match &o.record.status {
+            JobStatus::Ok => {
+                names.push(o.record.algorithm.clone());
+                vectors.push(o.vectors[0].clone());
+            }
+            status => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
         }
     }
-    let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
+    let names: Vec<&str> = names.iter().map(String::as_str).collect();
 
     // Rankings per comparator.
-    let pool = comparator_pool(dataset.len());
+    let pool = comparator_pool(rows);
     let rankings: Vec<(String, Vec<usize>)> = pool
         .iter()
         .map(|(label, cmp)| {
@@ -90,17 +111,20 @@ pub fn e16_agreement_with(rows: usize) -> String {
     }
     out.push_str(&format!(
         "\n  lowest pairwise agreement: τ = {min_tau:.2}.\n\
+         \n  {}.\n\
          \n  Reading: comparators built on the same intuition (cov/spr, rank/eps)\n\
          correlate strongly, but none are identical — the choice of ▶-better\n\
          comparator is part of the comparison's semantics, exactly the point\n\
          Knowles & Corne [8] made for multiobjective quality measures.\n",
+        sweep.cache_summary()
     ));
     out
 }
 
-/// Runs E16 at the default size.
+/// Runs E16 at the E13 grid size, so its releases are engine cache hits
+/// when E13 ran earlier in the same process.
 pub fn e16_agreement() -> String {
-    e16_agreement_with(400)
+    e16_agreement_with(1000)
 }
 
 #[cfg(test)]
@@ -116,6 +140,7 @@ mod tests {
         }
         // Diagonal of the matrix is 1.00.
         assert!(s.contains("1.00"));
+        assert!(s.contains("engine cache:"));
     }
 
     #[test]
@@ -127,6 +152,37 @@ mod tests {
             .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_lowercase()))
             .filter(|l| l.contains("1.00"))
             .collect();
-        assert!(matrix_lines.len() >= 5, "five diagonal entries expected:\n{s}");
+        assert!(
+            matrix_lines.len() >= 5,
+            "five diagonal entries expected:\n{s}"
+        );
+    }
+
+    #[test]
+    fn releases_are_cache_hits_after_a_study_style_sweep() {
+        // Prime the shared cache with an E13-style grid at this size, then
+        // check E16 reuses those releases — the acceptance scenario for
+        // cross-experiment memoization, scaled down for test speed.
+        let study = StudyConfig {
+            rows: 120,
+            ks: vec![5],
+            ..StudyConfig::default()
+        };
+        Engine::global().run(&study.jobs());
+        let s = e16_agreement_with(120);
+        let cache_line = s
+            .lines()
+            .find(|l| l.contains("engine cache:"))
+            .expect("cache summary present");
+        // Other tests share the global engine and may interleave their own
+        // lookups into this sweep's counters, so assert on the hits this
+        // sweep is guaranteed to have made rather than on exact counts.
+        let hits: u64 = cache_line
+            .split(" hit")
+            .next()
+            .and_then(|prefix| prefix.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .expect("cache summary states a hit count");
+        assert!(hits >= 8, "expected all 8 releases cached: {cache_line}");
     }
 }

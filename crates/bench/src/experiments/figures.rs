@@ -9,8 +9,7 @@ use anoncmp_datagen::paper;
 /// can have different privacy levels for individual tuples."
 pub fn e04_figure1() -> String {
     let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
-    let vectors: Vec<PropertyVector> =
-        tables.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = tables.iter().map(|t| EqClassSize.extract(t)).collect();
     let mut out = String::new();
     out.push_str("E04 · Figure 1 — size of the equivalence class per tuple\n\n");
     out.push_str("  tuple   T3a   T3b    T4\n");
@@ -57,8 +56,7 @@ pub fn e04_figure1() -> String {
 /// tolerance widens the tie bands.
 pub fn e06_figure2() -> String {
     let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
-    let vectors: Vec<PropertyVector> =
-        tables.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = tables.iter().map(|t| EqClassSize.extract(t)).collect();
     // D_max: every tuple in one class of 10 — the maximal-privacy vector.
     let rank = RankComparator::toward_uniform(10.0, 10);
     let mut out = String::new();
@@ -73,11 +71,18 @@ pub fn e06_figure2() -> String {
     let order = {
         let mut idx: Vec<usize> = (0..3).collect();
         idx.sort_by(|&a, &b| {
-            rank.rank(&vectors[a]).partial_cmp(&rank.rank(&vectors[b])).expect("not NaN")
+            rank.rank(&vectors[a])
+                .partial_cmp(&rank.rank(&vectors[b]))
+                .expect("not NaN")
         });
-        idx.iter().map(|&i| tables[i].name().to_owned()).collect::<Vec<_>>()
+        idx.iter()
+            .map(|&i| tables[i].name().to_owned())
+            .collect::<Vec<_>>()
     };
-    out.push_str(&format!("\n  ▶rank ordering (best first): {}\n", order.join(" ▶ ")));
+    out.push_str(&format!(
+        "\n  ▶rank ordering (best first): {}\n",
+        order.join(" ▶ ")
+    ));
     // ε-tolerance demonstration.
     let d1 = PropertyVector::new("A", vec![3.0, 4.0]);
     let d2 = PropertyVector::new("B", vec![4.0, 3.0]);
@@ -110,7 +115,14 @@ pub fn e07_figure3() -> String {
             std::cmp::Ordering::Less => ("D2", d2[i] - d1[i]),
             std::cmp::Ordering::Equal => ("tie", 0.0),
         };
-        out.push_str(&format!("  {:>5} {:>4} {:>4} {:>8} {:>8}\n", i + 1, d1[i], d2[i], w, m));
+        out.push_str(&format!(
+            "  {:>5} {:>4} {:>4} {:>8} {:>8}\n",
+            i + 1,
+            d1[i],
+            d2[i],
+            w,
+            m
+        ));
     }
     out.push_str(&format!(
         "\n  P_cov(D1,D2) = {:.2}   P_cov(D2,D1) = {:.2}  → coverage ties (3/5 each)\n",

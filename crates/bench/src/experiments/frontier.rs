@@ -8,13 +8,16 @@
 
 use anoncmp_anonymize::prelude::*;
 use anoncmp_core::pareto::point_strongly_dominates;
-use anoncmp_core::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
-use anoncmp_microdata::loss::LossMetric;
+use anoncmp_engine::prelude::*;
 
 /// Runs E14 with the given dataset size.
 pub fn e14_frontier_with(rows: usize) -> String {
-    let dataset = generate(&CensusConfig { rows, seed: 777, zip_pool: 20 });
+    let spec = DatasetSpec::Census {
+        rows,
+        seed: 777,
+        zip_pool: 20,
+    };
+    let dataset = spec.materialize();
     let mut out = String::new();
     out.push_str(&format!(
         "E14 · §7 extension — the privacy/utility Pareto frontier ({} tuples)\n\n",
@@ -22,7 +25,11 @@ pub fn e14_frontier_with(rows: usize) -> String {
     ));
 
     let moga = MultiObjectiveGenetic {
-        config: MogaConfig { population: 24, generations: 20, ..Default::default() },
+        config: MogaConfig {
+            population: 24,
+            generations: 20,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let front = moga.run(&dataset).expect("moga runs");
@@ -42,28 +49,35 @@ pub fn e14_frontier_with(rows: usize) -> String {
         ));
     }
 
-    // Where do the classical constraint-based outputs sit?
+    // Where do the classical constraint-based outputs sit? The releases
+    // come from the shared engine (and its cache, if anything else asked
+    // for this grid point already).
     out.push_str("\n  classical algorithms against the frontier (k = 5):\n");
-    let constraint = Constraint::k_anonymity(5).with_suppression(rows / 20);
-    let metric = LossMetric::classic();
-    let algos: Vec<Box<dyn Anonymizer>> = vec![
-        Box::new(Datafly),
-        Box::new(Incognito::default()),
-        Box::new(Mondrian),
-    ];
-    for algo in &algos {
-        match algo.anonymize(&dataset, &constraint) {
-            Ok(t) => {
-                let point = vec![
-                    EqClassSize.extract(&t).mean().expect("non-empty"),
-                    -metric.total_loss(&t),
-                ];
+    let jobs: Vec<EvalJob> = [
+        AlgorithmSpec::Datafly,
+        AlgorithmSpec::Incognito,
+        AlgorithmSpec::Mondrian,
+    ]
+    .into_iter()
+    .map(|algorithm| EvalJob {
+        dataset: spec.clone(),
+        algorithm,
+        k: 5,
+        max_suppression: rows / 20,
+        properties: vec![PropertySpec::EqClassSize],
+    })
+    .collect();
+    let sweep = Engine::global().run(&jobs);
+    for o in &sweep.outcomes {
+        match (&o.record.status, &o.record.metrics) {
+            (JobStatus::Ok, Some(m)) => {
+                let point = vec![o.vectors[0].mean().expect("non-empty"), -m.total_loss];
                 let dominated = front
                     .iter()
                     .any(|s| point_strongly_dominates(&s.objectives, &point));
                 out.push_str(&format!(
                     "  {:<12} mean |EC| {:>8.2}  loss {:>8.1}  → {}\n",
-                    t.name(),
+                    o.record.algorithm,
                     point[0],
                     -point[1],
                     if dominated {
@@ -73,7 +87,7 @@ pub fn e14_frontier_with(rows: usize) -> String {
                     }
                 ));
             }
-            Err(e) => out.push_str(&format!("  {} failed: {e}\n", algo.name())),
+            (status, _) => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
         }
     }
     out.push_str(

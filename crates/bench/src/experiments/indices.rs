@@ -83,8 +83,12 @@ pub fn e10_weighted_example() -> String {
     let mut out = String::new();
     out.push_str("E10 · §5.5 — weighted privacy/utility comparison of T3a and T3b\n\n");
     out.push_str("  Iyengar-utility vectors computed from the releases (paper prints 3 s.f.):\n");
-    out.push_str(&format!("  {ua}\n  (paper: (2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6))\n"));
-    out.push_str(&format!("  {ub}\n  (paper: (2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97))\n\n"));
+    out.push_str(&format!(
+        "  {ua}\n  (paper: (2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6))\n"
+    ));
+    out.push_str(&format!(
+        "  {ub}\n  (paper: (2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97))\n\n"
+    ));
     out.push_str(&format!(
         "  privacy:  P_cov(p_a,p_b) = {:.2} < {:.2} = P_cov(p_b,p_a)\n",
         coverage_index(&pa, &pb),
@@ -114,8 +118,7 @@ pub fn e10_weighted_example() -> String {
 /// E11 — Table 4: the dominance relations between the paper's releases.
 pub fn e11_dominance_table() -> String {
     let tables = [paper::paper_t3a(), paper::paper_t3b(), paper::paper_t4()];
-    let vectors: Vec<PropertyVector> =
-        tables.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = tables.iter().map(|t| EqClassSize.extract(t)).collect();
     let mut out = String::new();
     out.push_str("E11 · Table 4 — strict comparators on the class-size property\n\n");
     out.push_str("  relation matrix (row vs column):\n");
@@ -167,8 +170,7 @@ pub fn e11_dominance_table() -> String {
 pub fn utility_matches_paper(table: &AnonymizedTable, expected: &[f64]) -> bool {
     let metric = LossMetric::paper_ratio();
     let got = metric.utility_vector(table);
-    got.len() == expected.len()
-        && got.iter().zip(expected).all(|(g, e)| (g - e).abs() < 5e-3)
+    got.len() == expected.len() && got.iter().zip(expected).all(|(g, e)| (g - e).abs() < 5e-3)
 }
 
 /// The paper's printed u_a (3 s.f.).

@@ -27,18 +27,66 @@ pub struct Experiment {
 /// The full experiment registry, in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e01", describes: "Table 1 — hypothetical microdata", run: paper_tables::e01_table1 },
-        Experiment { id: "e02", describes: "Table 2 — 3-anonymous T3a and T3b", run: paper_tables::e02_table2 },
-        Experiment { id: "e03", describes: "Table 3 — 4-anonymous T4", run: paper_tables::e03_table3 },
-        Experiment { id: "e04", describes: "Figure 1 — per-tuple class sizes", run: figures::e04_figure1 },
-        Experiment { id: "e05", describes: "§3 — classical quality indices", run: indices::e05_section3_indices },
-        Experiment { id: "e06", describes: "Figure 2 — ▶rank comparator", run: figures::e06_figure2 },
-        Experiment { id: "e07", describes: "Figure 3 — ▶cov vs ▶spr", run: figures::e07_figure3 },
-        Experiment { id: "e08", describes: "§5.3 — spread counterexample", run: indices::e08_spread_counterexample },
-        Experiment { id: "e09", describes: "Figure 4 — ▶hv hypervolume", run: figures::e09_figure4 },
-        Experiment { id: "e10", describes: "§5.5 — ▶WTD worked example", run: indices::e10_weighted_example },
-        Experiment { id: "e11", describes: "Table 4 — dominance relations", run: indices::e11_dominance_table },
-        Experiment { id: "e12", describes: "Theorem 1 — index falsification", run: theorem::e12_theorem1 },
+        Experiment {
+            id: "e01",
+            describes: "Table 1 — hypothetical microdata",
+            run: paper_tables::e01_table1,
+        },
+        Experiment {
+            id: "e02",
+            describes: "Table 2 — 3-anonymous T3a and T3b",
+            run: paper_tables::e02_table2,
+        },
+        Experiment {
+            id: "e03",
+            describes: "Table 3 — 4-anonymous T4",
+            run: paper_tables::e03_table3,
+        },
+        Experiment {
+            id: "e04",
+            describes: "Figure 1 — per-tuple class sizes",
+            run: figures::e04_figure1,
+        },
+        Experiment {
+            id: "e05",
+            describes: "§3 — classical quality indices",
+            run: indices::e05_section3_indices,
+        },
+        Experiment {
+            id: "e06",
+            describes: "Figure 2 — ▶rank comparator",
+            run: figures::e06_figure2,
+        },
+        Experiment {
+            id: "e07",
+            describes: "Figure 3 — ▶cov vs ▶spr",
+            run: figures::e07_figure3,
+        },
+        Experiment {
+            id: "e08",
+            describes: "§5.3 — spread counterexample",
+            run: indices::e08_spread_counterexample,
+        },
+        Experiment {
+            id: "e09",
+            describes: "Figure 4 — ▶hv hypervolume",
+            run: figures::e09_figure4,
+        },
+        Experiment {
+            id: "e10",
+            describes: "§5.5 — ▶WTD worked example",
+            run: indices::e10_weighted_example,
+        },
+        Experiment {
+            id: "e11",
+            describes: "Table 4 — dominance relations",
+            run: indices::e11_dominance_table,
+        },
+        Experiment {
+            id: "e12",
+            describes: "Theorem 1 — index falsification",
+            run: theorem::e12_theorem1,
+        },
         Experiment {
             id: "e13",
             describes: "Extended study — 8 algorithms × k sweep",

@@ -65,7 +65,13 @@ mod tests {
     #[test]
     fn e02_matches_paper_renderings() {
         let s = e02_table2();
-        for token in ["1305*", "(25,35]", "130**", "(15,35]", "Married (CF-Spouse)"] {
+        for token in [
+            "1305*",
+            "(25,35]",
+            "130**",
+            "(15,35]",
+            "Married (CF-Spouse)",
+        ] {
             assert!(s.contains(token), "missing '{token}'");
         }
         assert!(s.contains("T3a = 3, T3b = 3"));

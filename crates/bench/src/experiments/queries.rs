@@ -8,32 +8,48 @@
 //! compared — alongside the paper-style per-tuple view, where the query
 //! error is decomposed per individual and fed to the ▶cov comparator.
 
-use anoncmp_anonymize::prelude::*;
+use std::sync::Arc;
+
 use anoncmp_core::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_engine::prelude::*;
+use anoncmp_microdata::prelude::AnonymizedTable;
 
 /// Runs E15 with the given dataset size.
 pub fn e15_queries_with(rows: usize) -> String {
-    let dataset = generate(&CensusConfig { rows, seed: 515, zip_pool: 20 });
+    let spec = DatasetSpec::Census {
+        rows,
+        seed: 515,
+        zip_pool: 20,
+    };
+    let dataset = spec.materialize();
     let k = 5;
-    let constraint = Constraint::k_anonymity(k).with_suppression(rows / 20);
     let mut out = String::new();
     out.push_str(&format!(
         "E15 · Query-workload utility — {} tuples, k = {k}, 60 COUNT(*) range queries\n\n",
         dataset.len()
     ));
 
-    let algos: Vec<Box<dyn Anonymizer>> = vec![
-        Box::new(Datafly),
-        Box::new(TopDown::default()),
-        Box::new(Incognito::default()),
-        Box::new(Mondrian),
-    ];
-    let mut releases = Vec::new();
-    for algo in &algos {
-        match algo.anonymize(&dataset, &constraint) {
-            Ok(t) => releases.push(t),
-            Err(e) => out.push_str(&format!("  {} failed: {e}\n", algo.name())),
+    let jobs: Vec<EvalJob> = [
+        AlgorithmSpec::Datafly,
+        AlgorithmSpec::TopDown,
+        AlgorithmSpec::Incognito,
+        AlgorithmSpec::Mondrian,
+    ]
+    .into_iter()
+    .map(|algorithm| EvalJob {
+        dataset: spec.clone(),
+        algorithm,
+        k,
+        max_suppression: rows / 20,
+        properties: vec![],
+    })
+    .collect();
+    let sweep = Engine::global().run(&jobs);
+    let mut releases: Vec<Arc<AnonymizedTable>> = Vec::new();
+    for o in &sweep.outcomes {
+        match (&o.record.status, &o.table) {
+            (JobStatus::Ok, Some(t)) => releases.push(t.clone()),
+            (status, _) => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
         }
     }
 
@@ -41,7 +57,9 @@ pub fn e15_queries_with(rows: usize) -> String {
     // predicates (where Mondrian's multidimensional regions should shine).
     for (label, dims) in [("1 predicate", 1usize), ("2 predicates", 2)] {
         let workload = Workload::random(&dataset, 60, dims, 0.3, 2026);
-        out.push_str(&format!("  workload with {label} per query — mean relative error:\n"));
+        out.push_str(&format!(
+            "  workload with {label} per query — mean relative error:\n"
+        ));
         let mut errors: Vec<(String, f64)> = releases
             .iter()
             .map(|t| (t.name().to_owned(), workload.mean_relative_error(t)))
@@ -57,8 +75,10 @@ pub fn e15_queries_with(rows: usize) -> String {
     // individual and let ▶cov judge.
     let workload = Workload::random(&dataset, 60, 2, 0.3, 2026);
     let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| workload.tuple_error_vector(t)).collect();
+    let vectors: Vec<PropertyVector> = releases
+        .iter()
+        .map(|t| workload.tuple_error_vector(t))
+        .collect();
     let matrix = ComparisonMatrix::of_vectors(&names, &vectors, &CoverageComparator);
     out.push_str("  per-tuple query-error property, ▶cov tournament:\n");
     for line in matrix.render().lines() {
@@ -117,7 +137,10 @@ mod tests {
             "expected mondrian in the top two on 2-predicate, got: {top_two:?}"
         );
         // And the per-tuple ▶cov tournament crowns mondrian.
-        let rank_line = s.lines().find(|l| l.contains("ranking (Copeland):")).expect("ranking");
+        let rank_line = s
+            .lines()
+            .find(|l| l.contains("ranking (Copeland):"))
+            .expect("ranking");
         assert!(
             rank_line.contains("ranking (Copeland): mondrian"),
             "expected mondrian as ▶cov champion: {rank_line}"

@@ -6,14 +6,19 @@
 //! sweep of k values, and every comparison method of the paper is applied —
 //! scalar indices, the pairwise ▶cov/▶spr tournaments, ▶rank distances,
 //! bias statistics, and the multi-property ▶WTD/▶LEX verdicts.
+//!
+//! The algorithm × k grid is executed by [`anoncmp_engine`]'s shared
+//! engine: jobs are declared as [`EvalJob`]s, run on the worker pool
+//! (`experiments --jobs N` sets its width), and memoized — a later
+//! experiment that asks for the same release (E16's agreement tournament
+//! does) gets a cache hit instead of a recomputation.
 
 use std::sync::Arc;
 
-use anoncmp_anonymize::prelude::*;
+use anoncmp_anonymize::prelude::Constraint;
 use anoncmp_core::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
-use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset};
+use anoncmp_engine::prelude::*;
+use anoncmp_microdata::prelude::AnonymizedTable;
 
 /// Study configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -28,67 +33,98 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { rows: 1000, ks: vec![2, 5, 10, 25, 50], seed: 2024 }
+        StudyConfig {
+            rows: 1000,
+            ks: vec![2, 5, 10, 25, 50],
+            seed: 2024,
+        }
     }
 }
 
 impl StudyConfig {
     /// A fast configuration for tests and debug builds.
     pub fn quick() -> Self {
-        StudyConfig { rows: 150, ks: vec![2, 5], seed: 7 }
+        StudyConfig {
+            rows: 150,
+            ks: vec![2, 5],
+            seed: 7,
+        }
+    }
+
+    /// The dataset spec every study job shares.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        DatasetSpec::Census {
+            rows: self.rows,
+            seed: self.seed,
+            zip_pool: 25,
+        }
+    }
+
+    /// The engine jobs of the full algorithm × k grid, in report order.
+    pub fn jobs(&self) -> Vec<EvalJob> {
+        self.ks
+            .iter()
+            .flat_map(|&k| {
+                AlgorithmSpec::standard_suite()
+                    .into_iter()
+                    .map(move |algorithm| EvalJob {
+                        dataset: self.dataset_spec(),
+                        algorithm,
+                        k,
+                        max_suppression: self.rows / 20,
+                        properties: vec![PropertySpec::EqClassSize, PropertySpec::IyengarUtility],
+                    })
+            })
+            .collect()
     }
 }
 
-fn algorithms() -> Vec<Box<dyn Anonymizer>> {
-    vec![
-        Box::new(Datafly),
-        Box::new(Samarati::default()),
-        Box::new(Incognito::default()),
-        Box::new(Mondrian),
-        Box::new(GreedyRecoder::default()),
-        Box::new(Genetic::default()),
-        Box::new(TopDown::default()),
-        Box::new(GreedyCluster),
-    ]
-}
-
-fn run_k(dataset: &Arc<Dataset>, k: usize) -> String {
-    let constraint = Constraint::k_anonymity(k).with_suppression(dataset.len() / 20);
+/// Formats one k section from the engine outcomes of that grid row.
+fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> String {
     let mut out = String::new();
+    let constraint = Constraint::k_anonymity(k).with_suppression(max_suppression);
     out.push_str(&format!(
         "── k = {k} ({}) ──────────────────────────────────────────────\n",
         constraint.describe()
     ));
-    let mut releases: Vec<AnonymizedTable> = Vec::new();
-    for algo in algorithms() {
-        match algo.anonymize(dataset, &constraint) {
-            Ok(t) => releases.push(t),
-            Err(e) => out.push_str(&format!("  {} failed: {e}\n", algo.name())),
+    let mut releases: Vec<Arc<AnonymizedTable>> = Vec::new();
+    let mut vectors: Vec<PropertyVector> = Vec::new();
+    let mut utils: Vec<PropertyVector> = Vec::new();
+    for o in outcomes {
+        match (&o.record.status, &o.table) {
+            (JobStatus::Ok, Some(t)) => {
+                releases.push(t.clone());
+                vectors.push(o.vectors[0].clone());
+                utils.push(o.vectors[1].clone());
+            }
+            (status, _) => out.push_str(&format!(
+                "  {} failed: {}\n",
+                o.record.algorithm,
+                status_message(status)
+            )),
         }
     }
-    let metric = LossMetric::classic();
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
-    let utils: Vec<PropertyVector> = releases
-        .iter()
-        .map(|t| IyengarUtility::paper().extract(t))
-        .collect();
 
     // Scalar table.
     out.push_str(&format!(
         "  {:<12} {:>4} {:>8} {:>9} {:>11} {:>10} {:>7}\n",
         "algorithm", "k", "classes", "avg |EC|", "total loss", "suppressed", "gini"
     ));
-    for (t, v) in releases.iter().zip(&vectors) {
+    for (o, v) in outcomes
+        .iter()
+        .filter(|o| o.record.status.is_ok())
+        .zip(&vectors)
+    {
         let b = BiasReport::of(v);
+        let m = o.record.metrics.as_ref().expect("ok outcome has metrics");
         out.push_str(&format!(
             "  {:<12} {:>4} {:>8} {:>9.2} {:>11.1} {:>10} {:>7.3}\n",
-            t.name(),
-            t.classes().min_class_size(),
-            t.classes().class_count(),
+            o.record.algorithm,
+            m.min_class_size,
+            m.classes,
             b.mean,
-            metric.total_loss(t),
-            t.suppressed_count(),
+            m.total_loss,
+            m.suppressed,
             b.gini
         ));
     }
@@ -155,7 +191,11 @@ fn run_k(dataset: &Arc<Dataset>, k: usize) -> String {
                 }
             }
         }
-        let best = wins.iter().enumerate().max_by_key(|(_, &w)| w).map(|(i, _)| i);
+        let best = wins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(i, _)| i);
         best.map(|i| format!("{} ({} wins)", sets[i].anonymization(), wins[i]))
             .unwrap_or_else(|| "n/a".into())
     };
@@ -167,36 +207,37 @@ fn run_k(dataset: &Arc<Dataset>, k: usize) -> String {
     out
 }
 
-/// Runs the full study.
+/// Renders an error status for the report.
+fn status_message(status: &JobStatus) -> String {
+    match status {
+        JobStatus::Ok => "ok".into(),
+        JobStatus::Failed { message } => message.clone(),
+        JobStatus::Panicked { message } => format!("panicked: {message}"),
+        JobStatus::BudgetExceeded { budget_ms } => {
+            format!("exceeded the {budget_ms} ms budget")
+        }
+    }
+}
+
+/// Runs the full study on the shared engine.
 pub fn e13_study(config: &StudyConfig) -> String {
-    let dataset = generate(&CensusConfig {
-        rows: config.rows,
-        seed: config.seed,
-        zip_pool: 25,
-    });
+    let jobs = config.jobs();
+    let sweep = Engine::global().run(&jobs);
+
     let mut out = String::new();
     out.push_str(&format!(
         "E13 · Comparative study — {} synthetic census tuples, k ∈ {:?}\n\n",
-        dataset.len(),
-        config.ks
+        config.rows, config.ks
     ));
-    // Sweep k values in parallel; results are ordered by k afterwards.
-    let mut sections: Vec<(usize, String)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = config
-            .ks
-            .iter()
-            .map(|&k| {
-                let ds = dataset.clone();
-                scope.spawn(move |_| (k, run_k(&ds, k)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("study worker panicked")).collect()
-    })
-    .expect("study scope");
-    sections.sort_by_key(|(k, _)| *k);
-    for (_, s) in sections {
-        out.push_str(&s);
+    // One section per k, in ascending order regardless of how the worker
+    // pool scheduled the jobs (outcomes arrive in submission order).
+    let mut ks = config.ks.clone();
+    ks.sort_unstable();
+    for k in ks {
+        let section: Vec<&JobOutcome> = sweep.outcomes.iter().filter(|o| o.job.k == k).collect();
+        out.push_str(&format_k(k, config.rows / 20, &section));
     }
+    out.push_str(&format!("{}\n", sweep.cache_summary()));
     out.push_str(
         "Reading guide: identical k columns with different gini/rank rows are the\n\
          anonymization bias in action; WTD/LEX champions can differ because the\n\
@@ -212,11 +253,28 @@ mod tests {
     #[test]
     fn quick_study_runs_and_reports_all_algorithms() {
         let s = e13_study(&StudyConfig::quick());
-        for name in ["datafly", "samarati", "incognito", "mondrian", "greedy", "genetic", "top-down", "clustering"] {
+        for name in [
+            "datafly",
+            "samarati",
+            "incognito",
+            "mondrian",
+            "greedy",
+            "genetic",
+            "top-down",
+            "clustering",
+        ] {
             assert!(s.contains(name), "missing {name}:\n{s}");
         }
         assert!(s.contains("k = 2"));
         assert!(s.contains("k = 5"));
         assert!(s.contains("multi-property champions"));
+        assert!(s.contains("engine cache:"));
+    }
+
+    #[test]
+    fn study_grid_covers_algorithms_by_ks() {
+        let jobs = StudyConfig::default().jobs();
+        assert_eq!(jobs.len(), 8 * 5);
+        assert!(jobs.iter().all(|j| j.max_suppression == 50));
     }
 }

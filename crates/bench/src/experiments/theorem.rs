@@ -49,7 +49,10 @@ pub fn e12_theorem1() -> String {
         ("{mean}", vec!["mean"]),
         ("{min, mean}", vec!["min", "mean"]),
         ("{min, max, mean}", vec!["min", "max", "mean"]),
-        ("{min, max, mean, median, sum}", vec!["min", "max", "mean", "median", "sum"]),
+        (
+            "{min, max, mean, median, sum}",
+            vec!["min", "max", "mean", "median", "sum"],
+        ),
     ];
     for (label, names) in &candidates {
         let n_dims = names.len() + 1; // one more dimension than indices
@@ -72,7 +75,11 @@ pub fn e12_theorem1() -> String {
         let found = falsify(&fam, n, 0xE12 + n as u64, 20_000).is_some();
         out.push_str(&format!(
             "      N = {n}: {} (projections decide dominance exactly)\n",
-            if found { "FALSIFIED (unexpected!)" } else { "no counterexample in 20k trials" }
+            if found {
+                "FALSIFIED (unexpected!)"
+            } else {
+                "no counterexample in 20k trials"
+            }
         ));
     }
 
@@ -121,16 +128,22 @@ pub fn e12_theorem1() -> String {
     // in a restricted vector set, three whole families X/Y/Z of comparable
     // vectors arise, which the corollary's closure argument uses to grow
     // the set until Theorem 1 applies.
-    out.push_str("
+    out.push_str(
+        "
   (4b) Corollary 1 — the X/Y/Z cones around a dominating pair:
-");
+",
+    );
     let a = PropertyVector::new("a", vec![4.0, 6.0, 5.0]);
     let b = PropertyVector::new("b", vec![2.0, 6.0, 1.0]);
     let (x, y, z) = corollary1_cones(&a, &b, 0.5);
-    out.push_str(&format!("      a = {a}, b = {b}
-"));
-    out.push_str(&format!("      sampled: {x}, {y}, {z}
-"));
+    out.push_str(&format!(
+        "      a = {a}, b = {b}
+"
+    ));
+    out.push_str(&format!(
+        "      sampled: {x}, {y}, {z}
+"
+    ));
     out.push_str(&format!(
         "      chain x ⪰ a ⪰ y ⪰ b ⪰ z holds: {}
 ",
@@ -190,8 +203,10 @@ fn proof_hyperrectangle_report(
     c: f64,
 ) -> String {
     let rect = anoncmp_core::theory::proof_hyperrectangle(fam, n, a, b, c);
-    let cells: Vec<String> =
-        rect.iter().map(|(lo, hi)| format!("({lo:.2},{hi:.2})")).collect();
+    let cells: Vec<String> = rect
+        .iter()
+        .map(|(lo, hi)| format!("({lo:.2},{hi:.2})"))
+        .collect();
     cells.join(" × ")
 }
 

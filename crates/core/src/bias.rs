@@ -81,7 +81,10 @@ impl BiasReport {
 /// Panics on an empty vector or negative components.
 pub fn gini(d: &PropertyVector) -> f64 {
     assert!(!d.is_empty(), "gini of an empty vector is undefined");
-    assert!(d.iter().all(|x| x >= 0.0), "gini requires nonnegative values");
+    assert!(
+        d.iter().all(|x| x >= 0.0),
+        "gini requires nonnegative values"
+    );
     let n = d.len() as f64;
     let mut sorted: Vec<f64> = d.values().to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("property values are not NaN"));
@@ -90,8 +93,11 @@ pub fn gini(d: &PropertyVector) -> f64 {
         return 0.0;
     }
     // G = (2 Σ_i i·x_(i) − (n+1) Σ x) / (n Σ x), with 1-based ranks.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted - (n + 1.0) * total) / (n * total)
 }
 
@@ -102,9 +108,15 @@ pub fn gini(d: &PropertyVector) -> f64 {
 /// # Panics
 /// Panics on an empty vector, negative components, or `points == 0`.
 pub fn lorenz_curve(d: &PropertyVector, points: usize) -> Vec<(f64, f64)> {
-    assert!(!d.is_empty(), "lorenz curve of an empty vector is undefined");
+    assert!(
+        !d.is_empty(),
+        "lorenz curve of an empty vector is undefined"
+    );
     assert!(points > 0, "need at least one sample point");
-    assert!(d.iter().all(|x| x >= 0.0), "lorenz curve requires nonnegative values");
+    assert!(
+        d.iter().all(|x| x >= 0.0),
+        "lorenz curve requires nonnegative values"
+    );
     let mut sorted: Vec<f64> = d.values().to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("property values are not NaN"));
     let total: f64 = sorted.iter().sum();
@@ -117,7 +129,11 @@ pub fn lorenz_curve(d: &PropertyVector, points: usize) -> Vec<(f64, f64)> {
         .map(|p| {
             let frac = p as f64 / points as f64;
             let idx = ((frac * n as f64).round() as usize).min(n);
-            let share = if total == 0.0 { frac } else { cumulative[idx] / total };
+            let share = if total == 0.0 {
+                frac
+            } else {
+                cumulative[idx] / total
+            };
             (frac, share)
         })
         .collect()

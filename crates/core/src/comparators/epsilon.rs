@@ -24,8 +24,15 @@ use crate::vector::PropertyVector;
 /// # Panics
 /// Panics if dimensions differ or the vectors are empty.
 pub fn additive_epsilon_index(d1: &PropertyVector, d2: &PropertyVector) -> f64 {
-    assert_eq!(d1.len(), d2.len(), "epsilon indicator requires equal dimensions");
-    assert!(!d1.is_empty(), "epsilon indicator of empty vectors is undefined");
+    assert_eq!(
+        d1.len(),
+        d2.len(),
+        "epsilon indicator requires equal dimensions"
+    );
+    assert!(
+        !d1.is_empty(),
+        "epsilon indicator of empty vectors is undefined"
+    );
     d1.iter()
         .zip(d2.iter())
         .map(|(a, b)| b - a)
@@ -38,8 +45,15 @@ pub fn additive_epsilon_index(d1: &PropertyVector, d2: &PropertyVector) -> f64 {
 /// Panics if dimensions differ, the vectors are empty, or any component is
 /// not strictly positive.
 pub fn multiplicative_epsilon_index(d1: &PropertyVector, d2: &PropertyVector) -> f64 {
-    assert_eq!(d1.len(), d2.len(), "epsilon indicator requires equal dimensions");
-    assert!(!d1.is_empty(), "epsilon indicator of empty vectors is undefined");
+    assert_eq!(
+        d1.len(),
+        d2.len(),
+        "epsilon indicator requires equal dimensions"
+    );
+    assert!(
+        !d1.is_empty(),
+        "epsilon indicator of empty vectors is undefined"
+    );
     assert!(
         d1.iter().all(|x| x > 0.0) && d2.iter().all(|x| x > 0.0),
         "multiplicative epsilon requires strictly positive values"
@@ -177,7 +191,9 @@ mod tests {
         assert_eq!(BinaryIndex::value(&c, &d1, &d2), -2.0);
         assert_eq!(BinaryIndex::name(&c), "I_eps+");
         assert_eq!(Comparator::name(&c), "eps+");
-        let m = EpsilonComparator { kind: EpsilonKind::Multiplicative };
+        let m = EpsilonComparator {
+            kind: EpsilonKind::Multiplicative,
+        };
         assert_eq!(Comparator::name(&m), "eps*");
         assert_eq!(BinaryIndex::name(&m), "I_eps*");
     }

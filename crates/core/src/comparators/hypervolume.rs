@@ -107,11 +107,7 @@ impl Comparator for HypervolumeComparator {
         if self.use_log(d1.len()) {
             prefer_higher(log_volume_proxy(d1), log_volume_proxy(d2), 0.0)
         } else {
-            prefer_higher(
-                hypervolume_index(d1, d2),
-                hypervolume_index(d2, d1),
-                0.0,
-            )
+            prefer_higher(hypervolume_index(d1, d2), hypervolume_index(d2, d1), 0.0)
         }
     }
 }
@@ -143,7 +139,10 @@ mod tests {
         let t = v(&[4.0; 8]);
         assert_eq!(hypervolume_index(&s, &t), 56727.0);
         assert_eq!(hypervolume_index(&t, &s), 37888.0);
-        assert_eq!(HypervolumeComparator::default().compare(&s, &t), Preference::First);
+        assert_eq!(
+            HypervolumeComparator::default().compare(&s, &t),
+            Preference::First
+        );
     }
 
     #[test]

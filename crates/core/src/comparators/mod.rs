@@ -19,9 +19,7 @@ pub use coverage::{coverage_index, CoverageComparator};
 pub use epsilon::{
     additive_epsilon_index, multiplicative_epsilon_index, EpsilonComparator, EpsilonKind,
 };
-pub use hypervolume::{
-    hypervolume_index, log_volume_proxy, HvMode, HypervolumeComparator,
-};
+pub use hypervolume::{hypervolume_index, log_volume_proxy, HvMode, HypervolumeComparator};
 pub use rank::{rank_index, RankComparator};
 pub use spread::{spread_index, NormalizedSpread, SpreadComparator};
 

@@ -27,7 +27,10 @@ impl RankComparator {
     /// Ranks against an explicit point of interest, with exact comparison
     /// (`ε = 0`).
     pub fn new(d_max: PropertyVector) -> Self {
-        RankComparator { d_max, epsilon: 0.0 }
+        RankComparator {
+            d_max,
+            epsilon: 0.0,
+        }
     }
 
     /// Sets the tolerance `ε` within which two ranks tie.
@@ -50,7 +53,9 @@ impl RankComparator {
     /// # Panics
     /// Panics if `vectors` is empty or dimensions differ.
     pub fn toward_ideal_of(vectors: &[&PropertyVector]) -> Self {
-        let first = vectors.first().expect("ideal point needs at least one vector");
+        let first = vectors
+            .first()
+            .expect("ideal point needs at least one vector");
         let n = first.len();
         let mut ideal = vec![f64::NEG_INFINITY; n];
         for v in vectors {

@@ -28,7 +28,10 @@ use crate::vector::PropertyVector;
 /// Panics if dimensions differ.
 pub fn spread_index(d1: &PropertyVector, d2: &PropertyVector) -> f64 {
     assert_eq!(d1.len(), d2.len(), "spread requires equal dimensions");
-    d1.iter().zip(d2.iter()).map(|(a, b)| (a - b).max(0.0)).sum()
+    d1.iter()
+        .zip(d2.iter())
+        .map(|(a, b)| (a - b).max(0.0))
+        .sum()
 }
 
 /// The ▶spr-better comparator.
@@ -99,8 +102,12 @@ mod tests {
         // The 3-anonymous vector vs the 2-anonymous vector: P_spr values
         // "compare at 2 and 8", favoring the 2-anonymous generalization —
         // counter to the minimum-class-size preference.
-        let three = v(&[3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0]);
-        let two = v(&[2.0, 2.0, 6.0, 6.0, 6.0, 6.0, 6.0, 6.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0]);
+        let three = v(&[
+            3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0,
+        ]);
+        let two = v(&[
+            2.0, 2.0, 6.0, 6.0, 6.0, 6.0, 6.0, 6.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0,
+        ]);
         assert_eq!(spread_index(&three, &two), 2.0);
         assert_eq!(spread_index(&two, &three), 8.0);
         assert_eq!(SpreadComparator.compare(&two, &three), Preference::First);

@@ -52,8 +52,7 @@ pub fn strongly_dominates(d1: &PropertyVector, d2: &PropertyVector) -> bool {
 /// ("incomparable", Table 4 row 3).
 pub fn non_dominated(d1: &PropertyVector, d2: &PropertyVector) -> bool {
     assert_eq!(d1.len(), d2.len(), "dominance requires equal dimensions");
-    d1.iter().zip(d2.iter()).any(|(a, b)| a > b)
-        && d1.iter().zip(d2.iter()).any(|(a, b)| a < b)
+    d1.iter().zip(d2.iter()).any(|(a, b)| a > b) && d1.iter().zip(d2.iter()).any(|(a, b)| a < b)
 }
 
 /// Classifies the dominance relation between two vectors.
@@ -75,15 +74,25 @@ pub fn relation(d1: &PropertyVector, d2: &PropertyVector) -> DominanceRelation {
 /// Panics if the sets are not aligned (same properties, same order, same
 /// dimension).
 pub fn set_weakly_dominates(s1: &PropertySet, s2: &PropertySet) -> bool {
-    assert!(s1.aligned_with(s2), "property sets must be aligned for comparison");
-    s1.vectors().iter().zip(s2.vectors()).all(|(a, b)| weakly_dominates(a, b))
+    assert!(
+        s1.aligned_with(s2),
+        "property sets must be aligned for comparison"
+    );
+    s1.vectors()
+        .iter()
+        .zip(s2.vectors())
+        .all(|(a, b)| weakly_dominates(a, b))
 }
 
 /// Set-level strong dominance: weak dominance on every property and strong
 /// dominance on at least one.
 pub fn set_strongly_dominates(s1: &PropertySet, s2: &PropertySet) -> bool {
     set_weakly_dominates(s1, s2)
-        && s1.vectors().iter().zip(s2.vectors()).any(|(a, b)| strongly_dominates(a, b))
+        && s1
+            .vectors()
+            .iter()
+            .zip(s2.vectors())
+            .any(|(a, b)| strongly_dominates(a, b))
 }
 
 /// Classifies the dominance relation between two aligned property sets.
@@ -130,8 +139,14 @@ mod tests {
     #[test]
     fn relation_classification() {
         assert_eq!(relation(&v(&[1.0]), &v(&[1.0])), DominanceRelation::Equal);
-        assert_eq!(relation(&v(&[2.0]), &v(&[1.0])), DominanceRelation::FirstDominates);
-        assert_eq!(relation(&v(&[1.0]), &v(&[2.0])), DominanceRelation::SecondDominates);
+        assert_eq!(
+            relation(&v(&[2.0]), &v(&[1.0])),
+            DominanceRelation::FirstDominates
+        );
+        assert_eq!(
+            relation(&v(&[1.0]), &v(&[2.0])),
+            DominanceRelation::SecondDominates
+        );
         assert_eq!(
             relation(&v(&[1.0, 2.0]), &v(&[2.0, 1.0])),
             DominanceRelation::Incomparable

@@ -126,7 +126,10 @@ pub mod classic {
         }
 
         fn value(&self, d: &PropertyVector) -> f64 {
-            d.iter().map(|x| x.abs().powf(self.p)).sum::<f64>().powf(1.0 / self.p)
+            d.iter()
+                .map(|x| x.abs().powf(self.p))
+                .sum::<f64>()
+                .powf(1.0 / self.p)
         }
     }
 

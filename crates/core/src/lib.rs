@@ -71,24 +71,23 @@ pub mod prelude {
     };
     pub use crate::index::{classic, normalize_pair, BinaryIndex, UnaryIndex};
     pub use crate::pareto::{
-        crowding_distance, non_dominated_sort, nsga2_order, pareto_front,
-        point_strongly_dominates, point_weakly_dominates,
+        crowding_distance, non_dominated_sort, nsga2_order, pareto_front, point_strongly_dominates,
+        point_weakly_dominates,
     };
     pub use crate::preference::{
         GoalBasis, GoalComparator, LexicographicComparator, SetComparator, WeightedComparator,
     };
     pub use crate::properties::{
         induce_property_set, BreachProbability, Discernibility, DistinctSensitiveCount,
-        EqClassSize, GeneralizationLoss, IyengarUtility, Precision, Property,
-        SensitiveValueCount, TClosenessDistance,
+        EqClassSize, GeneralizationLoss, IyengarUtility, Precision, Property, SensitiveValueCount,
+        TClosenessDistance,
     };
     pub use crate::query::{QueryUtility, RangeQuery, Workload};
     pub use crate::risk::{per_tuple_risk, RiskReport};
     pub use crate::summary::{kendall_tau, ComparisonMatrix};
     pub use crate::theory::{
-        check_pair, corollary1_cones, falsify, projection_family, proof_seed_pairs,
-        Counterexample, SplitMix64,
-        ViolationKind,
+        check_pair, corollary1_cones, falsify, projection_family, proof_seed_pairs, Counterexample,
+        SplitMix64, ViolationKind,
     };
     pub use crate::vector::{PropertySet, PropertyVector};
 }

@@ -75,8 +75,7 @@ pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
         }
     }
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
         for &i in &current {
@@ -110,7 +109,9 @@ pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
     for obj in 0..m {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            points[a][obj].partial_cmp(&points[b][obj]).expect("objectives are not NaN")
+            points[a][obj]
+                .partial_cmp(&points[b][obj])
+                .expect("objectives are not NaN")
         });
         let lo = points[order[0]][obj];
         let hi = points[order[n - 1]][obj];
@@ -135,11 +136,9 @@ pub fn nsga2_order(points: &[Vec<f64>]) -> Vec<usize> {
     let fronts = non_dominated_sort(points);
     let mut order = Vec::with_capacity(points.len());
     for front in fronts {
-        let front_points: Vec<Vec<f64>> =
-            front.iter().map(|&i| points[i].clone()).collect();
+        let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
         let crowd = crowding_distance(&front_points);
-        let mut ranked: Vec<(usize, f64)> =
-            front.into_iter().zip(crowd).collect();
+        let mut ranked: Vec<(usize, f64)> = front.into_iter().zip(crowd).collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("crowding is not NaN"));
         order.extend(ranked.into_iter().map(|(i, _)| i));
     }
@@ -232,7 +231,12 @@ mod tests {
     fn degenerate_objective_span_is_handled() {
         // All points share objective 0; distances come from objective 1
         // alone, with no NaN from the zero span.
-        let pts = vec![vec![1.0, 0.0], vec![1.0, 5.0], vec![1.0, 2.0], vec![1.0, 3.0]];
+        let pts = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 5.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
         let d = crowding_distance(&pts);
         assert!(d.iter().all(|x| !x.is_nan()));
     }

@@ -61,9 +61,16 @@ impl GoalComparator {
         indices: Vec<Box<dyn UnaryIndex>>,
         goal_vectors: &[PropertyVector],
     ) -> Self {
-        assert_eq!(indices.len(), goal_vectors.len(), "one goal vector per index");
-        let goals =
-            indices.iter().zip(goal_vectors).map(|(p, d)| p.value(d)).collect::<Vec<_>>();
+        assert_eq!(
+            indices.len(),
+            goal_vectors.len(),
+            "one goal vector per index"
+        );
+        let goals = indices
+            .iter()
+            .zip(goal_vectors)
+            .map(|(p, d)| p.value(d))
+            .collect::<Vec<_>>();
         GoalComparator::new(goals, GoalBasis::Unary(indices))
     }
 
@@ -158,8 +165,7 @@ mod tests {
         //        → error 1 + (1.759 − 1.7)² ≈ 1.003481
         // T3a is closer to the goals.
         let (t3a, t3b) = paper_sets();
-        let indices: Vec<Box<dyn UnaryIndex>> =
-            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let indices: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex), Box::new(MeanIndex)];
         let c = GoalComparator::new(vec![4.0, 1.7], GoalBasis::Unary(indices));
         let (fwd, bwd) = c.values(&t3a, &t3b);
         assert!((fwd - 1.003481).abs() < 1e-6, "got {fwd}");
@@ -172,8 +178,7 @@ mod tests {
         // Goal property vectors: uniform class size 5 on both properties.
         let goal = PropertyVector::new("priv", vec![5.0; 10]);
         let goal2 = PropertyVector::new("util", vec![2.0; 10]);
-        let indices: Vec<Box<dyn UnaryIndex>> =
-            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let indices: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex), Box::new(MeanIndex)];
         let c = GoalComparator::from_goal_vectors(indices, &[goal, goal2]);
         assert_eq!(c.goals(), &[5.0, 2.0]);
     }
@@ -181,8 +186,7 @@ mod tests {
     #[test]
     fn identical_sets_tie() {
         let (t3a, _) = paper_sets();
-        let indices: Vec<Box<dyn UnaryIndex>> =
-            vec![Box::new(MinIndex), Box::new(MeanIndex)];
+        let indices: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex), Box::new(MeanIndex)];
         let c = GoalComparator::new(vec![3.0, 3.0], GoalBasis::Unary(indices));
         assert_eq!(c.compare(&t3a, &t3a.clone()), Preference::Tie);
     }
@@ -197,6 +201,9 @@ mod tests {
     #[test]
     fn name() {
         let indices: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex)];
-        assert_eq!(GoalComparator::new(vec![1.0], GoalBasis::Unary(indices)).name(), "GOAL");
+        assert_eq!(
+            GoalComparator::new(vec![1.0], GoalBasis::Unary(indices)).name(),
+            "GOAL"
+        );
     }
 }

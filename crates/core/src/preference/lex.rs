@@ -25,9 +25,16 @@ impl LexicographicComparator {
     /// # Panics
     /// Panics if lengths differ, are empty, or any tolerance is negative.
     pub fn new(epsilons: Vec<f64>, indices: Vec<Box<dyn BinaryIndex>>) -> Self {
-        assert_eq!(epsilons.len(), indices.len(), "one tolerance per property index");
+        assert_eq!(
+            epsilons.len(),
+            indices.len(),
+            "one tolerance per property index"
+        );
         assert!(!epsilons.is_empty(), "at least one property is required");
-        assert!(epsilons.iter().all(|&e| e >= 0.0), "tolerances must be nonnegative");
+        assert!(
+            epsilons.iter().all(|&e| e >= 0.0),
+            "tolerances must be nonnegative"
+        );
         LexicographicComparator { epsilons, indices }
     }
 
@@ -75,7 +82,9 @@ mod tests {
     use crate::preference::test_support::paper_sets;
 
     fn cov_indices(r: usize) -> Vec<Box<dyn BinaryIndex>> {
-        (0..r).map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>).collect()
+        (0..r)
+            .map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>)
+            .collect()
     }
 
     #[test]
@@ -132,6 +141,9 @@ mod tests {
 
     #[test]
     fn name() {
-        assert_eq!(LexicographicComparator::strict(cov_indices(1)).name(), "LEX");
+        assert_eq!(
+            LexicographicComparator::strict(cov_indices(1)).name(),
+            "LEX"
+        );
     }
 }

@@ -67,6 +67,9 @@ pub(crate) mod test_support {
             "util",
             vec![2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97],
         );
-        (PropertySet::new("T3a", vec![pa, ua]), PropertySet::new("T3b", vec![pb, ub]))
+        (
+            PropertySet::new("T3a", vec![pa, ua]),
+            PropertySet::new("T3b", vec![pb, ub]),
+        )
     }
 }

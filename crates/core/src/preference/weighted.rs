@@ -28,12 +28,20 @@ impl WeightedComparator {
     /// Panics if `weights` and `indices` lengths differ, are empty, or any
     /// weight is not strictly positive.
     pub fn new(weights: Vec<f64>, indices: Vec<Box<dyn BinaryIndex>>) -> Self {
-        assert_eq!(weights.len(), indices.len(), "one weight per property index");
+        assert_eq!(
+            weights.len(),
+            indices.len(),
+            "one weight per property index"
+        );
         assert!(!weights.is_empty(), "at least one property is required");
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let total: f64 = weights.iter().sum();
         let weights = weights.into_iter().map(|w| w / total).collect();
-        WeightedComparator { weights, indices, normalize: true }
+        WeightedComparator {
+            weights,
+            indices,
+            normalize: true,
+        }
     }
 
     /// Equal weights over the given indices.
@@ -62,7 +70,11 @@ impl WeightedComparator {
         for i in 0..self.weights.len() {
             let a = self.indices[i].value(s1.vector(i), s2.vector(i));
             let b = self.indices[i].value(s2.vector(i), s1.vector(i));
-            let (a, b) = if self.normalize { normalize_pair(a, b) } else { (a, b) };
+            let (a, b) = if self.normalize {
+                normalize_pair(a, b)
+            } else {
+                (a, b)
+            };
             fwd += self.weights[i] * a;
             bwd += self.weights[i] * b;
         }
@@ -88,7 +100,9 @@ mod tests {
     use crate::preference::test_support::paper_sets;
 
     fn cov_indices(r: usize) -> Vec<Box<dyn BinaryIndex>> {
-        (0..r).map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>).collect()
+        (0..r)
+            .map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>)
+            .collect()
     }
 
     #[test]

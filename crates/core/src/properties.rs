@@ -34,8 +34,9 @@ impl Property for EqClassSize {
     }
 
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
-        let sizes: Vec<usize> =
-            (0..table.len()).map(|t| table.classes().class_size_of(t)).collect();
+        let sizes: Vec<usize> = (0..table.len())
+            .map(|t| table.classes().class_size_of(t))
+            .collect();
         PropertyVector::from_usizes(self.name(), &sizes)
     }
 }
@@ -74,14 +75,12 @@ impl Property for BreachProbability {
 /// Counts are taken on the **original** sensitive values, which the data
 /// publisher performing the comparison has access to even when the release
 /// generalizes or suppresses the sensitive column.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SensitiveValueCount {
     /// Column of the sensitive attribute; `None` selects the schema's first
     /// sensitive attribute.
     pub column: Option<usize>,
 }
-
 
 fn resolve_sensitive_column(table: &AnonymizedTable, column: Option<usize>) -> usize {
     column.unwrap_or_else(|| {
@@ -121,14 +120,12 @@ impl Property for SensitiveValueCount {
 /// Number of *distinct* sensitive values in a tuple's equivalence class —
 /// the per-tuple decomposition of distinct ℓ-diversity (Machanavajjhala et
 /// al., cited in §6). Higher is better.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DistinctSensitiveCount {
     /// Column of the sensitive attribute; `None` selects the schema's first
     /// sensitive attribute.
     pub column: Option<usize>,
 }
-
 
 impl Property for DistinctSensitiveCount {
     fn name(&self) -> String {
@@ -147,8 +144,9 @@ impl Property for DistinctSensitiveCount {
             vals.dedup();
             per_class.push(vals.len());
         }
-        let counts: Vec<usize> =
-            (0..table.len()).map(|t| per_class[table.classes().class_of(t)]).collect();
+        let counts: Vec<usize> = (0..table.len())
+            .map(|t| per_class[table.classes().class_of(t)])
+            .collect();
         PropertyVector::from_usizes(self.name(), &counts)
     }
 }
@@ -157,14 +155,12 @@ impl Property for DistinctSensitiveCount {
 /// sensitive-value distribution of the tuple's equivalence class and the
 /// global distribution (Li et al., cited in §6). Lower raw distance is
 /// better, so the property extracts negated.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TClosenessDistance {
     /// Column of the sensitive attribute; `None` selects the schema's first
     /// sensitive attribute.
     pub column: Option<usize>,
 }
-
 
 impl TClosenessDistance {
     /// Raw per-tuple distances in `[0, 1]` (lower is better).
@@ -190,15 +186,18 @@ impl TClosenessDistance {
             let m = members.len() as f64;
             let mut tv = 0.0;
             for (gv, gp) in &global {
-                let local =
-                    members.iter().filter(|&&t| ds.value(t as usize, col) == gv).count() as f64
-                        / m;
+                let local = members
+                    .iter()
+                    .filter(|&&t| ds.value(t as usize, col) == gv)
+                    .count() as f64
+                    / m;
                 tv += (local - gp).abs();
             }
             per_class.push(tv / 2.0);
         }
-        let v: Vec<f64> =
-            (0..table.len()).map(|t| per_class[table.classes().class_of(t)]).collect();
+        let v: Vec<f64> = (0..table.len())
+            .map(|t| per_class[table.classes().class_of(t)])
+            .collect();
         PropertyVector::new("t-closeness-distance", v)
     }
 }
@@ -226,7 +225,9 @@ impl IyengarUtility {
     /// Utility under the paper's §5.5 configuration
     /// ([`LossMetric::paper_ratio`]).
     pub fn paper() -> Self {
-        IyengarUtility { metric: LossMetric::paper_ratio() }
+        IyengarUtility {
+            metric: LossMetric::paper_ratio(),
+        }
     }
 
     /// Utility under a custom loss metric.
@@ -260,7 +261,9 @@ pub struct GeneralizationLoss {
 impl GeneralizationLoss {
     /// Loss under Iyengar's classic LM over quasi-identifiers.
     pub fn classic() -> Self {
-        GeneralizationLoss { metric: LossMetric::classic() }
+        GeneralizationLoss {
+            metric: LossMetric::classic(),
+        }
     }
 
     /// Loss under a custom metric.
@@ -323,10 +326,7 @@ impl Property for Discernibility {
 
 /// Induces the [`PropertySet`] of an r-property anonymization (paper
 /// Definition 2): applies each property in order to the same table.
-pub fn induce_property_set(
-    table: &AnonymizedTable,
-    properties: &[&dyn Property],
-) -> PropertySet {
+pub fn induce_property_set(table: &AnonymizedTable, properties: &[&dyn Property]) -> PropertySet {
     PropertySet::new(
         table.name().to_owned(),
         properties.iter().map(|p| p.extract(table)).collect(),

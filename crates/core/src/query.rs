@@ -13,9 +13,7 @@
 //! paper's comparators apply to query utility just like to any other
 //! property.
 
-use anoncmp_microdata::prelude::{
-    AnonymizedTable, Dataset, Domain, GenValue, Value,
-};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Domain, GenValue, Value};
 
 use crate::theory::SplitMix64;
 use crate::vector::PropertyVector;
@@ -32,15 +30,19 @@ pub struct RangeQuery {
 impl RangeQuery {
     /// Whether a raw tuple of `dataset` matches the query.
     pub fn matches(&self, dataset: &Dataset, tuple: usize) -> bool {
-        self.predicates.iter().all(|&(col, lo, hi)| match dataset.value(tuple, col) {
-            Value::Int(v) => lo < *v && *v <= hi,
-            Value::Cat(c) => lo < *c as i64 && (*c as i64) <= hi,
-        })
+        self.predicates
+            .iter()
+            .all(|&(col, lo, hi)| match dataset.value(tuple, col) {
+                Value::Int(v) => lo < *v && *v <= hi,
+                Value::Cat(c) => lo < *c as i64 && (*c as i64) <= hi,
+            })
     }
 
     /// The exact COUNT(*) answer on the original data.
     pub fn true_count(&self, dataset: &Dataset) -> f64 {
-        (0..dataset.len()).filter(|&t| self.matches(dataset, t)).count() as f64
+        (0..dataset.len())
+            .filter(|&t| self.matches(dataset, t))
+            .count() as f64
     }
 
     /// The estimated COUNT(*) on a release: each tuple contributes the
@@ -48,7 +50,9 @@ impl RangeQuery {
     /// generalized cell region and the predicate interval (uniform
     /// intra-region assumption).
     pub fn estimated_count(&self, table: &AnonymizedTable) -> f64 {
-        (0..table.len()).map(|t| self.tuple_contribution(table, t)).sum()
+        (0..table.len())
+            .map(|t| self.tuple_contribution(table, t))
+            .sum()
     }
 
     /// One tuple's estimated membership probability in `[0, 1]`.
@@ -56,9 +60,7 @@ impl RangeQuery {
         let ds = table.dataset();
         self.predicates
             .iter()
-            .map(|&(col, lo, hi)| {
-                cell_overlap(ds, col, table.cell(tuple, col), lo, hi)
-            })
+            .map(|&(col, lo, hi)| cell_overlap(ds, col, table.cell(tuple, col), lo, hi))
             .product()
     }
 }
@@ -197,8 +199,7 @@ impl Workload {
                 };
                 let span = (dom_hi - dom_lo).max(1) as f64;
                 let width = (span * selectivity).max(1.0) as i64;
-                let start = dom_lo - 1
-                    + (rng.next_f64() * (span - width as f64).max(0.0)) as i64;
+                let start = dom_lo - 1 + (rng.next_f64() * (span - width as f64).max(0.0)) as i64;
                 predicates.push((col, start, start + width));
             }
             queries.push(RangeQuery { predicates });
@@ -324,10 +325,14 @@ mod tests {
     fn true_counts() {
         let (ds, _) = fixture();
         // (10, 20]: ages 12, 15, 18.
-        let q = RangeQuery { predicates: vec![(0, 10, 20)] };
+        let q = RangeQuery {
+            predicates: vec![(0, 10, 20)],
+        };
         assert_eq!(q.true_count(&ds), 3.0);
         // (14, 15]: age 15 only (half-open).
-        let q = RangeQuery { predicates: vec![(0, 14, 15)] };
+        let q = RangeQuery {
+            predicates: vec![(0, 14, 15)],
+        };
         assert_eq!(q.true_count(&ds), 1.0);
     }
 
@@ -336,7 +341,9 @@ mod tests {
         let (_, t) = fixture();
         // Query aligned with the release's buckets: (10,20] matches the
         // first class's interval exactly.
-        let q = RangeQuery { predicates: vec![(0, 10, 20)] };
+        let q = RangeQuery {
+            predicates: vec![(0, 10, 20)],
+        };
         assert!((q.estimated_count(&t) - 3.0).abs() < 1e-12);
     }
 
@@ -344,7 +351,9 @@ mod tests {
     fn estimation_on_partial_overlap_is_proportional() {
         let (_, t) = fixture();
         // (10, 15] overlaps half of (10,20]: three tuples contribute 0.5.
-        let q = RangeQuery { predicates: vec![(0, 10, 15)] };
+        let q = RangeQuery {
+            predicates: vec![(0, 10, 15)],
+        };
         assert!((q.estimated_count(&t) - 1.5).abs() < 1e-12);
         // Truth is 2 (ages 12, 15): relative error |1.5 − 2| / 2 = 0.25.
         let w = Workload::new(vec![q]);
@@ -381,7 +390,9 @@ mod tests {
         let sup = AnonymizedTable::fully_suppressed(ds, "sup");
         // (0, 50] covers half the 0..=100 domain; wait: span 101, overlap
         // (0,50] ∩ (-1,100] → 50 values of 101.
-        let q = RangeQuery { predicates: vec![(0, 0, 50)] };
+        let q = RangeQuery {
+            predicates: vec![(0, 0, 50)],
+        };
         let est = q.estimated_count(&sup);
         assert!((est - 4.0 * 50.0 / 101.0).abs() < 1e-9);
     }

@@ -40,7 +40,10 @@ impl RiskReport {
     /// # Panics
     /// Panics on an empty table or a threshold outside `(0, 1]`.
     pub fn of(table: &AnonymizedTable, threshold: f64) -> RiskReport {
-        assert!(!table.is_empty(), "risk report of an empty release is undefined");
+        assert!(
+            !table.is_empty(),
+            "risk report of an empty release is undefined"
+        );
         assert!(
             threshold > 0.0 && threshold <= 1.0,
             "threshold must be a probability in (0, 1]"
@@ -49,8 +52,7 @@ impl RiskReport {
         let n = risks.len() as f64;
         let max_risk = risks.max().expect("non-empty");
         let sum = risks.sum();
-        let at_risk =
-            risks.iter().filter(|&r| r > threshold + 1e-12).count() as f64;
+        let at_risk = risks.iter().filter(|&r| r > threshold + 1e-12).count() as f64;
         RiskReport {
             max_risk,
             mean_risk: sum / n,
@@ -79,9 +81,14 @@ mod tests {
 
     /// Classes of sizes 2 and 3 (ages {1,2} and {11,12,13}).
     fn fixture() -> AnonymizedTable {
-        let schema = Schema::new(vec![Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
-            .with_hierarchy(IntervalLadder::uniform(0, &[10]).unwrap().into())
-            .unwrap()])
+        let schema = Schema::new(vec![Attribute::integer(
+            "age",
+            Role::QuasiIdentifier,
+            0,
+            100,
+        )
+        .with_hierarchy(IntervalLadder::uniform(0, &[10]).unwrap().into())
+        .unwrap()])
         .unwrap();
         let ds = Dataset::new(
             schema.clone(),

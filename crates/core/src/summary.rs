@@ -101,18 +101,27 @@ impl ComparisonMatrix {
 
     /// Number of strict wins of candidate `i`.
     pub fn wins(&self, i: usize) -> usize {
-        self.outcomes[i].iter().filter(|&&p| p == Preference::First).count()
+        self.outcomes[i]
+            .iter()
+            .filter(|&&p| p == Preference::First)
+            .count()
     }
 
     /// Number of strict losses of candidate `i`.
     pub fn losses(&self, i: usize) -> usize {
-        self.outcomes[i].iter().filter(|&&p| p == Preference::Second).count()
+        self.outcomes[i]
+            .iter()
+            .filter(|&&p| p == Preference::Second)
+            .count()
     }
 
     /// Number of incomparable verdicts involving candidate `i` (only
     /// nonzero for dominance-based comparators).
     pub fn incomparabilities(&self, i: usize) -> usize {
-        self.outcomes[i].iter().filter(|&&p| p == Preference::Incomparable).count()
+        self.outcomes[i]
+            .iter()
+            .filter(|&&p| p == Preference::Incomparable)
+            .count()
     }
 
     /// Copeland score of candidate `i`: wins − losses.
@@ -177,7 +186,11 @@ impl ComparisonMatrix {
 /// Panics if the rankings differ in length, contain different index sets,
 /// or have fewer than two candidates.
 pub fn kendall_tau(ranking_a: &[usize], ranking_b: &[usize]) -> f64 {
-    assert_eq!(ranking_a.len(), ranking_b.len(), "rankings must cover the same candidates");
+    assert_eq!(
+        ranking_a.len(),
+        ranking_b.len(),
+        "rankings must cover the same candidates"
+    );
     let n = ranking_a.len();
     assert!(n >= 2, "rank correlation needs at least two candidates");
     // position[candidate] in each ranking.
@@ -213,8 +226,8 @@ pub fn kendall_tau(ranking_a: &[usize], ranking_b: &[usize]) -> f64 {
 mod tests {
     use super::*;
     use crate::comparators::{CoverageComparator, DominanceComparator};
-    use crate::preference::WeightedComparator;
     use crate::index::BinaryIndex;
+    use crate::preference::WeightedComparator;
 
     fn v(vals: &[f64]) -> PropertyVector {
         PropertyVector::new("p", vals.to_vec())

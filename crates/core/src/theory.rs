@@ -159,10 +159,18 @@ pub fn falsify(
 ) -> Option<Counterexample> {
     let consider = |d1: &PropertyVector, d2: &PropertyVector| -> Option<Counterexample> {
         if let Some(kind) = check_pair(family, d1, d2) {
-            return Some(Counterexample { d1: d1.clone(), d2: d2.clone(), kind });
+            return Some(Counterexample {
+                d1: d1.clone(),
+                d2: d2.clone(),
+                kind,
+            });
         }
         if let Some(kind) = check_pair(family, d2, d1) {
-            return Some(Counterexample { d1: d2.clone(), d2: d1.clone(), kind });
+            return Some(Counterexample {
+                d1: d2.clone(),
+                d2: d1.clone(),
+                kind,
+            });
         }
         None
     };
@@ -220,17 +228,26 @@ pub fn corollary1_cones(
     b: &PropertyVector,
     t: f64,
 ) -> (PropertyVector, PropertyVector, PropertyVector) {
-    assert!(weakly_dominates(a, b), "Corollary 1's construction requires a ⪰ b");
+    assert!(
+        weakly_dominates(a, b),
+        "Corollary 1's construction requires a ⪰ b"
+    );
     assert!(
         a.iter().all(|v| v > 0.0) && b.iter().all(|v| v > 0.0),
         "the scaling cones require positive components"
     );
-    assert!((0.0..=1.0).contains(&t), "sample parameter must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&t),
+        "sample parameter must lie in [0, 1]"
+    );
     let scale_up = 1.0 + t; // cᵢ = 1 + t ≥ 1
     let x = PropertyVector::new("x", a.iter().map(|v| v * scale_up).collect());
     let y = PropertyVector::new(
         "y",
-        a.iter().zip(b.iter()).map(|(ai, bi)| bi + (ai - bi) * (1.0 - t)).collect(),
+        a.iter()
+            .zip(b.iter())
+            .map(|(ai, bi)| bi + (ai - bi) * (1.0 - t))
+            .collect(),
     );
     let z = PropertyVector::new("z", b.iter().map(|v| v / scale_up).collect());
     (x, y, z)
@@ -252,7 +269,10 @@ pub fn proof_hyperrectangle(
     hi[n - 1] = c;
     let dlo = PropertyVector::new("lo", lo);
     let dhi = PropertyVector::new("hi", hi);
-    family.iter().map(|p| (p.value(&dlo), p.value(&dhi))).collect()
+    family
+        .iter()
+        .map(|p| (p.value(&dlo), p.value(&dhi)))
+        .collect()
 }
 
 /// Whether two open hyperrectangles are disjoint (the proof's
@@ -307,7 +327,10 @@ mod tests {
         // by both indices.
         let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex), Box::new(MeanIndex)];
         let cx = falsify(&fam, 2, 1, 10_000);
-        assert!(cx.is_some(), "aggregate families are not equivalence-deciding");
+        assert!(
+            cx.is_some(),
+            "aggregate families are not equivalence-deciding"
+        );
     }
 
     #[test]
@@ -332,7 +355,10 @@ mod tests {
         let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(MinIndex)];
         let d1 = PropertyVector::new("a", vec![2.0, 2.0]);
         let d2 = PropertyVector::new("b", vec![1.0, 3.0]);
-        assert_eq!(check_pair(&fam, &d1, &d2), Some(ViolationKind::ForwardFailure));
+        assert_eq!(
+            check_pair(&fam, &d1, &d2),
+            Some(ViolationKind::ForwardFailure)
+        );
 
         // Family {-min (as max of negation) } can't be built here; instead
         // use a family where dominance holds but an index decreases:
@@ -349,7 +375,10 @@ mod tests {
         let fam: Vec<Box<dyn UnaryIndex>> = vec![Box::new(NegMean)];
         let d1 = PropertyVector::new("a", vec![3.0, 3.0]);
         let d2 = PropertyVector::new("b", vec![1.0, 1.0]);
-        assert_eq!(check_pair(&fam, &d1, &d2), Some(ViolationKind::BackwardFailure));
+        assert_eq!(
+            check_pair(&fam, &d1, &d2),
+            Some(ViolationKind::BackwardFailure)
+        );
     }
 
     #[test]
@@ -415,7 +444,10 @@ mod tests {
         let r2 = vec![(1.0, 3.0), (1.0, 3.0)];
         assert!(!hyperrectangles_disjoint(&r1, &r2));
         let r3 = vec![(2.0, 3.0), (1.0, 3.0)];
-        assert!(hyperrectangles_disjoint(&r1, &r3), "touching open intervals are disjoint");
+        assert!(
+            hyperrectangles_disjoint(&r1, &r3),
+            "touching open intervals are disjoint"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct PropertyVector {
 impl PropertyVector {
     /// Wraps per-tuple measurements under a property name.
     pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
-        PropertyVector { name: name.into(), values }
+        PropertyVector {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Builds from integer measurements (e.g. equivalence-class sizes).
@@ -158,7 +161,10 @@ pub struct PropertySet {
 impl PropertySet {
     /// Wraps the vectors induced on one anonymization.
     pub fn new(anonymization: impl Into<String>, vectors: Vec<PropertyVector>) -> Self {
-        PropertySet { anonymization: anonymization.into(), vectors }
+        PropertySet {
+            anonymization: anonymization.into(),
+            vectors,
+        }
     }
 
     /// The anonymization's display name.
@@ -263,11 +269,17 @@ mod tests {
     fn property_set_alignment() {
         let s1 = PropertySet::new(
             "T3a",
-            vec![PropertyVector::new("priv", vec![1.0]), PropertyVector::new("util", vec![2.0])],
+            vec![
+                PropertyVector::new("priv", vec![1.0]),
+                PropertyVector::new("util", vec![2.0]),
+            ],
         );
         let s2 = PropertySet::new(
             "T3b",
-            vec![PropertyVector::new("priv", vec![3.0]), PropertyVector::new("util", vec![4.0])],
+            vec![
+                PropertyVector::new("priv", vec![3.0]),
+                PropertyVector::new("util", vec![4.0]),
+            ],
         );
         assert!(s1.aligned_with(&s2));
         assert_eq!(s1.r(), 2);
@@ -278,7 +290,10 @@ mod tests {
         assert!(!s1.aligned_with(&s3));
         let s4 = PropertySet::new(
             "y",
-            vec![PropertyVector::new("priv", vec![1.0, 2.0]), PropertyVector::new("util", vec![1.0, 2.0])],
+            vec![
+                PropertyVector::new("priv", vec![1.0, 2.0]),
+                PropertyVector::new("util", vec![1.0, 2.0]),
+            ],
         );
         assert!(!s1.aligned_with(&s4));
     }

@@ -32,7 +32,11 @@ pub struct CensusConfig {
 
 impl Default for CensusConfig {
     fn default() -> Self {
-        CensusConfig { rows: 1000, seed: 42, zip_pool: 40 }
+        CensusConfig {
+            rows: 1000,
+            seed: 42,
+            zip_pool: 40,
+        }
     }
 }
 
@@ -115,8 +119,7 @@ fn zip_pool(n: usize) -> Vec<String> {
 /// `race` (QI, flat), `sex` (QI, flat), `occupation` (sensitive, flat).
 pub fn census_schema(zip_pool_size: usize) -> Arc<Schema> {
     let zips = zip_pool(zip_pool_size);
-    let age_ladder = IntervalLadder::uniform(15, &[5, 10, 20, 40])
-        .expect("age ladder is nested");
+    let age_ladder = IntervalLadder::uniform(15, &[5, 10, 20, 40]).expect("age ladder is nested");
     Schema::new(vec![
         Attribute::integer("age", Role::QuasiIdentifier, 15, 95)
             .with_hierarchy(age_ladder.into())
@@ -126,8 +129,16 @@ pub fn census_schema(zip_pool_size: usize) -> Arc<Schema> {
             Role::QuasiIdentifier,
             Taxonomy::masking(&zips, &[1, 2, 3, 4]).expect("zip masking is valid"),
         ),
-        Attribute::from_taxonomy("education", Role::QuasiIdentifier, two_level_taxonomy(&EDUCATION)),
-        Attribute::from_taxonomy("marital", Role::QuasiIdentifier, two_level_taxonomy(&MARITAL)),
+        Attribute::from_taxonomy(
+            "education",
+            Role::QuasiIdentifier,
+            two_level_taxonomy(&EDUCATION),
+        ),
+        Attribute::from_taxonomy(
+            "marital",
+            Role::QuasiIdentifier,
+            two_level_taxonomy(&MARITAL),
+        ),
         Attribute::from_taxonomy(
             "race",
             Role::QuasiIdentifier,
@@ -238,7 +249,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = CensusConfig { rows: 200, seed: 7, zip_pool: 20 };
+        let cfg = CensusConfig {
+            rows: 200,
+            seed: 7,
+            zip_pool: 20,
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.len(), 200);
@@ -265,7 +280,11 @@ mod tests {
 
     #[test]
     fn values_respect_domains() {
-        let ds = generate(&CensusConfig { rows: 500, seed: 1, zip_pool: 10 });
+        let ds = generate(&CensusConfig {
+            rows: 500,
+            seed: 1,
+            zip_pool: 10,
+        });
         for t in 0..ds.len() {
             let age = ds.value(t, 0).as_int().unwrap();
             assert!((15..=95).contains(&age));
@@ -279,7 +298,11 @@ mod tests {
 
     #[test]
     fn marital_age_correlation_present() {
-        let ds = generate(&CensusConfig { rows: 4000, seed: 3, zip_pool: 20 });
+        let ds = generate(&CensusConfig {
+            rows: 4000,
+            seed: 3,
+            zip_pool: 20,
+        });
         let schema = ds.schema();
         let never = schema.attribute(3).category_id("Never-Married").unwrap();
         let (mut young_never, mut young_total) = (0.0, 0.0);
@@ -318,7 +341,11 @@ mod tests {
 
     #[test]
     fn lattice_applies_to_generated_data() {
-        let ds = generate(&CensusConfig { rows: 100, seed: 5, zip_pool: 10 });
+        let ds = generate(&CensusConfig {
+            rows: 100,
+            seed: 5,
+            zip_pool: 10,
+        });
         let lattice = Lattice::new(ds.schema().clone()).unwrap();
         let t = lattice.apply(&ds, &[2, 3, 1, 1, 1, 1], "mid").unwrap();
         assert_eq!(t.len(), 100);

@@ -28,7 +28,10 @@ pub struct HospitalConfig {
 
 impl Default for HospitalConfig {
     fn default() -> Self {
-        HospitalConfig { rows: 1000, seed: 7 }
+        HospitalConfig {
+            rows: 1000,
+            seed: 7,
+        }
     }
 }
 
@@ -68,7 +71,11 @@ pub fn hospital_schema() -> Arc<Schema> {
     let diagnoses: Vec<&str> = DIAGNOSES.iter().map(|(d, _)| *d).collect();
     Schema::new(vec![
         Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
-            .with_hierarchy(IntervalLadder::uniform(0, &[5, 10, 20]).expect("nested").into())
+            .with_hierarchy(
+                IntervalLadder::uniform(0, &[5, 10, 20])
+                    .expect("nested")
+                    .into(),
+            )
             .expect("ladder fits age"),
         Attribute::from_taxonomy(
             "zip",
@@ -81,7 +88,11 @@ pub fn hospital_schema() -> Arc<Schema> {
             Taxonomy::flat(["F", "M"]).expect("flat taxonomy"),
         ),
         Attribute::integer("admission", Role::QuasiIdentifier, 2018, 2025)
-            .with_hierarchy(IntervalLadder::uniform(2017, &[2, 4]).expect("nested").into())
+            .with_hierarchy(
+                IntervalLadder::uniform(2017, &[2, 4])
+                    .expect("nested")
+                    .into(),
+            )
             .expect("ladder fits years"),
         Attribute::categorical("diagnosis", Role::Sensitive, diagnoses),
         Attribute::categorical("insurance", Role::Insensitive, INSURANCE),
@@ -105,7 +116,11 @@ fn weighted<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
 pub fn generate_hospital(config: &HospitalConfig) -> Arc<Dataset> {
     let schema = hospital_schema();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let zip_count = schema.attribute(1).domain().cardinality().expect("categorical");
+    let zip_count = schema
+        .attribute(1)
+        .domain()
+        .cardinality()
+        .expect("categorical");
 
     let mut rows = Vec::with_capacity(config.rows);
     for _ in 0..config.rows {
@@ -176,7 +191,10 @@ mod tests {
 
     #[test]
     fn diagnosis_age_correlation() {
-        let ds = generate_hospital(&HospitalConfig { rows: 4000, seed: 1 });
+        let ds = generate_hospital(&HospitalConfig {
+            rows: 4000,
+            seed: 1,
+        });
         let schema = ds.schema();
         let heart = schema.attribute(4).category_id("Heart-Disease").unwrap();
         let asthma = schema.attribute(4).category_id("Asthma").unwrap();

@@ -13,8 +13,14 @@ use anoncmp_microdata::prelude::*;
 /// Marital-status leaf labels in taxonomy order: `Married = {CF-Spouse,
 /// Spouse Present}`, `Not Married = {Separated, Never Married, Divorced,
 /// Spouse Absent}`.
-pub const MARITAL_STATUS: [&str; 6] =
-    ["CF-Spouse", "Spouse Present", "Separated", "Never Married", "Divorced", "Spouse Absent"];
+pub const MARITAL_STATUS: [&str; 6] = [
+    "CF-Spouse",
+    "Spouse Present",
+    "Separated",
+    "Never Married",
+    "Divorced",
+    "Spouse Absent",
+];
 
 /// The ten `(zip, age, marital status)` rows of Table 1, in tuple order.
 pub const TABLE1_ROWS: [(&str, i64, &str); 10] = [
@@ -78,8 +84,14 @@ fn schema_with_age_ladder(ladder: IntervalLadder) -> Arc<Schema> {
 pub fn paper_schema_t3() -> Arc<Schema> {
     schema_with_age_ladder(
         IntervalLadder::new_nested(vec![
-            IntervalLevel { origin: 25, width: 10 },
-            IntervalLevel { origin: 15, width: 20 },
+            IntervalLevel {
+                origin: 25,
+                width: 10,
+            },
+            IntervalLevel {
+                origin: 15,
+                width: 20,
+            },
         ])
         .expect("T3 age ladder is nested"),
     )
@@ -89,8 +101,11 @@ pub fn paper_schema_t3() -> Arc<Schema> {
 /// 20 from origin 20 (`(20,40]`, `(40,60]`).
 pub fn paper_schema_t4() -> Arc<Schema> {
     schema_with_age_ladder(
-        IntervalLadder::new_nested(vec![IntervalLevel { origin: 20, width: 20 }])
-            .expect("T4 age ladder is valid"),
+        IntervalLadder::new_nested(vec![IntervalLevel {
+            origin: 20,
+            width: 20,
+        }])
+        .expect("T4 age ladder is valid"),
     )
 }
 
@@ -100,7 +115,8 @@ pub fn paper_table1(schema: Arc<Schema>) -> Arc<Dataset> {
     let mut b = DatasetBuilder::with_capacity(schema, TABLE1_ROWS.len());
     for (zip, age, ms) in TABLE1_ROWS {
         let age = age.to_string();
-        b.push_labels(&[zip, age.as_str(), ms]).expect("Table 1 rows fit the schema");
+        b.push_labels(&[zip, age.as_str(), ms])
+            .expect("Table 1 rows fit the schema");
     }
     b.build().expect("Table 1 is valid")
 }
@@ -112,7 +128,9 @@ pub fn paper_t3a() -> AnonymizedTable {
     let ds = paper_table1(schema.clone());
     let lattice = Lattice::new(schema).expect("lattice over paper schema");
     let ms_col = 2;
-    lattice.apply_with_extra(&ds, &[1, 1], &[(ms_col, 1)], "T3a").expect("T3a levels are valid")
+    lattice
+        .apply_with_extra(&ds, &[1, 1], &[(ms_col, 1)], "T3a")
+        .expect("T3a levels are valid")
 }
 
 /// The generalization T3b of Table 2 (right): zip masked two digits, age in
@@ -122,7 +140,9 @@ pub fn paper_t3b() -> AnonymizedTable {
     let ds = paper_table1(schema.clone());
     let lattice = Lattice::new(schema).expect("lattice over paper schema");
     let ms_col = 2;
-    lattice.apply_with_extra(&ds, &[2, 2], &[(ms_col, 1)], "T3b").expect("T3b levels are valid")
+    lattice
+        .apply_with_extra(&ds, &[2, 2], &[(ms_col, 1)], "T3b")
+        .expect("T3b levels are valid")
 }
 
 /// The generalization T4 of Table 3: zip masked three digits, age in
@@ -132,7 +152,9 @@ pub fn paper_t4() -> AnonymizedTable {
     let ds = paper_table1(schema.clone());
     let lattice = Lattice::new(schema).expect("lattice over paper schema");
     let ms_col = 2;
-    lattice.apply_with_extra(&ds, &[3, 1], &[(ms_col, 2)], "T4").expect("T4 levels are valid")
+    lattice
+        .apply_with_extra(&ds, &[3, 1], &[(ms_col, 2)], "T4")
+        .expect("T4 levels are valid")
 }
 
 /// The paper's §5.3 hypothetical vectors `D1 = (2,2,3,4,5)` and
@@ -142,11 +164,13 @@ pub const FIG3_D1: [f64; 5] = [2.0, 2.0, 3.0, 4.0, 5.0];
 pub const FIG3_D2: [f64; 5] = [3.0, 2.0, 4.0, 2.0, 3.0];
 
 /// §5.3's second example: the 3-anonymous class-size vector.
-pub const SPR_3ANON: [f64; 15] =
-    [3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0];
+pub const SPR_3ANON: [f64; 15] = [
+    3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0,
+];
 /// §5.3's second example: the 2-anonymous class-size vector.
-pub const SPR_2ANON: [f64; 15] =
-    [2.0, 2.0, 6.0, 6.0, 6.0, 6.0, 6.0, 6.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0];
+pub const SPR_2ANON: [f64; 15] = [
+    2.0, 2.0, 6.0, 6.0, 6.0, 6.0, 6.0, 6.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0,
+];
 
 /// §5.4's hypervolume example: `s = (3,3,3,5,5,5,5,5)`.
 pub const HV_S: [f64; 8] = [3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 5.0];
@@ -185,8 +209,7 @@ mod tests {
         assert_eq!(t.render_cell(4, 0), "1325*");
         assert_eq!(t.render_cell(4, 1), "(45,55]");
         // Class structure {1,4,8}, {2,3,9}, {5,6,7,10} → sizes per tuple.
-        let sizes: Vec<usize> =
-            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        let sizes: Vec<usize> = (0..10).map(|i| t.classes().class_size_of(i)).collect();
         assert_eq!(sizes, vec![3, 3, 3, 3, 4, 4, 4, 3, 3, 4]);
     }
 
@@ -198,8 +221,7 @@ mod tests {
         assert_eq!(t.render_cell(0, 2), "Married");
         assert_eq!(t.render_cell(1, 0), "132**");
         assert_eq!(t.render_cell(1, 1), "(35,55]");
-        let sizes: Vec<usize> =
-            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        let sizes: Vec<usize> = (0..10).map(|i| t.classes().class_size_of(i)).collect();
         assert_eq!(sizes, vec![3, 7, 7, 3, 7, 7, 7, 3, 7, 7]);
     }
 
@@ -210,8 +232,7 @@ mod tests {
         assert_eq!(t.render_cell(0, 1), "(20,40]");
         assert_eq!(t.render_cell(0, 2), "*");
         assert_eq!(t.render_cell(1, 1), "(40,60]");
-        let sizes: Vec<usize> =
-            (0..10).map(|i| t.classes().class_size_of(i)).collect();
+        let sizes: Vec<usize> = (0..10).map(|i| t.classes().class_size_of(i)).collect();
         // Classes {1,3,4,8} and {2,5,6,7,9,10}.
         assert_eq!(sizes, vec![4, 6, 4, 4, 6, 6, 6, 4, 6, 6]);
         assert_eq!(t.classes().min_class_size(), 4, "T4 is 4-anonymous");

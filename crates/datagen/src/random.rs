@@ -33,7 +33,13 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { rows: 100, numeric_qi: 2, categorical_qi: 2, sensitive_values: 4, seed: 1 }
+        RandomConfig {
+            rows: 100,
+            numeric_qi: 2,
+            categorical_qi: 2,
+            sensitive_values: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -68,8 +74,14 @@ fn random_ladder(rng: &mut StdRng, span: i64) -> IntervalLadder {
 /// Panics when the configuration is degenerate (no QI attributes, zero
 /// sensitive values, or zero rows).
 pub fn generate_random(config: &RandomConfig) -> Arc<Dataset> {
-    assert!(config.numeric_qi + config.categorical_qi >= 1, "need at least one QI");
-    assert!(config.sensitive_values >= 1, "need at least one sensitive value");
+    assert!(
+        config.numeric_qi + config.categorical_qi >= 1,
+        "need at least one QI"
+    );
+    assert!(
+        config.sensitive_values >= 1,
+        "need at least one sensitive value"
+    );
     assert!(config.rows >= 1, "need at least one row");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -122,7 +134,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = RandomConfig { seed: 9, ..Default::default() };
+        let cfg = RandomConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = generate_random(&cfg);
         let b = generate_random(&cfg);
         for t in 0..a.len() {
@@ -141,8 +156,8 @@ mod tests {
                 seed,
             };
             let ds = generate_random(&cfg);
-            let lattice = Lattice::new(ds.schema().clone())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let lattice =
+                Lattice::new(ds.schema().clone()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             // Applying a random valid node always works.
             let mid: Vec<usize> = lattice.max_levels().iter().map(|&m| m / 2).collect();
             let t = lattice.apply(&ds, &mid, "t").expect("valid mid node");

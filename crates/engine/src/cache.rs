@@ -1,0 +1,181 @@
+//! Content-addressed memoization of datasets and releases.
+//!
+//! The cache maps content fingerprints (see [`crate::fingerprint`]) to the
+//! expensive artifacts of a sweep: synthesized [`Dataset`]s and anonymized
+//! releases. Because the engine derives per-job seeds from the same
+//! fingerprints, a cached release is bit-for-bit what a fresh computation
+//! would produce — memoization never changes results, only wall-clock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Hit/miss counters of a [`MemoCache`], as exposed in sweep reports.
+///
+/// Counters cover *release* lookups only; dataset materialization is an
+/// implementation detail and not part of the reported statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CacheStats {
+    /// Release lookups served from the cache.
+    pub hits: u64,
+    /// Release lookups that had to compute.
+    pub misses: u64,
+    /// Releases currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Difference from an earlier snapshot — the activity of one sweep.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        // Saturating: a concurrent `clear()` can move counters backwards.
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Thread-safe memoization cache shared by all workers of an [`Engine`].
+///
+/// [`Engine`]: crate::engine::Engine
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    releases: Mutex<HashMap<u64, Arc<AnonymizedTable>>>,
+    datasets: Mutex<HashMap<u64, Arc<Dataset>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a release by fingerprint, counting a hit or miss.
+    pub fn get_release(&self, fingerprint: u64) -> Option<Arc<AnonymizedTable>> {
+        let found = self.releases.lock().get(&fingerprint).cloned();
+        match found {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed release. Keeps the existing entry on a racing
+    /// double-insert so every holder sees the same `Arc`.
+    pub fn insert_release(
+        &self,
+        fingerprint: u64,
+        table: Arc<AnonymizedTable>,
+    ) -> Arc<AnonymizedTable> {
+        self.releases
+            .lock()
+            .entry(fingerprint)
+            .or_insert(table)
+            .clone()
+    }
+
+    /// Materializes a dataset through the cache: synthesizes via `build`
+    /// only if no other job has already done so.
+    pub fn dataset_or_insert_with(
+        &self,
+        fingerprint: u64,
+        build: impl FnOnce() -> Arc<Dataset>,
+    ) -> Arc<Dataset> {
+        if let Some(ds) = self.datasets.lock().get(&fingerprint).cloned() {
+            return ds;
+        }
+        // Synthesize outside the lock; racing builders produce identical
+        // datasets, and the entry API keeps whichever landed first.
+        let built = build();
+        self.datasets
+            .lock()
+            .entry(fingerprint)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.releases.lock().len() as u64,
+        }
+    }
+
+    /// Drops cached releases but keeps materialized datasets and the
+    /// counters. Benchmarks use this to re-measure anonymization cost
+    /// without paying dataset synthesis on every iteration.
+    pub fn clear_releases(&self) {
+        self.releases.lock().clear();
+    }
+
+    /// Drops all cached artifacts and resets the counters.
+    pub fn clear(&self) {
+        self.releases.lock().clear();
+        self.datasets.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Arc<Dataset> {
+        crate::job::DatasetSpec::Census {
+            rows: 30,
+            seed: 3,
+            zip_pool: 5,
+        }
+        .materialize()
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache = MemoCache::new();
+        assert!(cache.get_release(42).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 0));
+
+        let ds = tiny_dataset();
+        let table = anoncmp_anonymize::prelude::Anonymizer::anonymize(
+            &anoncmp_anonymize::prelude::Datafly,
+            &ds,
+            &anoncmp_anonymize::prelude::Constraint::k_anonymity(2).with_suppression(3),
+        )
+        .expect("datafly on tiny census");
+        cache.insert_release(42, Arc::new(table));
+        assert!(cache.get_release(42).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        let delta = stats.since(&CacheStats {
+            hits: 0,
+            misses: 1,
+            entries: 0,
+        });
+        assert_eq!((delta.hits, delta.misses), (1, 0));
+    }
+
+    #[test]
+    fn dataset_memoization_returns_shared_arc() {
+        let cache = MemoCache::new();
+        let a = cache.dataset_or_insert_with(7, tiny_dataset);
+        let b = cache.dataset_or_insert_with(7, || panic!("must not rebuild a cached dataset"));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,599 @@
+//! The sweep executor: worker pool, memoization, and record collection.
+//!
+//! # Execution model
+//!
+//! [`Engine::run`] deduplicates the submitted jobs by content fingerprint,
+//! feeds the unique ones into a crossbeam channel shared by `--jobs N`
+//! worker threads (a shared channel *is* work stealing: idle workers pull
+//! the next pending job), and collects `(index, outcome)` pairs back on
+//! the submitting thread, which restores submission order and streams
+//! JSONL records to an optional sink.
+//!
+//! # Determinism
+//!
+//! Three choices make a sweep's output independent of scheduling:
+//!
+//! 1. per-job seeds derive from `(root_seed, release fingerprint)` — never
+//!    from a job's position or the thread that runs it;
+//! 2. outcomes are re-ordered to submission order before they are
+//!    returned or written;
+//! 3. records expose scheduling-dependent observations (`duration_ms`,
+//!    `cache_hit`) as fields that [`EvalRecord::canonical`] strips.
+//!
+//! # Robustness
+//!
+//! Worker bodies run the algorithm under `catch_unwind`, and optionally
+//! under a wall-clock budget (the job then runs on a watchdog thread and
+//! is abandoned on timeout — the thread is detached and leaked, which is
+//! the only portable way to bound safe-but-runaway Rust code). Either
+//! failure becomes an error [`EvalRecord`]; the sweep always completes.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use anoncmp_anonymize::prelude::Result as AnonymizeResult;
+use anoncmp_core::prelude::PropertyVector;
+use anoncmp_microdata::loss::LossMetric;
+use anoncmp_microdata::prelude::AnonymizedTable;
+
+use crate::cache::{CacheStats, MemoCache};
+use crate::fingerprint::{derive_seed, hex_id, Fingerprinter};
+use crate::job::EvalJob;
+use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+
+/// Construction-time engine settings.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Root seed all per-job seeds derive from.
+    pub root_seed: u64,
+    /// Optional per-job wall-clock budget.
+    pub budget: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // The default root seed is shared by every consumer of
+        // `Engine::global()`, which is what lets E16 reuse releases first
+        // computed by E13: equal specs + equal root seed = equal cache keys.
+        EngineConfig {
+            jobs: 0,
+            root_seed: 0xED5B_2009,
+            budget: None,
+        }
+    }
+}
+
+/// The result of one executed (or cache-served) job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job as submitted.
+    pub job: EvalJob,
+    /// The machine-readable record.
+    pub record: EvalRecord,
+    /// The release, when the job succeeded.
+    pub table: Option<Arc<AnonymizedTable>>,
+    /// The extracted property vectors, in requested order.
+    pub vectors: Vec<PropertyVector>,
+}
+
+/// The result of a whole sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Release-cache activity attributable to this sweep.
+    pub cache: CacheStats,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepResult {
+    /// The sweep's records as canonical JSONL (one line per job, in
+    /// submission order, scheduling-dependent fields stripped). Two runs
+    /// of the same jobs under the same root seed yield byte-identical
+    /// output here, whatever `--jobs` was.
+    pub fn canonical_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.record.canonical().to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A one-line cache summary for reports. Contains no
+    /// scheduling-dependent values, so it is safe to embed in output that
+    /// determinism tests compare.
+    pub fn cache_summary(&self) -> String {
+        format!(
+            "engine cache: {} hit(s), {} miss(es) this sweep",
+            self.cache.hits, self.cache.misses
+        )
+    }
+}
+
+/// The parallel, memoizing sweep executor.
+pub struct Engine {
+    cache: MemoCache,
+    root_seed: u64,
+    budget: Option<Duration>,
+    jobs: AtomicUsize,
+    /// Optional process-level record sink (the CLI's `--out` JSONL file);
+    /// every sweep appends its records here in submission order.
+    sink: parking_lot::Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("root_seed", &self.root_seed)
+            .field("budget", &self.budget)
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache.stats())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with its own empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            cache: MemoCache::new(),
+            root_seed: config.root_seed,
+            budget: config.budget,
+            jobs: AtomicUsize::new(config.jobs),
+            sink: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// The process-wide shared engine. Experiments that run in the same
+    /// process share its cache, so a release computed for one experiment
+    /// (say E13's k = 5 sweep) is a cache hit for the next (E16's
+    /// agreement tournament over the same grid point).
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(|| Engine::new(EngineConfig::default()))
+    }
+
+    /// Sets the worker count (`0` = one per available CPU).
+    pub fn set_jobs(&self, jobs: usize) {
+        self.jobs.store(jobs, Ordering::Relaxed);
+    }
+
+    /// The effective worker count.
+    pub fn jobs(&self) -> usize {
+        match self.jobs.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Current cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached artifacts (mainly for tests).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Drops cached releases but keeps materialized datasets (benchmarks).
+    pub fn clear_releases(&self) {
+        self.cache.clear_releases();
+    }
+
+    /// Installs (or removes) a process-level record sink; every subsequent
+    /// sweep appends its records to it as JSONL, in submission order. This
+    /// backs the CLI's `--out <path>` flag.
+    pub fn set_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+        *self.sink.lock() = sink;
+    }
+
+    /// Runs a sweep, returning outcomes in submission order.
+    pub fn run(&self, jobs: &[EvalJob]) -> SweepResult {
+        self.run_sweep(jobs, None).expect("no sink, no io")
+    }
+
+    /// Runs a sweep, streaming each record to `sink` as one JSONL line as
+    /// soon as it and all earlier-submitted records are known (records
+    /// appear in submission order).
+    pub fn run_streaming(&self, jobs: &[EvalJob], sink: &mut dyn Write) -> io::Result<SweepResult> {
+        self.run_sweep(jobs, Some(sink))
+    }
+
+    fn run_sweep(
+        &self,
+        jobs: &[EvalJob],
+        mut sink: Option<&mut dyn Write>,
+    ) -> io::Result<SweepResult> {
+        let started = Instant::now();
+        let stats_before = self.cache.stats();
+
+        // Deduplicate identical jobs: the first occurrence executes, later
+        // ones alias its outcome. `primary[i]` is the unique-slot index of
+        // submitted job `i`.
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let mut primary: Vec<usize> = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let fp = job.job_fingerprint();
+            let slot = *slot_of.entry(fp).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+            primary.push(slot);
+        }
+
+        // Materialize each distinct dataset once, up front. Workers would
+        // otherwise race through `dataset_or_insert_with` (which builds
+        // outside the lock) and synthesize the same dataset N times.
+        let mut seen_datasets: HashMap<u64, ()> = HashMap::new();
+        for &i in &unique {
+            let mut ds_fp = Fingerprinter::new();
+            jobs[i].dataset.fingerprint_into(&mut ds_fp);
+            let fp = ds_fp.finish();
+            if seen_datasets.insert(fp, ()).is_none() {
+                self.cache
+                    .dataset_or_insert_with(fp, || jobs[i].dataset.materialize());
+            }
+        }
+
+        let worker_count = self.jobs().min(unique.len()).max(1);
+        let mut slots: Vec<Option<JobOutcome>> = (0..unique.len()).map(|_| None).collect();
+
+        if !unique.is_empty() {
+            let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+            let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, JobOutcome)>();
+            for slot in 0..unique.len() {
+                task_tx.send(slot).expect("queueing tasks");
+            }
+            drop(task_tx);
+
+            std::thread::scope(|scope| {
+                for _ in 0..worker_count {
+                    let task_rx = task_rx.clone();
+                    let done_tx = done_tx.clone();
+                    let unique = &unique;
+                    scope.spawn(move || {
+                        while let Ok(slot) = task_rx.recv() {
+                            let outcome = self.execute(&jobs[unique[slot]]);
+                            if done_tx.send((slot, outcome)).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+                drop(done_tx);
+                for (slot, outcome) in done_rx.iter() {
+                    slots[slot] = Some(outcome);
+                }
+            });
+        }
+
+        // Restore submission order, aliasing duplicates to their primary
+        // outcome, and stream the in-order records.
+        let mut engine_sink = self.sink.lock();
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let src = slots[primary[i]].as_ref().expect("every slot resolved");
+            let mut outcome = src.clone();
+            outcome.job = job.clone();
+            if unique[primary[i]] != i {
+                // An alias never re-ran anything; mark it as served from
+                // the sweep's own working set.
+                outcome.record.cache_hit = true;
+                outcome.record.duration_ms = 0;
+            }
+            if let Some(w) = sink.as_deref_mut() {
+                writeln!(w, "{}", outcome.record.to_jsonl())?;
+            }
+            if let Some(w) = engine_sink.as_deref_mut() {
+                writeln!(w, "{}", outcome.record.to_jsonl())?;
+            }
+            outcomes.push(outcome);
+        }
+        if let Some(w) = sink {
+            w.flush()?;
+        }
+        if let Some(w) = engine_sink.as_deref_mut() {
+            w.flush()?;
+        }
+        drop(engine_sink);
+
+        Ok(SweepResult {
+            outcomes,
+            cache: self.cache.stats().since(&stats_before),
+            wall: started.elapsed(),
+        })
+    }
+
+    /// Executes one job on the calling worker thread.
+    fn execute(&self, job: &EvalJob) -> JobOutcome {
+        let started = Instant::now();
+        let release_fp = job.release_fingerprint();
+        let seed = derive_seed(self.root_seed, release_fp);
+
+        let (status, table, cache_hit) = match self.cache.get_release(release_fp) {
+            Some(table) => (JobStatus::Ok, Some(table), true),
+            None => {
+                let (status, table) = self.compute_release(job, seed);
+                let table = table.map(|t| self.cache.insert_release(release_fp, Arc::new(t)));
+                (status, table, false)
+            }
+        };
+
+        // Property extraction is pure but still third-party code from the
+        // record's point of view; keep panics contained per job.
+        let (vectors, status) = match &table {
+            Some(t) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    job.properties
+                        .iter()
+                        .map(|p| p.instantiate().extract(t))
+                        .collect::<Vec<PropertyVector>>()
+                })) {
+                    Ok(vectors) => (vectors, status),
+                    Err(payload) => (
+                        Vec::new(),
+                        JobStatus::Panicked {
+                            message: panic_message(payload),
+                        },
+                    ),
+                }
+            }
+            None => (Vec::new(), status),
+        };
+
+        let metrics = match (&status, &table) {
+            (JobStatus::Ok, Some(t)) => Some(ReleaseMetrics {
+                rows: t.len(),
+                classes: t.classes().class_count(),
+                min_class_size: t.classes().min_class_size(),
+                suppressed: t.suppressed_count(),
+                total_loss: LossMetric::classic().total_loss(t),
+            }),
+            _ => None,
+        };
+
+        let record = EvalRecord {
+            job_id: hex_id(release_fp),
+            dataset: job.dataset.label(),
+            algorithm: job.algorithm.name().to_owned(),
+            k: job.k,
+            max_suppression: job.max_suppression,
+            seed,
+            status: status.clone(),
+            metrics,
+            properties: vectors.iter().map(PropertySummary::of).collect(),
+            duration_ms: started.elapsed().as_millis() as u64,
+            cache_hit,
+        };
+
+        JobOutcome {
+            job: job.clone(),
+            record,
+            table: if status.is_ok() { table } else { None },
+            vectors,
+        }
+    }
+
+    /// Runs the anonymization itself, under `catch_unwind` and the
+    /// optional wall-clock budget.
+    fn compute_release(&self, job: &EvalJob, seed: u64) -> (JobStatus, Option<AnonymizedTable>) {
+        let mut ds_fp = Fingerprinter::new();
+        job.dataset.fingerprint_into(&mut ds_fp);
+        let dataset = self
+            .cache
+            .dataset_or_insert_with(ds_fp.finish(), || job.dataset.materialize());
+        let constraint = job.constraint();
+        let algorithm = job.algorithm;
+
+        let guarded = match self.budget {
+            None => catch_unwind(AssertUnwindSafe(|| {
+                algorithm.instantiate(seed).anonymize(&dataset, &constraint)
+            })),
+            Some(budget) => {
+                // Run on a watchdog thread so the wait can time out. On
+                // timeout the thread is abandoned (detached and leaked) —
+                // its eventual result is discarded along with the channel.
+                let (tx, rx) =
+                    mpsc::channel::<std::thread::Result<AnonymizeResult<AnonymizedTable>>>();
+                std::thread::spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        algorithm.instantiate(seed).anonymize(&dataset, &constraint)
+                    }));
+                    let _ = tx.send(result);
+                });
+                match rx.recv_timeout(budget) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        return (
+                            JobStatus::BudgetExceeded {
+                                budget_ms: budget.as_millis() as u64,
+                            },
+                            None,
+                        )
+                    }
+                }
+            }
+        };
+
+        match guarded {
+            Ok(Ok(table)) => (JobStatus::Ok, Some(table)),
+            Ok(Err(err)) => (
+                JobStatus::Failed {
+                    message: err.to_string(),
+                },
+                None,
+            ),
+            Err(payload) => (
+                JobStatus::Panicked {
+                    message: panic_message(payload),
+                },
+                None,
+            ),
+        }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AlgorithmSpec, DatasetSpec, PropertySpec};
+
+    fn quick_jobs() -> Vec<EvalJob> {
+        [2usize, 3]
+            .into_iter()
+            .flat_map(|k| {
+                [AlgorithmSpec::Datafly, AlgorithmSpec::Mondrian]
+                    .into_iter()
+                    .map(move |algorithm| EvalJob {
+                        dataset: DatasetSpec::Census {
+                            rows: 80,
+                            seed: 5,
+                            zip_pool: 8,
+                        },
+                        algorithm,
+                        k,
+                        max_suppression: 8,
+                        properties: vec![PropertySpec::EqClassSize],
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_preserves_submission_order() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 4,
+            ..EngineConfig::default()
+        });
+        let jobs = quick_jobs();
+        let sweep = engine.run(&jobs);
+        assert_eq!(sweep.outcomes.len(), jobs.len());
+        for (job, outcome) in jobs.iter().zip(&sweep.outcomes) {
+            assert_eq!(outcome.record.algorithm, job.algorithm.name());
+            assert_eq!(outcome.record.k, job.k);
+            assert!(outcome.record.status.is_ok(), "{:?}", outcome.record.status);
+            assert_eq!(outcome.vectors.len(), 1);
+        }
+    }
+
+    #[test]
+    fn second_sweep_is_all_cache_hits() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let jobs = quick_jobs();
+        let first = engine.run(&jobs);
+        assert_eq!(first.cache.hits, 0);
+        assert_eq!(first.cache.misses, jobs.len() as u64);
+        let second = engine.run(&jobs);
+        assert_eq!(second.cache.hits, jobs.len() as u64);
+        assert_eq!(second.cache.misses, 0);
+        assert!(second.outcomes.iter().all(|o| o.record.cache_hit));
+        // Cached and fresh sweeps agree on canonical content.
+        assert_eq!(first.canonical_jsonl(), second.canonical_jsonl());
+    }
+
+    #[test]
+    fn duplicate_jobs_execute_once() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let job = quick_jobs().remove(0);
+        let sweep = engine.run(&[job.clone(), job.clone(), job]);
+        assert_eq!(sweep.cache.misses, 1);
+        assert_eq!(sweep.outcomes.len(), 3);
+        assert!(!sweep.outcomes[0].record.cache_hit);
+        assert!(sweep.outcomes[1].record.cache_hit);
+        assert_eq!(
+            sweep.outcomes[0].record.canonical(),
+            sweep.outcomes[2].record.canonical()
+        );
+    }
+
+    #[test]
+    fn panicking_job_yields_error_record_and_sweep_completes() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 3,
+            ..EngineConfig::default()
+        });
+        let mut jobs = quick_jobs();
+        jobs[1].algorithm = AlgorithmSpec::MockPanic;
+        let sweep = engine.run(&jobs);
+        assert_eq!(sweep.outcomes.len(), jobs.len());
+        match &sweep.outcomes[1].record.status {
+            JobStatus::Panicked { message } => assert!(message.contains("mock-panic")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(sweep.outcomes[1].table.is_none());
+        // Every other job still succeeded.
+        for (i, o) in sweep.outcomes.iter().enumerate() {
+            if i != 1 {
+                assert!(o.record.status.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_yields_error_record() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            budget: Some(Duration::from_millis(25)),
+            ..EngineConfig::default()
+        });
+        let mut jobs = quick_jobs();
+        jobs[0].algorithm = AlgorithmSpec::MockSleep { millis: 5_000 };
+        let sweep = engine.run(&jobs);
+        assert_eq!(
+            sweep.outcomes[0].record.status,
+            JobStatus::BudgetExceeded { budget_ms: 25 }
+        );
+        assert!(sweep
+            .outcomes
+            .iter()
+            .skip(1)
+            .all(|o| o.record.status.is_ok()));
+    }
+
+    #[test]
+    fn streaming_sink_receives_one_line_per_job() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let jobs = quick_jobs();
+        let mut sink = Vec::new();
+        let sweep = engine.run_streaming(&jobs, &mut sink).expect("vec sink");
+        let text = String::from_utf8(sink).expect("utf8 jsonl");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), jobs.len());
+        for (line, outcome) in lines.iter().zip(&sweep.outcomes) {
+            assert_eq!(*line, outcome.record.to_jsonl());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Content fingerprinting for memoization keys and per-job seeds.
+//!
+//! The engine must produce **byte-identical output across processes**
+//! (`--jobs 1` in one invocation vs `--jobs 8` in another), so fingerprints
+//! cannot rely on `std::collections::hash_map::DefaultHasher`, whose keys
+//! are randomized per process. This module implements 64-bit FNV-1a over a
+//! canonical field encoding instead: stable across runs, processes, and
+//! platforms.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64 hasher over canonically-encoded fields.
+///
+/// Fields are length- or tag-delimited so that `("ab", "c")` and
+/// `("a", "bc")` fingerprint differently.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` as eight little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` (widened to `u64` so 32- and 64-bit targets
+    /// agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs an `f64` by its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Finalizes the fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Mixes a root seed with a content fingerprint into a per-job seed.
+///
+/// Uses the SplitMix64 finalizer so nearby inputs diverge completely; the
+/// result depends only on `(root_seed, fingerprint)`, never on job order or
+/// scheduling.
+pub fn derive_seed(root_seed: u64, fingerprint: u64) -> u64 {
+    let mut z = root_seed ^ fingerprint.rotate_left(32);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders a fingerprint as the fixed-width hex id used in [`EvalRecord`]s.
+///
+/// [`EvalRecord`]: crate::record::EvalRecord
+pub fn hex_id(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = Fingerprinter::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fingerprinter::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_constants() {
+        // Guards against accidental algorithm changes: these values must
+        // never change, or every cached sweep id shifts.
+        let mut f = Fingerprinter::new();
+        f.write_str("census").write_u64(1000).write_usize(5);
+        assert_eq!(f.finish(), 0x1c6a_c3d8_405a_c418);
+        assert_eq!(Fingerprinter::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn derived_seeds_spread() {
+        let s1 = derive_seed(2024, 1);
+        let s2 = derive_seed(2024, 2);
+        let s3 = derive_seed(2025, 1);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        // Same inputs, same seed — determinism across calls.
+        assert_eq!(s1, derive_seed(2024, 1));
+    }
+
+    #[test]
+    fn hex_id_is_fixed_width() {
+        assert_eq!(hex_id(0xab), "00000000000000ab");
+        assert_eq!(hex_id(u64::MAX).len(), 16);
+    }
+}

@@ -1,0 +1,72 @@
+//! # anoncmp-engine
+//!
+//! The sweep-execution substrate of the `anoncmp` workspace: a parallel,
+//! memoizing evaluation engine for *algorithm × k × dataset* grids.
+//!
+//! The paper this workspace reproduces is about **comparing** disclosure
+//! control algorithms, which in practice means running the same
+//! anonymizations over and over — once per comparator tournament, once per
+//! experiment, once per benchmark. DPBench-style harnesses showed that such
+//! comparisons want explicit, typed job specifications and machine-readable
+//! results; this crate provides both:
+//!
+//! * [`EvalJob`] — a typed job spec: dataset spec × algorithm spec ×
+//!   privacy parameters × requested property vectors;
+//! * [`Engine`] — a work-stealing worker pool (crossbeam channels, `--jobs N`)
+//!   with a content-addressed memoization cache, so a release computed for
+//!   one experiment is reused by every later tournament with the same spec;
+//! * [`EvalRecord`] — a serde-serializable per-release record that can be
+//!   streamed as JSONL to a file sink.
+//!
+//! ## Guarantees
+//!
+//! * **Deterministic.** Per-job seeds are derived from the engine's root
+//!   seed and the job's *content* (not its position or schedule), and sweep
+//!   results are returned in submission order — `--jobs 8` produces
+//!   byte-identical reports to `--jobs 1`.
+//! * **Robust.** Every job runs under `catch_unwind`, optionally with a
+//!   wall-clock budget; a panicking or runaway algorithm yields an error
+//!   [`EvalRecord`] while the rest of the sweep completes.
+//!
+//! ```
+//! use anoncmp_engine::prelude::*;
+//!
+//! let engine = Engine::new(EngineConfig { jobs: 2, ..EngineConfig::default() });
+//! let jobs: Vec<EvalJob> = AlgorithmSpec::standard_suite()
+//!     .into_iter()
+//!     .map(|algorithm| EvalJob {
+//!         dataset: DatasetSpec::Census { rows: 120, seed: 7, zip_pool: 10 },
+//!         algorithm,
+//!         k: 3,
+//!         max_suppression: 6,
+//!         properties: vec![PropertySpec::EqClassSize],
+//!     })
+//!     .collect();
+//! let sweep = engine.run(&jobs);
+//! assert_eq!(sweep.outcomes.len(), jobs.len());
+//! // Re-running the same grid is served from the memo cache.
+//! let again = engine.run(&jobs);
+//! assert!(again.outcomes.iter().all(|o| o.record.cache_hit));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+pub mod job;
+pub mod record;
+
+pub use crate::cache::{CacheStats, MemoCache};
+pub use crate::engine::{Engine, EngineConfig, JobOutcome, SweepResult};
+pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
+pub use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+
+/// One-stop imports for engine users.
+pub mod prelude {
+    pub use crate::cache::CacheStats;
+    pub use crate::engine::{Engine, EngineConfig, JobOutcome, SweepResult};
+    pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
+    pub use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+}

@@ -1,0 +1,192 @@
+//! Machine-readable per-release evaluation records.
+//!
+//! Every job in a sweep — succeeded, failed, or budget-exceeded — yields
+//! exactly one [`EvalRecord`]. Records serialize to one JSON object per
+//! line (JSONL) so downstream tooling can stream them, and their
+//! [`canonical`](EvalRecord::canonical) form strips the two
+//! scheduling-dependent fields (`duration_ms`, `cache_hit`) so that byte
+//! comparison of canonical records is a valid determinism check.
+
+use anoncmp_core::prelude::PropertyVector;
+use serde::Serialize;
+
+/// How a job terminated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum JobStatus {
+    /// The release was computed and measured.
+    Ok,
+    /// The algorithm returned an error (e.g. the constraint was
+    /// unsatisfiable under the suppression budget).
+    Failed {
+        /// The algorithm's error message.
+        message: String,
+    },
+    /// The algorithm panicked; the panic was caught and the sweep
+    /// continued.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The job exceeded the engine's per-job wall-clock budget.
+    BudgetExceeded {
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl JobStatus {
+    /// Whether the job produced a release.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+}
+
+/// Scalar summary of a computed release.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReleaseMetrics {
+    /// Tuples in the release (suppressed tuples excluded).
+    pub rows: usize,
+    /// Number of equivalence classes.
+    pub classes: usize,
+    /// Smallest equivalence class (the achieved k).
+    pub min_class_size: usize,
+    /// Tuples suppressed to satisfy the constraint.
+    pub suppressed: usize,
+    /// Classic generalization loss, summed over cells.
+    pub total_loss: f64,
+}
+
+/// One extracted property vector, summarized for the record.
+///
+/// Records carry the full vector: the paper's comparators are functions of
+/// whole vectors, and downstream tooling (bias reports, dominance checks)
+/// needs every component, not just moments.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PropertySummary {
+    /// The property's display name.
+    pub name: String,
+    /// The per-tuple values, in tuple order.
+    pub values: Vec<f64>,
+}
+
+impl PropertySummary {
+    /// Summarizes an extracted vector.
+    pub fn of(vector: &PropertyVector) -> Self {
+        PropertySummary {
+            name: vector.name().to_owned(),
+            values: vector.values().to_vec(),
+        }
+    }
+}
+
+/// The engine's record of one evaluation job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalRecord {
+    /// Hex fingerprint of the release (the memoization key).
+    pub job_id: String,
+    /// Human-readable dataset label.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The k of k-anonymity.
+    pub k: usize,
+    /// Maximum allowed suppression.
+    pub max_suppression: usize,
+    /// The derived per-job seed the algorithm ran with.
+    pub seed: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Release summary; `None` unless `status` is `Ok`.
+    pub metrics: Option<ReleaseMetrics>,
+    /// Extracted property vectors, in requested order.
+    pub properties: Vec<PropertySummary>,
+    /// Wall-clock time this job occupied a worker, in milliseconds.
+    /// Scheduling-dependent: excluded from [`EvalRecord::canonical`].
+    pub duration_ms: u64,
+    /// Whether the release came from the memoization cache.
+    /// Scheduling-dependent: excluded from [`EvalRecord::canonical`].
+    pub cache_hit: bool,
+}
+
+impl EvalRecord {
+    /// The record with scheduling-dependent fields (`duration_ms`,
+    /// `cache_hit`) zeroed. Two sweeps over the same jobs with the same
+    /// root seed produce byte-identical canonical records regardless of
+    /// `--jobs`, cache state, or scheduling order.
+    pub fn canonical(&self) -> EvalRecord {
+        EvalRecord {
+            duration_ms: 0,
+            cache_hit: false,
+            ..self.clone()
+        }
+    }
+
+    /// The record as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EvalRecord {
+        EvalRecord {
+            job_id: "00000000000000ab".into(),
+            dataset: "census(rows=10, seed=1, zips=5)".into(),
+            algorithm: "datafly".into(),
+            k: 2,
+            max_suppression: 1,
+            seed: 99,
+            status: JobStatus::Ok,
+            metrics: Some(ReleaseMetrics {
+                rows: 10,
+                classes: 4,
+                min_class_size: 2,
+                suppressed: 0,
+                total_loss: 3.5,
+            }),
+            properties: vec![PropertySummary {
+                name: "eq-class-size".into(),
+                values: vec![2.0, 2.0, 3.0],
+            }],
+            duration_ms: 17,
+            cache_hit: true,
+        }
+    }
+
+    #[test]
+    fn canonical_strips_scheduling_fields() {
+        let r = sample();
+        let c = r.canonical();
+        assert_eq!(c.duration_ms, 0);
+        assert!(!c.cache_hit);
+        assert_eq!(c.job_id, r.job_id);
+        assert_eq!(c.metrics, r.metrics);
+        // Canonicalizing twice is a fixed point.
+        assert_eq!(c.canonical(), c);
+    }
+
+    #[test]
+    fn serializes_to_one_json_line() {
+        let line = sample().to_jsonl();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"algorithm\":\"datafly\""));
+        assert!(line.contains("\"status\":\"Ok\""));
+        assert!(line.contains("\"min_class_size\":2"));
+    }
+
+    #[test]
+    fn error_statuses_serialize_tagged() {
+        let mut r = sample();
+        r.status = JobStatus::Panicked {
+            message: "boom".into(),
+        };
+        r.metrics = None;
+        let line = r.to_jsonl();
+        assert!(line.contains("\"status\":{\"Panicked\":{\"message\":\"boom\"}}"));
+        assert!(line.contains("\"metrics\":null"));
+    }
+}

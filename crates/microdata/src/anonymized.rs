@@ -55,9 +55,8 @@ impl EquivalenceClasses {
     /// identical.
     pub fn group_by_sort(records: &[Vec<GenValue>], qi_cols: &[usize]) -> Self {
         let mut order: Vec<u32> = (0..records.len() as u32).collect();
-        let sig = |t: u32| -> Vec<GenValue> {
-            qi_cols.iter().map(|&c| records[t as usize][c]).collect()
-        };
+        let sig =
+            |t: u32| -> Vec<GenValue> { qi_cols.iter().map(|&c| records[t as usize][c]).collect() };
         order.sort_by_key(|&a| sig(a));
         let mut class_of = vec![0u32; records.len()];
         let mut members: Vec<Vec<u32>> = Vec::new();
@@ -100,7 +99,10 @@ impl EquivalenceClasses {
 
     /// Iterates `(class_index, members)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
-        self.members.iter().enumerate().map(|(i, m)| (i, m.as_slice()))
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.as_slice()))
     }
 
     /// The size of the smallest class, or 0 for an empty table. This is the
@@ -112,8 +114,7 @@ impl EquivalenceClasses {
     /// Whether the partitions of two groupings coincide (class numbering
     /// may differ).
     pub fn same_partition(&self, other: &EquivalenceClasses) -> bool {
-        if self.class_of.len() != other.class_of.len()
-            || self.members.len() != other.members.len()
+        if self.class_of.len() != other.class_of.len() || self.members.len() != other.members.len()
         {
             return false;
         }
@@ -203,7 +204,10 @@ impl AnonymizedTable {
         let arity = dataset.schema().len();
         for r in &records {
             if r.len() != arity {
-                return Err(Error::ArityMismatch { expected: arity, actual: r.len() });
+                return Err(Error::ArityMismatch {
+                    expected: arity,
+                    actual: r.len(),
+                });
             }
         }
         for (t, &sup) in suppressed.iter().enumerate() {
@@ -221,7 +225,13 @@ impl AnonymizedTable {
         }
         let classes =
             EquivalenceClasses::group_by_hash(&records, dataset.schema().quasi_identifiers());
-        Ok(AnonymizedTable { dataset, records, classes, suppressed, name: name.into() })
+        Ok(AnonymizedTable {
+            dataset,
+            records,
+            classes,
+            suppressed,
+            name: name.into(),
+        })
     }
 
     /// The original dataset this table anonymizes.
@@ -291,9 +301,10 @@ impl AnonymizedTable {
         match &self.records[tuple][col] {
             GenValue::Int(v) => v.to_string(),
             GenValue::Interval { lo, hi } => format!("({lo},{hi}]"),
-            GenValue::Cat(c) => {
-                attr.category_label(*c).map(str::to_owned).unwrap_or_else(|| format!("<cat {c}>"))
-            }
+            GenValue::Cat(c) => attr
+                .category_label(*c)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("<cat {c}>")),
             GenValue::Node(n) => attr
                 .hierarchy()
                 .and_then(|h| h.as_taxonomy())
@@ -447,8 +458,16 @@ mod tests {
 
     #[test]
     fn same_partition_detects_differences() {
-        let records_a = vec![vec![GenValue::Int(1)], vec![GenValue::Int(1)], vec![GenValue::Int(2)]];
-        let records_b = vec![vec![GenValue::Int(1)], vec![GenValue::Int(2)], vec![GenValue::Int(2)]];
+        let records_a = vec![
+            vec![GenValue::Int(1)],
+            vec![GenValue::Int(1)],
+            vec![GenValue::Int(2)],
+        ];
+        let records_b = vec![
+            vec![GenValue::Int(1)],
+            vec![GenValue::Int(2)],
+            vec![GenValue::Int(2)],
+        ];
         let a = EquivalenceClasses::group_by_hash(&records_a, &[0]);
         let b = EquivalenceClasses::group_by_hash(&records_b, &[0]);
         assert!(a.same_partition(&a));

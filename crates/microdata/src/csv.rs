@@ -47,7 +47,10 @@ fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(Error::Parse { line: line_no, detail: "unterminated quoted field".into() });
+        return Err(Error::Parse {
+            line: line_no,
+            detail: "unterminated quoted field".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -70,15 +73,23 @@ fn quote(field: &str) -> String {
 /// resolution errors as in
 /// [`DatasetBuilder::push_labels`](crate::dataset::DatasetBuilder::push_labels).
 pub fn dataset_from_csv(schema: Arc<Schema>, text: &str) -> Result<Arc<Dataset>> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (hdr_no, header) = lines
-        .next()
-        .ok_or(Error::Parse { line: 1, detail: "missing header row".into() })?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (hdr_no, header) = lines.next().ok_or(Error::Parse {
+        line: 1,
+        detail: "missing header row".into(),
+    })?;
     let names = split_line(header, hdr_no + 1)?;
     if names.len() != schema.len() {
         return Err(Error::Parse {
             line: hdr_no + 1,
-            detail: format!("header has {} columns, schema has {}", names.len(), schema.len()),
+            detail: format!(
+                "header has {} columns, schema has {}",
+                names.len(),
+                schema.len()
+            ),
         });
     }
     for (i, name) in names.iter().enumerate() {
@@ -99,7 +110,10 @@ pub fn dataset_from_csv(schema: Arc<Schema>, text: &str) -> Result<Arc<Dataset>>
         let fields = split_line(line, no + 1)?;
         builder.push_labels(&fields).map_err(|e| match e {
             Error::Parse { .. } => e,
-            other => Error::Parse { line: no + 1, detail: other.to_string() },
+            other => Error::Parse {
+                line: no + 1,
+                detail: other.to_string(),
+            },
         })?;
     }
     builder.build()
@@ -109,13 +123,17 @@ pub fn dataset_from_csv(schema: Arc<Schema>, text: &str) -> Result<Arc<Dataset>>
 pub fn dataset_to_csv(ds: &Dataset) -> String {
     let schema = ds.schema();
     let mut out = String::new();
-    let header: Vec<String> =
-        schema.attributes().iter().map(|a| quote(a.name())).collect();
+    let header: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| quote(a.name()))
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in 0..ds.len() {
-        let cells: Vec<String> =
-            (0..schema.len()).map(|col| quote(&ds.render(row, col))).collect();
+        let cells: Vec<String> = (0..schema.len())
+            .map(|col| quote(&ds.render(row, col)))
+            .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -127,13 +145,17 @@ pub fn dataset_to_csv(ds: &Dataset) -> String {
 pub fn anonymized_to_csv(table: &AnonymizedTable) -> String {
     let schema = table.dataset().schema();
     let mut out = String::new();
-    let header: Vec<String> =
-        schema.attributes().iter().map(|a| quote(a.name())).collect();
+    let header: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| quote(a.name()))
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for tuple in 0..table.len() {
-        let cells: Vec<String> =
-            (0..schema.len()).map(|col| quote(&table.render_cell(tuple, col))).collect();
+        let cells: Vec<String> = (0..schema.len())
+            .map(|col| quote(&table.render_cell(tuple, col)))
+            .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -204,7 +226,10 @@ mod tests {
     fn split_line_quoted_fields() {
         assert_eq!(split_line("a,b,c", 1).unwrap(), vec!["a", "b", "c"]);
         assert_eq!(split_line("\"a,b\",c", 1).unwrap(), vec!["a,b", "c"]);
-        assert_eq!(split_line("\"say \"\"hi\"\"\",x", 1).unwrap(), vec!["say \"hi\"", "x"]);
+        assert_eq!(
+            split_line("\"say \"\"hi\"\"\",x", 1).unwrap(),
+            vec!["say \"hi\"", "x"]
+        );
         assert_eq!(split_line("", 1).unwrap(), vec![""]);
         assert_eq!(split_line("a,", 1).unwrap(), vec!["a", ""]);
         assert!(split_line("ab\"cd", 1).is_err());
@@ -216,7 +241,10 @@ mod tests {
         let ds = Dataset::new(schema(), vec![vec![Value::Int(28), Value::Cat(1)]]).unwrap();
         let t = AnonymizedTable::new(
             ds,
-            vec![vec![GenValue::Interval { lo: 25, hi: 35 }, GenValue::Cat(1)]],
+            vec![vec![
+                GenValue::Interval { lo: 25, hi: 35 },
+                GenValue::Cat(1),
+            ]],
             "t",
         )
         .unwrap();

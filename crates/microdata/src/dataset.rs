@@ -83,7 +83,10 @@ impl Dataset {
     pub fn new(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> Result<Arc<Self>> {
         for row in &rows {
             if row.len() != schema.len() {
-                return Err(Error::ArityMismatch { expected: schema.len(), actual: row.len() });
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    actual: row.len(),
+                });
             }
             for (i, v) in row.iter().enumerate() {
                 let attr = schema.attribute(i);
@@ -108,20 +111,22 @@ impl Dataset {
             }
         }
         let distinct = Self::compute_distinct(&schema, &rows);
-        Ok(Arc::new(Dataset { schema, rows, distinct }))
+        Ok(Arc::new(Dataset {
+            schema,
+            rows,
+            distinct,
+        }))
     }
 
     fn compute_distinct(schema: &Schema, rows: &[Vec<Value>]) -> Vec<DistinctValues> {
         (0..schema.len())
             .map(|col| match schema.attribute(col).domain() {
                 Domain::Integer { .. } => {
-                    let set: BTreeSet<i64> =
-                        rows.iter().filter_map(|r| r[col].as_int()).collect();
+                    let set: BTreeSet<i64> = rows.iter().filter_map(|r| r[col].as_int()).collect();
                     DistinctValues::Integers(set.into_iter().collect())
                 }
                 Domain::Categorical { .. } => {
-                    let set: BTreeSet<u32> =
-                        rows.iter().filter_map(|r| r[col].as_cat()).collect();
+                    let set: BTreeSet<u32> = rows.iter().filter_map(|r| r[col].as_cat()).collect();
                     DistinctValues::Categories(set.into_iter().collect())
                 }
             })
@@ -178,7 +183,10 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// Starts a builder for `schema`, reserving space for `capacity` rows.
     pub fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
-        DatasetBuilder { schema, rows: Vec::with_capacity(capacity) }
+        DatasetBuilder {
+            schema,
+            rows: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a row of raw values.
@@ -195,26 +203,32 @@ impl DatasetBuilder {
     /// [`Error::Parse`]-style kind errors when a cell cannot be resolved.
     pub fn push_labels<S: AsRef<str>>(&mut self, cells: &[S]) -> Result<&mut Self> {
         if cells.len() != self.schema.len() {
-            return Err(Error::ArityMismatch { expected: self.schema.len(), actual: cells.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.schema.len(),
+                actual: cells.len(),
+            });
         }
         let mut row = Vec::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
             let attr = self.schema.attribute(i);
             let cell = cell.as_ref();
-            let v = match attr.domain() {
-                Domain::Integer { .. } => {
-                    Value::Int(cell.trim().parse::<i64>().map_err(|e| Error::KindMismatch {
-                        attribute: attr.name().to_owned(),
-                        detail: format!("cannot parse '{cell}' as integer: {e}"),
-                    })?)
-                }
-                Domain::Categorical { .. } => Value::Cat(attr.category_id(cell).ok_or_else(
-                    || Error::ValueOutOfDomain {
-                        attribute: attr.name().to_owned(),
-                        value: cell.to_owned(),
-                    },
-                )?),
-            };
+            let v =
+                match attr.domain() {
+                    Domain::Integer { .. } => Value::Int(cell.trim().parse::<i64>().map_err(
+                        |e| Error::KindMismatch {
+                            attribute: attr.name().to_owned(),
+                            detail: format!("cannot parse '{cell}' as integer: {e}"),
+                        },
+                    )?),
+                    Domain::Categorical { .. } => {
+                        Value::Cat(attr.category_id(cell).ok_or_else(|| {
+                            Error::ValueOutOfDomain {
+                                attribute: attr.name().to_owned(),
+                                value: cell.to_owned(),
+                            }
+                        })?)
+                    }
+                };
             row.push(v);
         }
         self.rows.push(row);

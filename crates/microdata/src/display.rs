@@ -95,7 +95,6 @@ pub fn anonymized_table(table: &AnonymizedTable) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     use crate::schema::{Attribute, Role, Schema};
     use crate::value::{GenValue, Value};

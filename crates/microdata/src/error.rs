@@ -60,15 +60,25 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
-            Error::LevelOutOfRange { attribute, level, max } => write!(
+            Error::LevelOutOfRange {
+                attribute,
+                level,
+                max,
+            } => write!(
                 f,
                 "generalization level {level} out of range for attribute '{attribute}' (max {max})"
             ),
             Error::ValueOutOfDomain { attribute, value } => {
-                write!(f, "value '{value}' outside the domain of attribute '{attribute}'")
+                write!(
+                    f,
+                    "value '{value}' outside the domain of attribute '{attribute}'"
+                )
             }
             Error::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity mismatch: expected {expected} values, got {actual}")
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, got {actual}"
+                )
             }
             Error::UnknownAttribute(name) => write!(f, "unknown attribute '{name}'"),
             Error::MissingHierarchy(name) => {
@@ -94,16 +104,26 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = Error::LevelOutOfRange { attribute: "age".into(), level: 9, max: 3 };
+        let e = Error::LevelOutOfRange {
+            attribute: "age".into(),
+            level: 9,
+            max: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains("age"));
         assert!(msg.contains('9'));
         assert!(msg.contains('3'));
 
-        let e = Error::ArityMismatch { expected: 3, actual: 2 };
+        let e = Error::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
 
-        let e = Error::Parse { line: 7, detail: "bad int".into() };
+        let e = Error::Parse {
+            line: 7,
+            detail: "bad int".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

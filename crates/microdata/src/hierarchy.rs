@@ -125,19 +125,31 @@ mod tests {
         assert_eq!(h.generalize(&Value::Cat(0), 0).unwrap(), GenValue::Cat(0));
         let g1 = h.generalize(&Value::Cat(0), 1).unwrap();
         assert!(matches!(g1, GenValue::Node(_)));
-        assert_eq!(h.generalize(&Value::Cat(0), 2).unwrap(), GenValue::Suppressed);
+        assert_eq!(
+            h.generalize(&Value::Cat(0), 2).unwrap(),
+            GenValue::Suppressed
+        );
         assert!(h.generalize(&Value::Cat(0), 3).is_err());
         assert!(h.generalize(&Value::Int(5), 1).is_err());
     }
 
     #[test]
     fn interval_generalization_levels() {
-        let ladder = IntervalLadder::new_unchecked(vec![IntervalLevel { origin: 25, width: 10 }])
-            .unwrap();
+        let ladder = IntervalLadder::new_unchecked(vec![IntervalLevel {
+            origin: 25,
+            width: 10,
+        }])
+        .unwrap();
         let h: Hierarchy = ladder.into();
         assert_eq!(h.max_level(), 2);
-        assert_eq!(h.generalize(&Value::Int(28), 1).unwrap(), GenValue::Interval { lo: 25, hi: 35 });
-        assert_eq!(h.generalize(&Value::Int(28), 2).unwrap(), GenValue::Suppressed);
+        assert_eq!(
+            h.generalize(&Value::Int(28), 1).unwrap(),
+            GenValue::Interval { lo: 25, hi: 35 }
+        );
+        assert_eq!(
+            h.generalize(&Value::Int(28), 2).unwrap(),
+            GenValue::Suppressed
+        );
         assert!(h.generalize(&Value::Cat(0), 1).is_err());
     }
 
@@ -158,8 +170,7 @@ mod tests {
             let gv = h.generalize(&Value::Cat(3), level).unwrap();
             assert_eq!(h.level_of(&gv), Some(level));
         }
-        let h: Hierarchy =
-            IntervalLadder::uniform(0, &[10, 20]).unwrap().into();
+        let h: Hierarchy = IntervalLadder::uniform(0, &[10, 20]).unwrap().into();
         for level in 0..=h.max_level() {
             let gv = h.generalize(&Value::Int(13), level).unwrap();
             assert_eq!(h.level_of(&gv), Some(level));

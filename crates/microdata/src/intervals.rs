@@ -30,7 +30,11 @@ impl IntervalLevel {
         // Solve origin + k*width < v <= origin + (k+1)*width for integer k,
         // i.e. k = ceil((v - origin) / width) - 1, in pure integer math.
         let delta = v - self.origin;
-        let k = if delta > 0 { (delta + self.width - 1) / self.width - 1 } else { delta / self.width - 1 };
+        let k = if delta > 0 {
+            (delta + self.width - 1) / self.width - 1
+        } else {
+            delta / self.width - 1
+        };
         let lo = self.origin + k * self.width;
         (lo, lo + self.width)
     }
@@ -95,12 +99,19 @@ impl IntervalLadder {
     /// # Errors
     /// As [`IntervalLadder::new_nested`].
     pub fn uniform(origin: i64, widths: &[i64]) -> Result<Self> {
-        Self::new_nested(widths.iter().map(|&width| IntervalLevel { origin, width }).collect())
+        Self::new_nested(
+            widths
+                .iter()
+                .map(|&width| IntervalLevel { origin, width })
+                .collect(),
+        )
     }
 
     fn validate_basics(levels: &[IntervalLevel]) -> Result<()> {
         if levels.is_empty() {
-            return Err(Error::InvalidHierarchy("interval ladder has no levels".into()));
+            return Err(Error::InvalidHierarchy(
+                "interval ladder has no levels".into(),
+            ));
         }
         for l in levels {
             if l.width <= 0 {
@@ -162,9 +173,10 @@ impl IntervalLadder {
             GenValue::Suppressed => Some(self.max_level()),
             GenValue::Interval { lo, hi } => {
                 let width = hi - lo;
-                self.levels.iter().position(|l| {
-                    l.width == width && (lo - l.origin) % l.width == 0
-                }).map(|i| i + 1)
+                self.levels
+                    .iter()
+                    .position(|l| l.width == width && (lo - l.origin) % l.width == 0)
+                    .map(|i| i + 1)
             }
             _ => None,
         }
@@ -178,7 +190,10 @@ mod tests {
     #[test]
     fn bucket_matches_paper_t3a() {
         // T3a ages: width 10, origin 25 → (25,35], (35,45], (45,55].
-        let l = IntervalLevel { origin: 25, width: 10 };
+        let l = IntervalLevel {
+            origin: 25,
+            width: 10,
+        };
         assert_eq!(l.bucket(28), (25, 35));
         assert_eq!(l.bucket(26), (25, 35));
         assert_eq!(l.bucket(31), (25, 35));
@@ -193,11 +208,17 @@ mod tests {
     #[test]
     fn bucket_matches_paper_t3b_and_t4() {
         // T3b ages: width 20, origin 15 → (15,35], (35,55].
-        let l = IntervalLevel { origin: 15, width: 20 };
+        let l = IntervalLevel {
+            origin: 15,
+            width: 20,
+        };
         assert_eq!(l.bucket(28), (15, 35));
         assert_eq!(l.bucket(55), (35, 55));
         // T4 ages: width 20, origin 20 → (20,40], (40,60].
-        let l = IntervalLevel { origin: 20, width: 20 };
+        let l = IntervalLevel {
+            origin: 20,
+            width: 20,
+        };
         assert_eq!(l.bucket(28), (20, 40));
         assert_eq!(l.bucket(39), (20, 40));
         assert_eq!(l.bucket(41), (40, 60));
@@ -206,7 +227,10 @@ mod tests {
 
     #[test]
     fn bucket_handles_negatives_and_boundaries() {
-        let l = IntervalLevel { origin: 0, width: 10 };
+        let l = IntervalLevel {
+            origin: 0,
+            width: 10,
+        };
         assert_eq!(l.bucket(-5), (-10, 0));
         assert_eq!(l.bucket(0), (-10, 0), "0 is the inclusive upper bound");
         assert_eq!(l.bucket(-10), (-20, -10));
@@ -218,26 +242,50 @@ mod tests {
     fn nested_validation() {
         // 10 then 20 with aligned origins: ok.
         assert!(IntervalLadder::new_nested(vec![
-            IntervalLevel { origin: 25, width: 10 },
-            IntervalLevel { origin: 15, width: 20 },
+            IntervalLevel {
+                origin: 25,
+                width: 10
+            },
+            IntervalLevel {
+                origin: 15,
+                width: 20
+            },
         ])
         .is_ok());
         // Misaligned origin (difference not multiple of 10): err.
         assert!(IntervalLadder::new_nested(vec![
-            IntervalLevel { origin: 25, width: 10 },
-            IntervalLevel { origin: 20, width: 20 },
+            IntervalLevel {
+                origin: 25,
+                width: 10
+            },
+            IntervalLevel {
+                origin: 20,
+                width: 20
+            },
         ])
         .is_err());
         // Width not a multiple: err.
         assert!(IntervalLadder::new_nested(vec![
-            IntervalLevel { origin: 0, width: 10 },
-            IntervalLevel { origin: 0, width: 25 },
+            IntervalLevel {
+                origin: 0,
+                width: 10
+            },
+            IntervalLevel {
+                origin: 0,
+                width: 25
+            },
         ])
         .is_err());
         // Unchecked allows the misaligned one.
         assert!(IntervalLadder::new_unchecked(vec![
-            IntervalLevel { origin: 25, width: 10 },
-            IntervalLevel { origin: 20, width: 20 },
+            IntervalLevel {
+                origin: 25,
+                width: 10
+            },
+            IntervalLevel {
+                origin: 20,
+                width: 20
+            },
         ])
         .is_ok());
     }
@@ -245,10 +293,20 @@ mod tests {
     #[test]
     fn basic_validation() {
         assert!(IntervalLadder::new_unchecked(vec![]).is_err());
-        assert!(IntervalLadder::new_unchecked(vec![IntervalLevel { origin: 0, width: 0 }]).is_err());
+        assert!(IntervalLadder::new_unchecked(vec![IntervalLevel {
+            origin: 0,
+            width: 0
+        }])
+        .is_err());
         assert!(IntervalLadder::new_unchecked(vec![
-            IntervalLevel { origin: 0, width: 10 },
-            IntervalLevel { origin: 0, width: 10 },
+            IntervalLevel {
+                origin: 0,
+                width: 10
+            },
+            IntervalLevel {
+                origin: 0,
+                width: 10
+            },
         ])
         .is_err());
     }
@@ -258,8 +316,14 @@ mod tests {
         let ladder = IntervalLadder::uniform(0, &[10, 20]).unwrap();
         assert_eq!(ladder.max_level(), 3);
         assert_eq!(ladder.generalize(17, 0).unwrap(), GenValue::Int(17));
-        assert_eq!(ladder.generalize(17, 1).unwrap(), GenValue::Interval { lo: 10, hi: 20 });
-        assert_eq!(ladder.generalize(17, 2).unwrap(), GenValue::Interval { lo: 0, hi: 20 });
+        assert_eq!(
+            ladder.generalize(17, 1).unwrap(),
+            GenValue::Interval { lo: 10, hi: 20 }
+        );
+        assert_eq!(
+            ladder.generalize(17, 2).unwrap(),
+            GenValue::Interval { lo: 0, hi: 20 }
+        );
         assert_eq!(ladder.generalize(17, 3).unwrap(), GenValue::Suppressed);
         assert!(ladder.generalize(17, 4).is_err());
     }

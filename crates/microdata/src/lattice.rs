@@ -169,7 +169,10 @@ impl Lattice {
 
     /// Iterates every lattice node in lexicographic order.
     pub fn iter_all(&self) -> LatticeIter<'_> {
-        LatticeIter { lattice: self, next: Some(self.bottom()) }
+        LatticeIter {
+            lattice: self,
+            next: Some(self.bottom()),
+        }
     }
 
     /// All nodes at the given height (sum of levels). Used by Samarati's
@@ -253,12 +256,9 @@ impl Lattice {
                 };
                 match requested_level {
                     Some(level) => {
-                        let h = schema
-                            .attribute(col)
-                            .hierarchy()
-                            .ok_or_else(|| Error::MissingHierarchy(
-                                schema.attribute(col).name().to_owned(),
-                            ))?;
+                        let h = schema.attribute(col).hierarchy().ok_or_else(|| {
+                            Error::MissingHierarchy(schema.attribute(col).name().to_owned())
+                        })?;
                         rec.push(h.generalize(value, level)?);
                     }
                     None => rec.push(GenValue::raw(*value)),
@@ -442,8 +442,14 @@ mod tests {
     fn apply_validates_levels() {
         let l = Lattice::new(schema()).unwrap();
         let ds = dataset();
-        assert!(matches!(l.apply(&ds, &[0], "t"), Err(Error::ArityMismatch { .. })));
-        assert!(matches!(l.apply(&ds, &[0, 9], "t"), Err(Error::LevelOutOfRange { .. })));
+        assert!(matches!(
+            l.apply(&ds, &[0], "t"),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            l.apply(&ds, &[0, 9], "t"),
+            Err(Error::LevelOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -455,16 +461,15 @@ mod tests {
                 Role::QuasiIdentifier,
                 Taxonomy::flat(["a", "b", "c"]).unwrap(),
             ),
-            Attribute::from_taxonomy(
-                "d",
-                Role::Sensitive,
-                Taxonomy::flat(["s1", "s2"]).unwrap(),
-            ),
+            Attribute::from_taxonomy("d", Role::Sensitive, Taxonomy::flat(["s1", "s2"]).unwrap()),
         ])
         .unwrap();
         let ds = Dataset::new(
             schema.clone(),
-            vec![vec![Value::Cat(0), Value::Cat(0)], vec![Value::Cat(1), Value::Cat(1)]],
+            vec![
+                vec![Value::Cat(0), Value::Cat(0)],
+                vec![Value::Cat(1), Value::Cat(1)],
+            ],
         )
         .unwrap();
         let l = Lattice::new(schema).unwrap();
@@ -483,11 +488,7 @@ mod tests {
             Attribute::categorical("d", Role::Sensitive, ["s1", "s2"]),
         ])
         .unwrap();
-        let ds2 = Dataset::new(
-            schema2.clone(),
-            vec![vec![Value::Cat(0), Value::Cat(0)]],
-        )
-        .unwrap();
+        let ds2 = Dataset::new(schema2.clone(), vec![vec![Value::Cat(0), Value::Cat(0)]]).unwrap();
         let l2 = Lattice::new(schema2).unwrap();
         assert!(matches!(
             l2.apply_with_extra(&ds2, &[0], &[(1, 1)], "t"),

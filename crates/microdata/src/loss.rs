@@ -120,7 +120,11 @@ impl LossMetric {
 
     /// Custom configuration.
     pub fn new(kind: LossKind, basis: CoverageBasis, columns: ColumnSet) -> Self {
-        LossMetric { kind, basis, columns }
+        LossMetric {
+            kind,
+            basis,
+            columns,
+        }
     }
 
     /// Number of covered values `|M|` and universe size `|A|` for a cell.
@@ -132,9 +136,7 @@ impl LossMetric {
                 let total = distinct.count() as f64;
                 let covered = match gv {
                     GenValue::Int(_) | GenValue::Cat(_) => 1.0,
-                    GenValue::Interval { lo, hi } => {
-                        distinct.count_in_interval(*lo, *hi) as f64
-                    }
+                    GenValue::Interval { lo, hi } => distinct.count_in_interval(*lo, *hi) as f64,
                     GenValue::Node(n) => {
                         let tax = attr
                             .hierarchy()
@@ -249,7 +251,11 @@ impl LossMetric {
         let cols = self.columns.resolve(ds);
         let mut cache = CellLossCache::new(self.clone());
         (0..table.len())
-            .map(|t| cols.iter().map(|&c| cache.get(ds, c, table.cell(t, c))).sum())
+            .map(|t| {
+                cols.iter()
+                    .map(|&c| cache.get(ds, c, table.cell(t, c)))
+                    .sum()
+            })
             .collect()
     }
 
@@ -280,7 +286,10 @@ pub struct CellLossCache {
 impl CellLossCache {
     /// Creates an empty cache for `metric`.
     pub fn new(metric: LossMetric) -> Self {
-        CellLossCache { metric, cache: Mutex::new(HashMap::new()) }
+        CellLossCache {
+            metric,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The (possibly cached) loss of `gv` in column `col`.
@@ -421,7 +430,14 @@ mod tests {
     #[test]
     fn node_coverage_against_both_bases() {
         let ds = dataset();
-        let tax = ds.schema().attribute(0).hierarchy().unwrap().as_taxonomy().unwrap().clone();
+        let tax = ds
+            .schema()
+            .attribute(0)
+            .hierarchy()
+            .unwrap()
+            .as_taxonomy()
+            .unwrap()
+            .clone();
         // Node "a*" covers leaves "aa" and "ab"; both present in data.
         let a_star = tax.ancestor_at_level(0, 1).unwrap();
         let gv = GenValue::Node(a_star);
@@ -506,7 +522,9 @@ mod tests {
         let ds = dataset();
         let lattice = Lattice::new(ds.schema().clone()).unwrap();
         let raw = lattice.apply(&ds, &lattice.bottom(), "raw").unwrap();
-        assert!(precision_vector(&raw).iter().all(|&p| (p - 1.0).abs() < 1e-12));
+        assert!(precision_vector(&raw)
+            .iter()
+            .all(|&p| (p - 1.0).abs() < 1e-12));
         let top = lattice.apply(&ds, &lattice.top(), "top").unwrap();
         assert!(precision_vector(&top).iter().all(|&p| p.abs() < 1e-12));
         let mid = lattice.apply(&ds, &[1, 1], "mid").unwrap();

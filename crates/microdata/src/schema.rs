@@ -75,7 +75,12 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an integer attribute.
     pub fn integer(name: impl Into<String>, role: Role, min: i64, max: i64) -> Self {
-        Attribute { name: name.into(), role, domain: Domain::Integer { min, max }, hierarchy: None }
+        Attribute {
+            name: name.into(),
+            role,
+            domain: Domain::Integer { min, max },
+            hierarchy: None,
+        }
     }
 
     /// Creates a categorical attribute from its category labels.
@@ -87,7 +92,9 @@ impl Attribute {
         Attribute {
             name: name.into(),
             role,
-            domain: Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() },
+            domain: Domain::Categorical {
+                labels: labels.into_iter().map(Into::into).collect(),
+            },
             hierarchy: None,
         }
     }
@@ -100,7 +107,11 @@ impl Attribute {
         role: Role,
         taxonomy: crate::taxonomy::Taxonomy,
     ) -> Self {
-        let labels: Vec<String> = taxonomy.leaf_labels().iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = taxonomy
+            .leaf_labels()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         Attribute {
             name: name.into(),
             role,
@@ -224,11 +235,16 @@ impl Schema {
     /// the attribute list is empty.
     pub fn new(attributes: Vec<Attribute>) -> Result<Arc<Self>> {
         if attributes.is_empty() {
-            return Err(Error::InvalidDataset("schema must have at least one attribute".into()));
+            return Err(Error::InvalidDataset(
+                "schema must have at least one attribute".into(),
+            ));
         }
         for (i, a) in attributes.iter().enumerate() {
             if attributes[..i].iter().any(|b| b.name == a.name) {
-                return Err(Error::InvalidDataset(format!("duplicate attribute name '{}'", a.name)));
+                return Err(Error::InvalidDataset(format!(
+                    "duplicate attribute name '{}'",
+                    a.name
+                )));
             }
         }
         let qi_indices = attributes
@@ -243,7 +259,11 @@ impl Schema {
             .filter(|(_, a)| a.role == Role::Sensitive)
             .map(|(i, _)| i)
             .collect();
-        Ok(Arc::new(Schema { attributes, qi_indices, sensitive_indices }))
+        Ok(Arc::new(Schema {
+            attributes,
+            qi_indices,
+            sensitive_indices,
+        }))
     }
 
     /// All attributes, in column order.
@@ -314,7 +334,10 @@ mod tests {
     fn index_of_finds_attributes() {
         let s = sample_schema();
         assert_eq!(s.index_of("age").unwrap(), 1);
-        assert!(matches!(s.index_of("nope"), Err(Error::UnknownAttribute(_))));
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(Error::UnknownAttribute(_))
+        ));
     }
 
     #[test]
@@ -340,7 +363,9 @@ mod tests {
         assert!(!d.contains(&Value::Int(20)));
         assert!(!d.contains(&Value::Cat(0)));
 
-        let d = Domain::Categorical { labels: vec!["a".into(), "b".into()] };
+        let d = Domain::Categorical {
+            labels: vec!["a".into(), "b".into()],
+        };
         assert_eq!(d.cardinality(), Some(2));
         assert!(d.contains(&Value::Cat(1)));
         assert!(!d.contains(&Value::Cat(2)));

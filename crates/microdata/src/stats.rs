@@ -80,8 +80,11 @@ pub fn render_profile(dataset: &Dataset, profiles: &[SubsetProfile]) -> String {
         "quasi-identifier subset", "distinct", "unique", "min |g|"
     ));
     for p in profiles {
-        let names: Vec<&str> =
-            p.columns.iter().map(|&c| schema.attribute(c).name()).collect();
+        let names: Vec<&str> = p
+            .columns
+            .iter()
+            .map(|&c| schema.attribute(c).name())
+            .collect();
         out.push_str(&format!(
             "{:<40} {:>9} {:>8} {:>7}\n",
             names.join(" + "),
@@ -186,8 +189,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_profile() {
-        let schema = Schema::new(vec![Attribute::integer("a", Role::QuasiIdentifier, 0, 9)])
-            .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::integer("a", Role::QuasiIdentifier, 0, 9)]).unwrap();
         let ds = Dataset::new(schema, vec![]).unwrap();
         let p = subset_profile(&ds, &[0]);
         assert_eq!(p.distinct_combinations, 0);

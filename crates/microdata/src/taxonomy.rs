@@ -79,7 +79,9 @@ impl Taxonomy {
     /// exceeds the value length.
     pub fn masking<S: AsRef<str>>(values: &[S], mask_steps: &[usize]) -> Result<Taxonomy> {
         if values.is_empty() {
-            return Err(Error::InvalidHierarchy("masking taxonomy needs at least one value".into()));
+            return Err(Error::InvalidHierarchy(
+                "masking taxonomy needs at least one value".into(),
+            ));
         }
         let width = values[0].as_ref().chars().count();
         for v in values {
@@ -281,7 +283,11 @@ impl TaxonomyBuilder {
             height_above_leaf: 0,
             leaf_count: 0,
         };
-        TaxonomyBuilder { nodes: vec![root], leaves: Vec::new(), open: vec![0] }
+        TaxonomyBuilder {
+            nodes: vec![root],
+            leaves: Vec::new(),
+            open: vec![0],
+        }
     }
 
     fn push_node(&mut self, label: String) -> NodeId {
@@ -354,7 +360,9 @@ impl TaxonomyBuilder {
         // Special case: a single node that is both root and the only leaf is
         // degenerate; reject it for clarity.
         if self.nodes.len() == 1 {
-            return Err(Error::InvalidHierarchy("taxonomy must have a root above its leaves".into()));
+            return Err(Error::InvalidHierarchy(
+                "taxonomy must have a root above its leaves".into(),
+            ));
         }
         // height_above_leaf and leaf counts, bottom-up (children have larger
         // arena indices than parents, so reverse index order works).
@@ -386,7 +394,12 @@ impl TaxonomyBuilder {
                 }
             }
         }
-        Ok(Taxonomy { nodes: self.nodes, leaves: self.leaves, height, ancestors })
+        Ok(Taxonomy {
+            nodes: self.nodes,
+            leaves: self.leaves,
+            height,
+            ancestors,
+        })
     }
 }
 
@@ -432,13 +445,19 @@ mod tests {
         // Level 2 is the root.
         assert_eq!(t.ancestor_at_level(3, 2).unwrap(), t.root());
         // Level 0 is the leaf.
-        assert_eq!(t.label(t.ancestor_at_level(1, 0).unwrap()), "Spouse Present");
+        assert_eq!(
+            t.label(t.ancestor_at_level(1, 0).unwrap()),
+            "Spouse Present"
+        );
     }
 
     #[test]
     fn level_out_of_range_rejected() {
         let t = marital_status_taxonomy();
-        assert!(matches!(t.ancestor_at_level(0, 3), Err(Error::LevelOutOfRange { .. })));
+        assert!(matches!(
+            t.ancestor_at_level(0, 3),
+            Err(Error::LevelOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -473,7 +492,10 @@ mod tests {
         // Leaves are grouped by prefix, so category ids follow leaf order,
         // not input order; resolve them via the labels.
         let cat = |label: &str| {
-            t.leaf_labels().iter().position(|l| *l == label).expect("leaf exists") as u32
+            t.leaf_labels()
+                .iter()
+                .position(|l| *l == label)
+                .expect("leaf exists") as u32
         };
         // 13053 at level 1 → "1305*", covering 13053 and 13052.
         let n = t.ancestor_at_level(cat("13053"), 1).unwrap();

@@ -71,8 +71,7 @@ proptest! {
 // ----------------------------------------------------------------------
 
 fn arb_codes() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::btree_set("[0-9]{4}", 1..12)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set("[0-9]{4}", 1..12).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

@@ -13,7 +13,11 @@ use anoncmp::datagen::census::{generate, CensusConfig};
 use anoncmp::prelude::*;
 
 fn main() {
-    let dataset = generate(&CensusConfig { rows: 400, seed: 2024, zip_pool: 25 });
+    let dataset = generate(&CensusConfig {
+        rows: 400,
+        seed: 2024,
+        zip_pool: 25,
+    });
     let k = 5;
     let constraint = Constraint::k_anonymity(k).with_suppression(dataset.len() / 20);
     println!(
@@ -66,8 +70,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\nPairwise ▶cov tournament on the equivalence-class-size property");
     println!("(cell = P_cov(row, column); row beats column when its value is larger):");
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = releases.iter().map(|t| EqClassSize.extract(t)).collect();
     print!("  {:<12}", "");
     for t in &releases {
         print!(" {:>10}", t.name());
@@ -130,8 +133,16 @@ fn main() {
     for i in 0..sets.len() {
         for j in (i + 1)..sets.len() {
             let verdict = match wtd.compare(&sets[i], &sets[j]) {
-                Preference::First => format!("{} ▶WTD {}", sets[i].anonymization(), sets[j].anonymization()),
-                Preference::Second => format!("{} ▶WTD {}", sets[j].anonymization(), sets[i].anonymization()),
+                Preference::First => format!(
+                    "{} ▶WTD {}",
+                    sets[i].anonymization(),
+                    sets[j].anonymization()
+                ),
+                Preference::Second => format!(
+                    "{} ▶WTD {}",
+                    sets[j].anonymization(),
+                    sets[i].anonymization()
+                ),
                 _ => format!("{} ≈ {}", sets[i].anonymization(), sets[j].anonymization()),
             };
             println!("  {verdict}");

@@ -26,15 +26,24 @@ fn lorenz_ascii(v: &PropertyVector, width: usize) -> String {
 }
 
 fn main() {
-    let dataset = generate(&CensusConfig { rows: 500, seed: 7, zip_pool: 30 });
+    let dataset = generate(&CensusConfig {
+        rows: 500,
+        seed: 7,
+        zip_pool: 30,
+    });
     let k = 10;
-    println!("Auditing 10-anonymous releases of {} census tuples.\n", dataset.len());
+    println!(
+        "Auditing 10-anonymous releases of {} census tuples.\n",
+        dataset.len()
+    );
 
     // Three ways to honor the same promise.
     let constraint = Constraint::k_anonymity(k).with_suppression(dataset.len() / 20);
     let releases = vec![
         Mondrian.anonymize(&dataset, &constraint).expect("mondrian"),
-        Incognito::default().anonymize(&dataset, &constraint).expect("incognito"),
+        Incognito::default()
+            .anonymize(&dataset, &constraint)
+            .expect("incognito"),
         Datafly.anonymize(&dataset, &constraint).expect("datafly"),
     ];
 
@@ -42,7 +51,10 @@ fn main() {
         let v = EqClassSize.extract(t);
         let b = BiasReport::of(&v);
         println!("── {} ───────────────────────────────────────", t.name());
-        println!("  scalar guarantee     : k = {}", t.classes().min_class_size());
+        println!(
+            "  scalar guarantee     : k = {}",
+            t.classes().min_class_size()
+        );
         println!("  actual class sizes   : {} … {}", b.min, b.max);
         println!("  mean / std deviation : {:.1} / {:.1}", b.mean, b.std_dev);
         println!("  gini coefficient     : {:.3}", b.gini);
@@ -63,8 +75,7 @@ fn main() {
     // The per-user perspective of §2: for how many tuples is each release
     // the personal optimum?
     println!("Per-user winners (paper §2's user-3 vs user-8 point, at scale):");
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = releases.iter().map(|t| EqClassSize.extract(t)).collect();
     let mut winners = vec![0usize; releases.len()];
     let mut ties = 0usize;
     for tuple in 0..dataset.len() {
@@ -72,8 +83,9 @@ fn main() {
             .iter()
             .map(|v| v[tuple])
             .fold(f64::NEG_INFINITY, f64::max);
-        let who: Vec<usize> =
-            (0..vectors.len()).filter(|&i| vectors[i][tuple] == best).collect();
+        let who: Vec<usize> = (0..vectors.len())
+            .filter(|&i| vectors[i][tuple] == best)
+            .collect();
         if who.len() == 1 {
             winners[who[0]] += 1;
         } else {

@@ -13,14 +13,12 @@ use anoncmp::datagen::census::{generate, CensusConfig};
 use anoncmp::prelude::*;
 
 fn cov_indices(r: usize) -> Vec<Box<dyn BinaryIndex>> {
-    (0..r).map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>).collect()
+    (0..r)
+        .map(|_| Box::new(CoverageComparator) as Box<dyn BinaryIndex>)
+        .collect()
 }
 
-fn rank_all(
-    name: &str,
-    sets: &[PropertySet],
-    cmp: &dyn SetComparator,
-) {
+fn rank_all(name: &str, sets: &[PropertySet], cmp: &dyn SetComparator) {
     // Tournament wins under the set comparator.
     let mut wins = vec![0usize; sets.len()];
     for i in 0..sets.len() {
@@ -40,13 +38,23 @@ fn rank_all(
 }
 
 fn main() {
-    let dataset = generate(&CensusConfig { rows: 300, seed: 11, zip_pool: 20 });
+    let dataset = generate(&CensusConfig {
+        rows: 300,
+        seed: 11,
+        zip_pool: 20,
+    });
     let constraint = Constraint::k_anonymity(4).with_suppression(15);
 
     // Candidate releases from different algorithm families.
-    let releases = [Mondrian.anonymize(&dataset, &constraint).expect("mondrian"),
-        Incognito::default().anonymize(&dataset, &constraint).expect("incognito"),
-        Genetic::default().anonymize(&dataset, &constraint).expect("genetic")];
+    let releases = [
+        Mondrian.anonymize(&dataset, &constraint).expect("mondrian"),
+        Incognito::default()
+            .anonymize(&dataset, &constraint)
+            .expect("incognito"),
+        Genetic::default()
+            .anonymize(&dataset, &constraint)
+            .expect("genetic"),
+    ];
 
     // The 3-property view (Definition 2, r = 3). Property order doubles as
     // the ▶LEX relevance order: privacy first, diversity second, utility
@@ -58,7 +66,14 @@ fn main() {
         .map(|t| induce_property_set(t, &[&EqClassSize, &diversity, &utility]))
         .collect();
 
-    println!("Candidates: {}\n", releases.iter().map(|t| t.name()).collect::<Vec<_>>().join(", "));
+    println!(
+        "Candidates: {}\n",
+        releases
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     for s in &sets {
         println!("  {}:", s.anonymization());
         for v in s.vectors() {

@@ -13,7 +13,11 @@ use anoncmp::datagen::census::{generate, CensusConfig};
 use anoncmp::prelude::*;
 
 fn main() {
-    let dataset = generate(&CensusConfig { rows: 350, seed: 99, zip_pool: 20 });
+    let dataset = generate(&CensusConfig {
+        rows: 350,
+        seed: 99,
+        zip_pool: 20,
+    });
     println!(
         "Exploring the privacy/utility frontier of {} census tuples (§7 of the paper).\n",
         dataset.len()
@@ -21,11 +25,18 @@ fn main() {
 
     // Two objectives: mean class size (privacy) and negated loss (utility).
     let moga = MultiObjectiveGenetic {
-        config: MogaConfig { population: 24, generations: 18, ..Default::default() },
+        config: MogaConfig {
+            population: 24,
+            generations: 18,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let front = moga.run(&dataset).expect("search runs");
-    println!("Found a {}-point Pareto frontier. Profiling each release:\n", front.len());
+    println!(
+        "Found a {}-point Pareto frontier. Profiling each release:\n",
+        front.len()
+    );
 
     let workload = Workload::random(&dataset, 40, 2, 0.3, 7);
     println!(
@@ -49,10 +60,22 @@ fn main() {
 
     // Knee selection: the frontier point with the best normalized
     // harmonic trade-off between the two objectives.
-    let lo0 = front.iter().map(|s| s.objectives[0]).fold(f64::INFINITY, f64::min);
-    let hi0 = front.iter().map(|s| s.objectives[0]).fold(f64::NEG_INFINITY, f64::max);
-    let lo1 = front.iter().map(|s| s.objectives[1]).fold(f64::INFINITY, f64::min);
-    let hi1 = front.iter().map(|s| s.objectives[1]).fold(f64::NEG_INFINITY, f64::max);
+    let lo0 = front
+        .iter()
+        .map(|s| s.objectives[0])
+        .fold(f64::INFINITY, f64::min);
+    let hi0 = front
+        .iter()
+        .map(|s| s.objectives[0])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let lo1 = front
+        .iter()
+        .map(|s| s.objectives[1])
+        .fold(f64::INFINITY, f64::min);
+    let hi1 = front
+        .iter()
+        .map(|s| s.objectives[1])
+        .fold(f64::NEG_INFINITY, f64::max);
     let knee = front
         .iter()
         .max_by(|a, b| {

@@ -32,7 +32,11 @@ fn main() {
     // ------------------------------------------------------------------
     let s = EqClassSize.extract(&t3a);
     let t = EqClassSize.extract(&t3b);
-    println!("Scalar view:  k(T3a) = {}  k(T3b) = {}", s.min().unwrap(), t.min().unwrap());
+    println!(
+        "Scalar view:  k(T3a) = {}  k(T3b) = {}",
+        s.min().unwrap(),
+        t.min().unwrap()
+    );
     assert_eq!(s.min(), t.min());
 
     // ------------------------------------------------------------------

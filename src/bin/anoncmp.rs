@@ -8,8 +8,9 @@
 //!                   --k 5 [--algo mondrian] [--max-sup 20] [--output out.csv]
 //!     Anonymize a CSV file (schema and hierarchies are inferred).
 //!
-//! anoncmp compare --input data.csv --qi age,zip --sensitive disease --k 5
-//!     Run all algorithms and compare them with scalar and vector views.
+//! anoncmp compare --input data.csv --qi age,zip --sensitive disease --k 5 [--jobs 4]
+//!     Run all algorithms (in parallel, on the evaluation engine) and
+//!     compare them with scalar and vector views.
 //!
 //! anoncmp risk --input data.csv --qi age,zip --sensitive disease [--threshold 0.2]
 //!     Re-identification risk of releasing the file as-is.
@@ -67,7 +68,8 @@ const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk> [opti
                       genetic|top-down|clustering|optimal (default mondrian)
   --max-sup N         suppression budget in tuples (default 0)
   --threshold P       risk threshold for `risk` (default 0.2)
-  --output FILE       write the anonymized CSV here (anonymize only)";
+  --output FILE       write the anonymized CSV here (anonymize only)
+  --jobs N            engine worker threads for `compare` (default: one per CPU)";
 
 /// Parsed `--key value` options.
 struct Options(BTreeMap<String, String>);
@@ -78,7 +80,8 @@ impl Options {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -96,18 +99,17 @@ impl Options {
     }
 }
 
-fn with_options(
-    rest: &[String],
-    run: fn(&Options) -> Result<(), String>,
-) -> Result<(), String> {
+fn with_options(rest: &[String], run: fn(&Options) -> Result<(), String>) -> Result<(), String> {
     let mut map = BTreeMap::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected an --option, got '{flag}'"))?;
-        let value =
-            it.next().ok_or_else(|| format!("--{key} needs a value"))?.to_owned();
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .to_owned();
         map.insert(key.to_owned(), value);
     }
     run(&Options(map))
@@ -118,8 +120,7 @@ fn with_options(
 // ----------------------------------------------------------------------
 
 fn load_csv(path: &str, qi: &[&str], sensitive: &str) -> Result<Arc<Dataset>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     anoncmp::infer::dataset_from_csv_inferred(&text, qi, sensitive)
 }
 
@@ -200,49 +201,62 @@ fn anonymize(opts: &Options) -> Result<(), String> {
 }
 
 fn compare(opts: &Options) -> Result<(), String> {
+    use anoncmp::engine::prelude::*;
+
     let dataset = load_from_options(opts)?;
     let k = opts.usize_or("k", 5)?;
     let max_sup = opts.usize_or("max-sup", dataset.len() / 20)?;
-    let constraint = Constraint::k_anonymity(k).with_suppression(max_sup);
-    let names =
-        ["datafly", "samarati", "incognito", "mondrian", "greedy", "genetic", "top-down", "clustering"];
-    let mut releases = Vec::new();
-    for name in names {
-        match parse_algo(name)?.anonymize(&dataset, &constraint) {
-            Ok(t) => releases.push(t),
-            Err(e) => println!("{name:<10} failed: {e}"),
+    let engine = Engine::global();
+    engine.set_jobs(opts.usize_or("jobs", 0)?);
+
+    // Run the full candidate suite as one engine sweep: parallel across
+    // `--jobs` workers, deterministic in content, memoized by fingerprint.
+    let spec = DatasetSpec::inline(opts.require("input")?, dataset);
+    let jobs: Vec<EvalJob> = AlgorithmSpec::standard_suite()
+        .into_iter()
+        .map(|algorithm| EvalJob {
+            dataset: spec.clone(),
+            algorithm,
+            k,
+            max_suppression: max_sup,
+            properties: vec![PropertySpec::EqClassSize],
+        })
+        .collect();
+    let sweep = engine.run(&jobs);
+
+    let mut names: Vec<String> = Vec::new();
+    let mut vectors: Vec<PropertyVector> = Vec::new();
+    let mut metrics = Vec::new();
+    for o in &sweep.outcomes {
+        match (&o.record.status, &o.record.metrics) {
+            (JobStatus::Ok, Some(m)) => {
+                names.push(o.record.algorithm.clone());
+                vectors.push(o.vectors[0].clone());
+                metrics.push(m.clone());
+            }
+            (status, _) => {
+                println!("{:<10} failed: {status:?}", o.record.algorithm)
+            }
         }
     }
-    let metric = anoncmp::microdata::loss::LossMetric::classic();
     println!(
         "{:<12} {:>4} {:>8} {:>10} {:>11} {:>7}",
         "algorithm", "k", "classes", "loss", "suppressed", "gini"
     );
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
-    for (t, v) in releases.iter().zip(&vectors) {
+    for ((name, m), v) in names.iter().zip(&metrics).zip(&vectors) {
         let b = BiasReport::of(v);
         println!(
             "{:<12} {:>4} {:>8} {:>10.1} {:>11} {:>7.3}",
-            t.name(),
-            t.classes().min_class_size(),
-            t.classes().class_count(),
-            metric.total_loss(t),
-            t.suppressed_count(),
-            b.gini
+            name, m.min_class_size, m.classes, m.total_loss, m.suppressed, b.gini
         );
     }
     println!("\npairwise ▶cov verdicts on per-tuple privacy:");
-    for i in 0..releases.len() {
-        for j in (i + 1)..releases.len() {
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
             let verdict = match CoverageComparator.compare(&vectors[i], &vectors[j]) {
-                Preference::First => {
-                    format!("{} ▶cov {}", releases[i].name(), releases[j].name())
-                }
-                Preference::Second => {
-                    format!("{} ▶cov {}", releases[j].name(), releases[i].name())
-                }
-                _ => format!("{} ≈ {}", releases[i].name(), releases[j].name()),
+                Preference::First => format!("{} ▶cov {}", names[i], names[j]),
+                Preference::Second => format!("{} ▶cov {}", names[j], names[i]),
+                _ => format!("{} ≈ {}", names[i], names[j]),
             };
             println!("  {verdict}");
         }
@@ -253,7 +267,11 @@ fn compare(opts: &Options) -> Result<(), String> {
 fn frontier(opts: &Options) -> Result<(), String> {
     let dataset = load_from_options(opts)?;
     let moga = MultiObjectiveGenetic {
-        config: MogaConfig { population: 24, generations: 20, ..Default::default() },
+        config: MogaConfig {
+            population: 24,
+            generations: 20,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let front = moga.run(&dataset).map_err(|e| e.to_string())?;
@@ -282,7 +300,10 @@ fn risk(opts: &Options) -> Result<(), String> {
     let report = RiskReport::of(&raw, threshold);
     println!("re-identification risk of releasing the file unmodified:");
     println!("  records                     : {}", raw.len());
-    println!("  unique QI combinations      : {}", raw.classes().class_count());
+    println!(
+        "  unique QI combinations      : {}",
+        raw.classes().class_count()
+    );
     println!("  max prosecutor risk         : {:.3}", report.max_risk);
     println!("  mean prosecutor risk        : {:.3}", report.mean_risk);
     println!(

@@ -15,9 +15,7 @@
 use std::sync::Arc;
 
 use anoncmp_microdata::csv::dataset_from_csv;
-use anoncmp_microdata::prelude::{
-    Attribute, Dataset, IntervalLadder, Role, Schema, Taxonomy,
-};
+use anoncmp_microdata::prelude::{Attribute, Dataset, IntervalLadder, Role, Schema, Taxonomy};
 
 /// An automatically nested interval ladder for span `[min, max]`: three
 /// levels splitting the span in roughly sixteenths, quarters, and halves
@@ -36,17 +34,15 @@ pub fn auto_ladder(min: i64, max: i64) -> IntervalLadder {
 /// # Errors
 /// Returns a message when the column is empty or hierarchy construction
 /// fails.
-pub fn infer_attribute(
-    name: &str,
-    role: Role,
-    cells: &[String],
-) -> Result<Attribute, String> {
+pub fn infer_attribute(name: &str, role: Role, cells: &[String]) -> Result<Attribute, String> {
     if cells.is_empty() {
         return Err(format!("column '{name}' has no data"));
     }
     // Numeric?
-    if let Ok(values) =
-        cells.iter().map(|c| c.parse::<i64>()).collect::<Result<Vec<_>, _>>()
+    if let Ok(values) = cells
+        .iter()
+        .map(|c| c.parse::<i64>())
+        .collect::<Result<Vec<_>, _>>()
     {
         let min = *values.iter().min().expect("non-empty");
         let max = *values.iter().max().expect("non-empty");
@@ -151,13 +147,29 @@ mod tests {
         let schema = ds.schema();
         assert_eq!(schema.quasi_identifiers().len(), 3);
         assert_eq!(schema.sensitive().len(), 1);
-        assert!(matches!(schema.attribute(0).domain(), Domain::Integer { .. }));
-        assert!(matches!(schema.attribute(1).domain(), Domain::Categorical { .. }));
+        assert!(matches!(
+            schema.attribute(0).domain(),
+            Domain::Integer { .. }
+        ));
+        assert!(matches!(
+            schema.attribute(1).domain(),
+            Domain::Categorical { .. }
+        ));
         // zip got a masking taxonomy (equal-length 5-char labels).
-        let tax = schema.attribute(1).hierarchy().unwrap().as_taxonomy().unwrap();
+        let tax = schema
+            .attribute(1)
+            .hierarchy()
+            .unwrap()
+            .as_taxonomy()
+            .unwrap();
         assert_eq!(tax.height(), 5);
         // sex got a flat taxonomy (labels of length 1).
-        let tax = schema.attribute(2).hierarchy().unwrap().as_taxonomy().unwrap();
+        let tax = schema
+            .attribute(2)
+            .hierarchy()
+            .unwrap()
+            .as_taxonomy()
+            .unwrap();
         assert_eq!(tax.height(), 1);
         // A lattice builds directly.
         assert!(Lattice::new(schema.clone()).is_ok());
@@ -172,8 +184,16 @@ mod tests {
         let ds = dataset_from_csv_inferred(text, &["zip"], "d").unwrap();
         let schema = ds.schema();
         let idx = schema.index_of("zip").unwrap();
-        assert!(matches!(schema.attribute(idx).domain(), Domain::Integer { .. }));
-        assert!(schema.attribute(idx).hierarchy().unwrap().as_intervals().is_some());
+        assert!(matches!(
+            schema.attribute(idx).domain(),
+            Domain::Integer { .. }
+        ));
+        assert!(schema
+            .attribute(idx)
+            .hierarchy()
+            .unwrap()
+            .as_intervals()
+            .is_some());
     }
 
     #[test]
@@ -206,7 +226,13 @@ mod tests {
         let text = "code,d\nAAA,x\nBB,y\n";
         let ds = dataset_from_csv_inferred(text, &["code"], "d").unwrap();
         // Mixed lengths → flat taxonomy.
-        let tax = ds.schema().attribute(0).hierarchy().unwrap().as_taxonomy().unwrap();
+        let tax = ds
+            .schema()
+            .attribute(0)
+            .hierarchy()
+            .unwrap()
+            .as_taxonomy()
+            .unwrap();
         assert_eq!(tax.height(), 1);
     }
 

@@ -17,7 +17,9 @@
 //!   greedy recoding, genetic search, and the privacy models
 //!   ([`anoncmp_anonymize`]);
 //! * [`datagen`] — the paper's Table 1–3 examples and a synthetic census
-//!   generator ([`anoncmp_datagen`]).
+//!   generator ([`anoncmp_datagen`]);
+//! * [`engine`] — the parallel, memoizing evaluation engine executing
+//!   algorithm × k × dataset sweeps ([`anoncmp_engine`]).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub mod infer;
 pub use anoncmp_anonymize as anonymize;
 pub use anoncmp_core as core;
 pub use anoncmp_datagen as datagen;
+pub use anoncmp_engine as engine;
 pub use anoncmp_microdata as microdata;
 
 /// One-stop prelude: the union of the member crates' preludes.
@@ -54,11 +57,12 @@ pub use anoncmp_microdata as microdata;
 /// [`AnonymizeError`](anoncmp_anonymize::error::AnonymizeError).
 pub mod prelude {
     pub use anoncmp_anonymize::prelude::{
-        Anonymizer, AnonymizeError, Constraint, Crossover, Datafly, DiversityKind, Genetic, GreedyCluster, OptimalLattice,
-        GeneticConfig, GreedyRecoder, Incognito, IncognitoOutcome, KAnonymity, LDiversity,
-        MeanClassSize, MinClassSize, MogaConfig, Mondrian, MultiObjectiveGenetic, NegLoss,
-        NegPrivacyGini, Objective, PSensitive, ParetoSolution, PrivacyModel, Samarati,
-        SamaratiOutcome, SubsetIncognito, SubsetIncognitoOutcome, TCloseness, TopDown, personalized_slack_vector, PersonalizedKAnonymity,
+        personalized_slack_vector, AnonymizeError, Anonymizer, Constraint, Crossover, Datafly,
+        DiversityKind, Genetic, GeneticConfig, GreedyCluster, GreedyRecoder, Incognito,
+        IncognitoOutcome, KAnonymity, LDiversity, MeanClassSize, MinClassSize, MogaConfig,
+        Mondrian, MultiObjectiveGenetic, NegLoss, NegPrivacyGini, Objective, OptimalLattice,
+        PSensitive, ParetoSolution, PersonalizedKAnonymity, PrivacyModel, Samarati,
+        SamaratiOutcome, SubsetIncognito, SubsetIncognitoOutcome, TCloseness, TopDown,
     };
     pub use anoncmp_core::prelude::*;
     pub use anoncmp_microdata::prelude::*;

@@ -8,7 +8,11 @@ use anoncmp::datagen::census::{generate, CensusConfig};
 use anoncmp::prelude::*;
 
 fn dataset() -> Arc<Dataset> {
-    generate(&CensusConfig { rows: 200, seed: 31, zip_pool: 15 })
+    generate(&CensusConfig {
+        rows: 200,
+        seed: 31,
+        zip_pool: 15,
+    })
 }
 
 fn algorithms() -> Vec<Box<dyn Anonymizer>> {
@@ -19,7 +23,11 @@ fn algorithms() -> Vec<Box<dyn Anonymizer>> {
         Box::new(Mondrian),
         Box::new(GreedyRecoder::default()),
         Box::new(Genetic {
-            config: GeneticConfig { population: 16, generations: 10, ..Default::default() },
+            config: GeneticConfig {
+                population: 16,
+                generations: 10,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         Box::new(TopDown::default()),
@@ -41,8 +49,7 @@ fn every_algorithm_satisfies_every_k() {
             assert_eq!(t.len(), ds.len(), "{} dropped tuples", algo.name());
             // Every non-suppressed class is at least k (the scalar view).
             for (_, members) in t.classes().iter() {
-                let suppressed =
-                    members.iter().all(|&m| t.is_tuple_suppressed(m as usize));
+                let suppressed = members.iter().all(|&m| t.is_tuple_suppressed(m as usize));
                 assert!(
                     suppressed || members.len() >= k,
                     "{} produced an undersized class at k={k}",
@@ -85,8 +92,10 @@ fn extra_models_are_honored_by_all_algorithms() {
 fn outputs_feed_the_comparison_framework() {
     let ds = dataset();
     let c = Constraint::k_anonymity(4).with_suppression(10);
-    let releases: Vec<AnonymizedTable> =
-        algorithms().iter().map(|a| a.anonymize(&ds, &c).expect("feasible")).collect();
+    let releases: Vec<AnonymizedTable> = algorithms()
+        .iter()
+        .map(|a| a.anonymize(&ds, &c).expect("feasible"))
+        .collect();
 
     // Induce a 3-property view on every release and compare all pairs with
     // every comparator — nothing may panic, and the outcomes must be
@@ -158,8 +167,12 @@ fn exhaustive_searches_agree_with_each_other() {
     // at lower height… at minimum, its height is ≥ the minimum frontier
     // height).
     let lattice = Lattice::new(ds.schema().clone()).expect("lattice");
-    let min_frontier_height =
-        inc.frontier.iter().map(|l| lattice.height_of(l)).min().expect("non-empty");
+    let min_frontier_height = inc
+        .frontier
+        .iter()
+        .map(|l| lattice.height_of(l))
+        .min()
+        .expect("non-empty");
     assert!(lattice.height_of(&sam.levels) >= min_frontier_height);
 }
 
@@ -169,15 +182,20 @@ fn per_tuple_winners_differ_across_algorithms() {
     // optimum for every tuple (with enough algorithms in play).
     let ds = dataset();
     let c = Constraint::k_anonymity(5).with_suppression(10);
-    let releases: Vec<AnonymizedTable> =
-        algorithms().iter().map(|a| a.anonymize(&ds, &c).expect("feasible")).collect();
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
+    let releases: Vec<AnonymizedTable> = algorithms()
+        .iter()
+        .map(|a| a.anonymize(&ds, &c).expect("feasible"))
+        .collect();
+    let vectors: Vec<PropertyVector> = releases.iter().map(|t| EqClassSize.extract(t)).collect();
     let mut uniquely_best = vec![false; vectors.len()];
     for t in 0..ds.len() {
-        let best = vectors.iter().map(|v| v[t]).fold(f64::NEG_INFINITY, f64::max);
-        let winners: Vec<usize> =
-            (0..vectors.len()).filter(|&i| vectors[i][t] == best).collect();
+        let best = vectors
+            .iter()
+            .map(|v| v[t])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let winners: Vec<usize> = (0..vectors.len())
+            .filter(|&i| vectors[i][t] == best)
+            .collect();
         if winners.len() < vectors.len() {
             for w in winners {
                 uniquely_best[w] = true;

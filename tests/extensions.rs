@@ -9,7 +9,11 @@ use anoncmp::datagen::census::{generate, CensusConfig};
 use anoncmp::prelude::*;
 
 fn dataset() -> Arc<Dataset> {
-    generate(&CensusConfig { rows: 180, seed: 63, zip_pool: 15 })
+    generate(&CensusConfig {
+        rows: 180,
+        seed: 63,
+        zip_pool: 15,
+    })
 }
 
 #[test]
@@ -19,7 +23,11 @@ fn moga_front_dominates_or_matches_constraint_algorithms() {
     // (otherwise the front missed a region).
     let ds = dataset();
     let moga = MultiObjectiveGenetic {
-        config: MogaConfig { population: 16, generations: 12, ..Default::default() },
+        config: MogaConfig {
+            population: 16,
+            generations: 12,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let front = moga.run(&ds).expect("moga runs");
@@ -54,8 +62,14 @@ fn epsilon_comparator_is_consistent_with_dominance_on_real_releases() {
     let vb = EqClassSize.extract(&b);
     let eps = EpsilonComparator::default();
     // Characterization: I_ε+(X,Y) ≤ 0 ⟺ X ⪰ Y.
-    assert_eq!(additive_epsilon_index(&va, &vb) <= 0.0, weakly_dominates(&va, &vb));
-    assert_eq!(additive_epsilon_index(&vb, &va) <= 0.0, weakly_dominates(&vb, &va));
+    assert_eq!(
+        additive_epsilon_index(&va, &vb) <= 0.0,
+        weakly_dominates(&va, &vb)
+    );
+    assert_eq!(
+        additive_epsilon_index(&vb, &va) <= 0.0,
+        weakly_dominates(&vb, &va)
+    );
     // Antisymmetry of the comparator.
     assert_eq!(eps.compare(&va, &vb), eps.compare(&vb, &va).flipped());
 }
@@ -90,8 +104,7 @@ fn comparison_matrix_spans_crates() {
         TopDown::default().anonymize(&ds, &c).expect("top-down"),
     ];
     let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
-    let vectors: Vec<PropertyVector> =
-        releases.iter().map(|t| EqClassSize.extract(t)).collect();
+    let vectors: Vec<PropertyVector> = releases.iter().map(|t| EqClassSize.extract(t)).collect();
     let m = ComparisonMatrix::of_vectors(&names, &vectors, &CoverageComparator);
     // Copeland scores sum to zero when there are no incomparabilities.
     let total: i64 = (0..3).map(|i| m.copeland(i)).sum();
@@ -110,7 +123,10 @@ fn risk_report_improves_with_anonymization() {
     let anon = Mondrian.anonymize(&ds, &c).expect("mondrian");
     let r_raw = RiskReport::of(&raw, 0.2);
     let r_anon = RiskReport::of(&anon, 0.2);
-    assert!(r_anon.max_risk <= 1.0 / 5.0 + 1e-12, "k = 5 caps risk at 0.2");
+    assert!(
+        r_anon.max_risk <= 1.0 / 5.0 + 1e-12,
+        "k = 5 caps risk at 0.2"
+    );
     assert!(r_anon.max_risk <= r_raw.max_risk);
     assert!(r_anon.expected_reidentifications < r_raw.expected_reidentifications);
     assert_eq!(r_anon.at_risk_fraction, 0.0);
@@ -135,7 +151,9 @@ fn personalized_privacy_end_to_end() {
     let c = Constraint::k_anonymity(2)
         .with_suppression(ds.len() / 10)
         .with_model(Arc::new(model));
-    let t = Datafly.anonymize(&ds, &c).expect("personalized demands reachable");
+    let t = Datafly
+        .anonymize(&ds, &c)
+        .expect("personalized demands reachable");
     assert!(c.satisfied(&t));
     // Slack is nonnegative for every non-suppressed tuple.
     let model = PersonalizedKAnonymity::new(demands);
@@ -158,7 +176,10 @@ fn pareto_helpers_agree_with_vector_dominance() {
     let va = PropertyVector::new("a", a.clone());
     let vb = PropertyVector::new("b", b.clone());
     assert_eq!(point_weakly_dominates(&a, &b), weakly_dominates(&va, &vb));
-    assert_eq!(point_strongly_dominates(&a, &b), strongly_dominates(&va, &vb));
+    assert_eq!(
+        point_strongly_dominates(&a, &b),
+        strongly_dominates(&va, &vb)
+    );
     let front = pareto_front(&[a.clone(), b.clone()]);
     assert_eq!(front, vec![0]);
     let fronts = non_dominated_sort(&[a, b]);

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 /// Strategy: a property vector of dimension `n` with values in [0.5, 20].
 fn vec_of(n: usize) -> impl Strategy<Value = PropertyVector> {
-    proptest::collection::vec(0.5f64..20.0, n)
-        .prop_map(|v| PropertyVector::new("p", v))
+    proptest::collection::vec(0.5f64..20.0, n).prop_map(|v| PropertyVector::new("p", v))
 }
 
 /// Strategy: a pair of equal-dimension vectors (dimension 1..=12).

@@ -66,7 +66,11 @@ fn table3_t4_renders_exactly() {
     }
     let young = [0usize, 2, 3, 7]; // tuples 1, 3, 4, 8
     for i in 0..10 {
-        let expected = if young.contains(&i) { "(20,40]" } else { "(40,60]" };
+        let expected = if young.contains(&i) {
+            "(20,40]"
+        } else {
+            "(40,60]"
+        };
         assert_eq!(t4.render_cell(i, 1), expected, "tuple {}", i + 1);
     }
 }
@@ -76,9 +80,18 @@ fn figure1_class_size_vectors() {
     let s = EqClassSize.extract(&paper::paper_t3a());
     let t = EqClassSize.extract(&paper::paper_t3b());
     let u = EqClassSize.extract(&paper::paper_t4());
-    assert_eq!(s.values(), &[3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 3.0, 3.0, 4.0]);
-    assert_eq!(t.values(), &[3.0, 7.0, 7.0, 3.0, 7.0, 7.0, 7.0, 3.0, 7.0, 7.0]);
-    assert_eq!(u.values(), &[4.0, 6.0, 4.0, 4.0, 6.0, 6.0, 6.0, 4.0, 6.0, 6.0]);
+    assert_eq!(
+        s.values(),
+        &[3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 3.0, 3.0, 4.0]
+    );
+    assert_eq!(
+        t.values(),
+        &[3.0, 7.0, 7.0, 3.0, 7.0, 7.0, 7.0, 3.0, 7.0, 7.0]
+    );
+    assert_eq!(
+        u.values(),
+        &[4.0, 6.0, 4.0, 4.0, 6.0, 6.0, 6.0, 4.0, 6.0, 6.0]
+    );
 }
 
 #[test]
@@ -101,7 +114,10 @@ fn section3_index_values() {
     assert_eq!(classic::MinIndex.value(&s), 3.0);
     assert!((classic::MeanIndex.value(&s) - 3.4).abs() < 1e-12);
     let counts = SensitiveValueCount::default().extract(&paper::paper_t3a());
-    assert_eq!(counts.values(), &[2.0, 2.0, 1.0, 2.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0]);
+    assert_eq!(
+        counts.values(),
+        &[2.0, 2.0, 1.0, 2.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0]
+    );
     assert_eq!(classic::MinIndex.value(&counts), 1.0);
     assert_eq!(classic::CountStrictlyGreater.value(&s, &t), 0.0);
     assert_eq!(classic::CountStrictlyGreater.value(&t, &s), 7.0);
@@ -129,7 +145,10 @@ fn section54_hypervolume_example() {
     let t = PropertyVector::new("t", paper::HV_T.to_vec());
     assert_eq!(hypervolume_index(&s, &t), 56_727.0);
     assert_eq!(hypervolume_index(&t, &s), 37_888.0);
-    assert_eq!(HypervolumeComparator::default().compare(&s, &t), Preference::First);
+    assert_eq!(
+        HypervolumeComparator::default().compare(&s, &t),
+        Preference::First
+    );
 }
 
 #[test]
@@ -142,10 +161,16 @@ fn section55_utility_vectors_and_wtd_tie() {
     let paper_ua = [2.03, 1.7, 1.7, 2.03, 1.6, 1.6, 1.6, 2.03, 1.7, 1.6];
     let paper_ub = [2.03, 0.97, 0.97, 2.03, 0.97, 0.97, 0.97, 2.03, 0.97, 0.97];
     for (got, want) in ua.iter().zip(&paper_ua) {
-        assert!((got - want).abs() < 5e-3, "u_a: got {got}, paper prints {want}");
+        assert!(
+            (got - want).abs() < 5e-3,
+            "u_a: got {got}, paper prints {want}"
+        );
     }
     for (got, want) in ub.iter().zip(&paper_ub) {
-        assert!((got - want).abs() < 5e-3, "u_b: got {got}, paper prints {want}");
+        assert!(
+            (got - want).abs() < 5e-3,
+            "u_b: got {got}, paper prints {want}"
+        );
     }
     // Coverage values from §5.5.
     let pa = EqClassSize.extract(&t3a);

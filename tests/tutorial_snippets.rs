@@ -40,7 +40,11 @@ impl Property for SurvivalShare {
 
 #[test]
 fn tutorial_custom_property() {
-    let ds = generate(&CensusConfig { rows: 120, seed: 77, zip_pool: 10 });
+    let ds = generate(&CensusConfig {
+        rows: 120,
+        seed: 77,
+        zip_pool: 10,
+    });
     let c = Constraint::k_anonymity(4).with_suppression(12);
     let release = Datafly.anonymize(&ds, &c).expect("feasible");
     let share = SurvivalShare.extract(&release);
@@ -126,7 +130,11 @@ impl PrivacyModel for FrequencyCap {
 
 #[test]
 fn tutorial_custom_model() {
-    let ds = generate(&CensusConfig { rows: 150, seed: 5, zip_pool: 12 });
+    let ds = generate(&CensusConfig {
+        rows: 150,
+        seed: 5,
+        zip_pool: 12,
+    });
     let c = Constraint::k_anonymity(2)
         .with_suppression(ds.len())
         .with_model(Arc::new(FrequencyCap { cap: 6, column: 6 }));
@@ -189,7 +197,11 @@ impl Anonymizer for HillClimb {
 
 #[test]
 fn tutorial_custom_algorithm() {
-    let ds = generate(&CensusConfig { rows: 120, seed: 13, zip_pool: 10 });
+    let ds = generate(&CensusConfig {
+        rows: 120,
+        seed: 13,
+        zip_pool: 10,
+    });
     for k in [2usize, 5] {
         let c = Constraint::k_anonymity(k).with_suppression(10);
         let t = HillClimb { restarts: 3 }

@@ -1,0 +1,238 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The real serde separates the data model (`Serializer` visitors) from the
+//! format crates. This vendored facade collapses that stack: [`Serialize`]
+//! renders JSON directly, which is the only format the workspace emits (the
+//! `anoncmp-engine` JSONL record sink). `#[derive(Serialize, Deserialize)]`
+//! works via the sibling vendored `serde_derive`, which generates
+//! externally-tagged JSON exactly like upstream serde's default
+//! representation.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can render itself as JSON.
+///
+/// The derive macro produces field-by-field implementations; manual
+/// implementations only need [`Serialize::serialize_json`].
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// Renders this value as a JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Marker for types the derive macro accepted as deserializable.
+///
+/// The workspace never parses JSON back (records are consumed by external
+/// tooling), so this carries no methods; deriving it documents and
+/// type-checks the round-trip intent.
+pub trait Deserialize<'de>: Sized {}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(*self, out);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(f64::from(*self), out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        json::write_str(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_seq(self.iter(), out);
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// JSON rendering helpers shared by impls and derive-generated code.
+pub mod json {
+    /// Writes `v` as JSON, escaping per RFC 8259.
+    pub fn write_str(v: &str, out: &mut String) {
+        out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes a finite float with Rust's shortest-roundtrip formatting;
+    /// non-finite values become `null` (as in serde_json).
+    pub fn write_f64(v: f64, out: &mut String) {
+        if v.is_finite() {
+            out.push_str(&format!("{v}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// Writes an iterator of serializable values as a JSON array.
+    pub fn write_seq<'a, T: crate::Serialize + 'a>(
+        items: impl Iterator<Item = &'a T>,
+        out: &mut String,
+    ) {
+        out.push('[');
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_render_as_json() {
+        assert_eq!(5u32.to_json(), "5");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\n".to_json(), r#""a\"b\n""#);
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!(Some(7u8).to_json(), "7");
+        assert_eq!((1u8, "x").to_json(), r#"[1,"x"]"#);
+    }
+}

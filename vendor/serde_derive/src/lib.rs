@@ -1,0 +1,337 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (the container has no `syn`/`quote`). It supports the shapes this
+//! workspace derives: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like. The generated
+//! `Serialize` impl renders serde's default externally-tagged JSON; the
+//! `Deserialize` impl is the facade's marker trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` (direct JSON rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!(
+            "const _: () = {{ extern crate serde as _serde; \
+             impl<'de> _serde::Deserialize<'de> for {} {{}} }};",
+            item.name
+        )
+        .parse()
+        .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("error token parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `i` past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances `i` past a type, stopping after the `,` that ends the field
+/// (or at end of stream). Tracks `<`/`>` nesting; bracketed and
+/// parenthesized parts arrive as single groups and need no tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (idx, f) in fields.iter().enumerate() {
+                if idx > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     _serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => String::from("out.push_str(\"null\");"),
+        // Newtype structs serialize transparently, as in upstream serde.
+        Shape::TupleStruct(1) => String::from("_serde::Serialize::serialize_json(&self.0, out);"),
+        Shape::TupleStruct(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for idx in 0..*n {
+                if idx > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "_serde::Serialize::serialize_json(&self.{idx}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({}) => {{ out.push_str(\"{{\\\"{v}\\\":\");\n",
+                            binders.join(", ")
+                        );
+                        if *n == 1 {
+                            arm.push_str("_serde::Serialize::serialize_json(__f0, out);\n");
+                        } else {
+                            arm.push_str("out.push('[');\n");
+                            for (k, b) in binders.iter().enumerate() {
+                                if k > 0 {
+                                    arm.push_str("out.push(',');\n");
+                                }
+                                arm.push_str(&format!(
+                                    "_serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            arm.push_str("out.push(']');\n");
+                        }
+                        arm.push_str("out.push('}'); }\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{v} {{ {} }} => {{ out.push_str(\"{{\\\"{v}\\\":{{\");\n",
+                            fields.join(", ")
+                        );
+                        for (k, f) in fields.iter().enumerate() {
+                            if k > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n\
+                                 _serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        arm.push_str("out.push_str(\"}}\"); }\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         impl _serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\n\
+         }}\n\
+         }}\n\
+         }};"
+    )
+}
