@@ -7,10 +7,9 @@
 //! optimality guarantee — exactly the kind of algorithm whose outputs the
 //! paper's framework wants to compare.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Lattice};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenCodec, Lattice};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -40,31 +39,55 @@ impl Datafly {
     ) -> Result<(AnonymizedTable, Vec<usize>)> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
-        let qi = dataset.schema().quasi_identifiers().to_vec();
+        let codec = GenCodec::new(dataset)?;
+        let fast = constraint.is_frequency_only();
         let mut levels = lattice.bottom();
         loop {
-            let table = lattice.apply(dataset, &levels, "datafly")?;
-            if let Some(done) = constraint.enforce(&table) {
-                return Ok((done, levels));
+            // Pure-k constraints are decided from encoded class sizes; a
+            // table is materialized only for the accepted node. Extra
+            // models need the actual table every round.
+            if fast {
+                if constraint.feasible_partition(&lattice.evaluate_node(&codec, &levels)?) {
+                    let table = lattice.apply_encoded(&codec, &levels, "datafly")?;
+                    let done = constraint
+                        .enforce(&table)
+                        .expect("frequency-set feasibility guarantees enforcement");
+                    return Ok((done, levels));
+                }
+            } else {
+                let table = lattice.apply_encoded(&codec, &levels, "datafly")?;
+                if let Some(done) = constraint.enforce(&table) {
+                    return Ok((done, levels));
+                }
             }
             // Generalize the attribute with the most distinct generalized
-            // values among those not yet at their maximum level.
+            // values among those not yet at their maximum level. The
+            // codec's per-(dimension, level) dictionary size IS that
+            // distinct count — every dictionary entry is the image of a
+            // value present in the column.
             let mut best: Option<(usize, usize)> = None; // (dim, distinct)
-            for (dim, &col) in qi.iter().enumerate() {
-                if levels[dim] >= lattice.max_levels()[dim] {
+            for (dim, &level) in levels.iter().enumerate() {
+                if level >= lattice.max_levels()[dim] {
                     continue;
                 }
-                let distinct: HashSet<_> = (0..table.len()).map(|t| *table.cell(t, col)).collect();
-                if best.is_none_or(|(_, d)| distinct.len() > d) {
-                    best = Some((dim, distinct.len()));
+                let distinct = codec.distinct_at(dim, level);
+                if best.is_none_or(|(_, d)| distinct > d) {
+                    best = Some((dim, distinct));
                 }
             }
             match best {
                 Some((dim, _)) => levels[dim] += 1,
                 None => {
+                    let violating = if fast {
+                        lattice
+                            .evaluate_node(&codec, &levels)?
+                            .tuples_below(constraint.k)
+                    } else {
+                        let table = lattice.apply_encoded(&codec, &levels, "datafly")?;
+                        constraint.violating_tuples(&table)
+                    };
                     return Err(AnonymizeError::Unsatisfiable(format!(
-                        "even full generalization leaves {} tuples violating {}",
-                        constraint.violating_tuples(&table),
+                        "even full generalization leaves {violating} tuples violating {}",
                         constraint.describe()
                     )));
                 }

@@ -15,7 +15,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Lattice, LevelVector};
+use anoncmp_microdata::prelude::{
+    AnonymizedTable, Dataset, GenCodec, Lattice, LevelVector, NodePartition,
+};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -54,12 +56,20 @@ impl Incognito {
     pub fn run(&self, dataset: &Arc<Dataset>, constraint: &Constraint) -> Result<IncognitoOutcome> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
+        let codec = GenCodec::new(dataset)?;
+        let fast = constraint.is_frequency_only();
 
         // BFS from the bottom. `status` records, per visited node, whether
         // it satisfies; ancestors of satisfying nodes are marked satisfied
-        // without evaluation (anti-monotone pruning).
+        // without evaluation (anti-monotone pruning). For pure
+        // frequency-set constraints a node is decided from its class sizes
+        // alone — rejected nodes never materialize a table, and their
+        // partitions are kept so successors can be derived incrementally
+        // by re-keying class representatives (`GenCodec::coarsen`) instead
+        // of re-grouping every row.
         let mut status: HashMap<LevelVector, bool> = HashMap::new();
-        let mut frontier: Vec<(LevelVector, AnonymizedTable)> = Vec::new();
+        let mut partitions: HashMap<LevelVector, NodePartition> = HashMap::new();
+        let mut frontier: Vec<LevelVector> = Vec::new();
         let mut evaluated = 0usize;
         let mut queue: VecDeque<LevelVector> = VecDeque::new();
         queue.push_back(lattice.bottom());
@@ -69,20 +79,28 @@ impl Incognito {
                 continue;
             }
             // Pruning: a node above any known-satisfying node satisfies.
-            let dominated = frontier.iter().any(|(f, _)| Lattice::leq(f, &levels));
+            let dominated = frontier.iter().any(|f| Lattice::leq(f, &levels));
             let sat = if dominated {
                 true
             } else {
                 evaluated += 1;
-                let table = lattice.apply(dataset, &levels, "incognito")?;
-                match constraint.enforce(&table) {
-                    Some(enforced) => {
-                        frontier.push((levels.clone(), enforced));
-                        true
+                if fast {
+                    let part = self.evaluate_incremental(&codec, &partitions, &levels)?;
+                    let ok = constraint.feasible_partition(&part);
+                    if !ok {
+                        // Only violating nodes enqueue successors, so only
+                        // their partitions are worth keeping.
+                        partitions.insert(levels.clone(), part);
                     }
-                    None => false,
+                    ok
+                } else {
+                    let table = lattice.apply_encoded(&codec, &levels, "incognito")?;
+                    constraint.enforce(&table).is_some()
                 }
             };
+            if sat && !dominated {
+                frontier.push(levels.clone());
+            }
             status.insert(levels.clone(), sat);
             if !sat {
                 for s in lattice.successors(&levels) {
@@ -90,14 +108,12 @@ impl Incognito {
                 }
             }
         }
+        drop(partitions);
 
         // Keep only minimal frontier nodes (no other frontier node below).
-        let minimal: Vec<usize> = (0..frontier.len())
-            .filter(|&i| {
-                !frontier.iter().enumerate().any(|(j, (l, _))| {
-                    j != i && Lattice::leq(l, &frontier[i].0) && l != &frontier[i].0
-                })
-            })
+        let minimal: Vec<&LevelVector> = frontier
+            .iter()
+            .filter(|&cand| !frontier.iter().any(|l| l != cand && Lattice::leq(l, cand)))
             .collect();
         if minimal.is_empty() {
             return Err(AnonymizeError::Unsatisfiable(format!(
@@ -105,25 +121,61 @@ impl Incognito {
                 constraint.describe()
             )));
         }
-        let best = minimal
+        // Decode and enforce only the minimal frontier — every node in it
+        // is known to satisfy, so enforce cannot fail here.
+        let mut enforced: Vec<(LevelVector, AnonymizedTable)> = Vec::with_capacity(minimal.len());
+        for levels in minimal {
+            let table = lattice.apply_encoded(&codec, levels, "incognito")?;
+            let t = constraint
+                .enforce(&table)
+                .expect("frontier nodes satisfy the constraint");
+            enforced.push((levels.clone(), t));
+        }
+        let (levels, table) = enforced
             .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let la = self.preference.total_loss(&frontier[a].1);
-                let lb = self.preference.total_loss(&frontier[b].1);
+            .min_by(|a, b| {
+                let la = self.preference.total_loss(&a.1);
+                let lb = self.preference.total_loss(&b.1);
                 la.partial_cmp(&lb).expect("losses are not NaN")
             })
+            .map(|(l, t)| (l.clone(), t.clone().renamed("incognito")))
             .expect("minimal frontier is non-empty");
-        let frontier_levels: Vec<LevelVector> =
-            minimal.iter().map(|&i| frontier[i].0.clone()).collect();
-        let levels = frontier[best].0.clone();
-        let table = frontier[best].1.clone().renamed("incognito");
+        let frontier_levels: Vec<LevelVector> = enforced.into_iter().map(|(l, _)| l).collect();
         Ok(IncognitoOutcome {
             frontier: frontier_levels,
             evaluated,
             table,
             levels,
         })
+    }
+
+    /// Evaluates a node's partition, preferring to coarsen the smallest
+    /// stored predecessor partition (valid only when the stepped dimension
+    /// satisfies the class-merge invariant); falls back to grouping from
+    /// scratch.
+    fn evaluate_incremental(
+        &self,
+        codec: &GenCodec,
+        partitions: &HashMap<LevelVector, NodePartition>,
+        levels: &[usize],
+    ) -> Result<NodePartition> {
+        let mut best: Option<&NodePartition> = None;
+        for (dim, &level) in levels.iter().enumerate() {
+            if level == 0 || !codec.is_monotone(dim) {
+                continue;
+            }
+            let mut pred = levels.to_vec();
+            pred[dim] -= 1;
+            if let Some(p) = partitions.get(&pred) {
+                if best.is_none_or(|b| p.class_count() < b.class_count()) {
+                    best = Some(p);
+                }
+            }
+        }
+        match best {
+            Some(parent) => Ok(codec.coarsen(parent, levels)?),
+            None => Ok(codec.partition(levels)?),
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Lattice, LevelVector};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenCodec, Lattice, LevelVector};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -45,10 +45,17 @@ impl OptimalLattice {
     ) -> Result<(AnonymizedTable, LevelVector, usize)> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
+        let codec = GenCodec::new(dataset)?;
+        let fast = constraint.is_frequency_only();
         let mut best: Option<(f64, LevelVector, AnonymizedTable)> = None;
         let mut feasible = 0usize;
         for levels in lattice.iter_all() {
-            let table = lattice.apply(dataset, &levels, "optimal")?;
+            // Frequency-set pre-check: infeasible nodes are rejected from
+            // class sizes alone and never materialize a table.
+            if fast && !constraint.feasible_partition(&lattice.evaluate_node(&codec, &levels)?) {
+                continue;
+            }
+            let table = lattice.apply_encoded(&codec, &levels, "optimal")?;
             let Some(enforced) = constraint.enforce(&table) else {
                 continue;
             };

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Lattice, LevelVector};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenCodec, Lattice, LevelVector};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -50,16 +50,17 @@ pub struct SamaratiOutcome {
 
 impl Samarati {
     /// Finds a satisfying node at `height`, returning every satisfying
-    /// level vector (paired with its enforced table).
+    /// level vector (paired with its enforced table). Tables are decoded
+    /// through the codec — byte-identical to [`Lattice::apply`].
     fn satisfying_at_height(
         lattice: &Lattice,
-        dataset: &Arc<Dataset>,
+        codec: &GenCodec,
         constraint: &Constraint,
         height: usize,
     ) -> Result<Vec<(LevelVector, AnonymizedTable)>> {
         let mut out = Vec::new();
         for levels in lattice.nodes_at_height(height) {
-            let table = lattice.apply(dataset, &levels, "samarati")?;
+            let table = lattice.apply_encoded(codec, &levels, "samarati")?;
             if let Some(enforced) = constraint.enforce(&table) {
                 out.push((levels, enforced));
             }
@@ -67,15 +68,35 @@ impl Samarati {
         Ok(out)
     }
 
+    /// Whether any node at `height` satisfies the constraint. For pure
+    /// frequency-set constraints this decides each node from its encoded
+    /// class sizes alone — no table is materialized during the binary
+    /// search, only for the final frontier.
+    fn any_satisfying_at_height(
+        lattice: &Lattice,
+        codec: &GenCodec,
+        constraint: &Constraint,
+        height: usize,
+    ) -> Result<bool> {
+        if constraint.is_frequency_only() {
+            for levels in lattice.nodes_at_height(height) {
+                if constraint.feasible_partition(&lattice.evaluate_node(codec, &levels)?) {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        Ok(!Self::satisfying_at_height(lattice, codec, constraint, height)?.is_empty())
+    }
+
     /// Runs the full search, exposing the k-minimal frontier.
     pub fn run(&self, dataset: &Arc<Dataset>, constraint: &Constraint) -> Result<SamaratiOutcome> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
+        let codec = GenCodec::new(dataset)?;
 
         // The top must satisfy, or nothing does (monotone constraint).
-        if Self::satisfying_at_height(&lattice, dataset, constraint, lattice.max_height())?
-            .is_empty()
-        {
+        if !Self::any_satisfying_at_height(&lattice, &codec, constraint, lattice.max_height())? {
             return Err(AnonymizeError::Unsatisfiable(format!(
                 "even the fully generalized release violates {}",
                 constraint.describe()
@@ -86,14 +107,14 @@ impl Samarati {
         let (mut lo, mut hi) = (0usize, lattice.max_height());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if Self::satisfying_at_height(&lattice, dataset, constraint, mid)?.is_empty() {
-                lo = mid + 1;
-            } else {
+            if Self::any_satisfying_at_height(&lattice, &codec, constraint, mid)? {
                 hi = mid;
+            } else {
+                lo = mid + 1;
             }
         }
         let height = lo;
-        let frontier = Self::satisfying_at_height(&lattice, dataset, constraint, height)?;
+        let frontier = Self::satisfying_at_height(&lattice, &codec, constraint, height)?;
         debug_assert!(!frontier.is_empty());
 
         // Preference: minimal total loss.

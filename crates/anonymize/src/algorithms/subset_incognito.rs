@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenValue, Lattice, LevelVector};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenCodec, Lattice, LevelVector};
 
 use crate::algorithms::{validate_common, Anonymizer};
 use crate::constraint::Constraint;
@@ -64,34 +64,25 @@ pub struct SubsetIncognitoOutcome {
     pub join_pruned: usize,
 }
 
-/// Checks whether the projection of `dataset` onto `dims` (QI dimension
-/// indices) at `levels` (aligned with `dims`) is k-anonymous within the
-/// suppression budget: the number of tuples in classes smaller than `k`
-/// must not exceed `budget`.
+/// Checks whether the projection onto `dims` (QI dimension indices) at
+/// `levels` (aligned with `dims`) is k-anonymous within the suppression
+/// budget: the number of tuples in classes smaller than `k` must not
+/// exceed `budget`. Evaluated entirely on the codec's encoded columns —
+/// no `GenValue` signatures are built.
 fn projection_satisfies(
-    dataset: &Dataset,
-    qi_cols: &[usize],
+    codec: &GenCodec,
     dims: &[usize],
     levels: &[usize],
     k: usize,
     budget: usize,
 ) -> Result<bool> {
-    let schema = dataset.schema();
-    let mut groups: HashMap<Vec<GenValue>, usize> = HashMap::new();
-    let mut signature = Vec::with_capacity(dims.len());
-    for t in 0..dataset.len() {
-        signature.clear();
-        for (slot, &dim) in dims.iter().enumerate() {
-            let col = qi_cols[dim];
-            let h = schema
-                .attribute(col)
-                .hierarchy()
-                .expect("QI attributes carry hierarchies");
-            signature.push(h.generalize(dataset.value(t, col), levels[slot])?);
-        }
-        *groups.entry(signature.clone()).or_insert(0) += 1;
-    }
-    let violating: usize = groups.values().filter(|&&size| size < k).copied().sum();
+    let view = codec.view_subset(dims, levels)?;
+    let (sizes, _) = view.sizes_and_reps();
+    let violating: usize = sizes
+        .iter()
+        .filter(|&&size| (size as usize) < k)
+        .map(|&size| size as usize)
+        .sum();
     Ok(violating <= budget)
 }
 
@@ -104,7 +95,7 @@ impl SubsetIncognito {
     ) -> Result<SubsetIncognitoOutcome> {
         validate_common(dataset, constraint)?;
         let lattice = Lattice::new(dataset.schema().clone())?;
-        let qi_cols = dataset.schema().quasi_identifiers().to_vec();
+        let codec = GenCodec::new(dataset)?;
         let m = lattice.dimensions();
         let max_levels = lattice.max_levels().to_vec();
         let budget = constraint.max_suppression;
@@ -182,7 +173,7 @@ impl SubsetIncognito {
                         true
                     } else {
                         evaluated += 1;
-                        projection_satisfies(dataset, &qi_cols, &dims, &cand, k, budget)?
+                        projection_satisfies(&codec, &dims, &cand, k, budget)?
                     };
                     if ok {
                         satisfying.push(cand);
@@ -207,7 +198,7 @@ impl SubsetIncognito {
             if !minimal {
                 continue;
             }
-            let table = lattice.apply(dataset, levels, "subset-incognito")?;
+            let table = lattice.apply_encoded(&codec, levels, "subset-incognito")?;
             let Some(enforced) = constraint.enforce(&table) else {
                 continue;
             };
@@ -220,7 +211,7 @@ impl SubsetIncognito {
         // full satisfying set before giving up.
         if best.is_none() {
             for levels in &full_sat {
-                let table = lattice.apply(dataset, levels, "subset-incognito")?;
+                let table = lattice.apply_encoded(&codec, levels, "subset-incognito")?;
                 if let Some(enforced) = constraint.enforce(&table) {
                     let loss = self.preference.total_loss(&enforced);
                     if best.as_ref().is_none_or(|(l, ..)| loss < *l) {
@@ -355,7 +346,7 @@ mod tests {
     fn projection_check_is_consistent_with_full_grouping() {
         let ds = small_census();
         let lattice = Lattice::new(ds.schema().clone()).unwrap();
-        let qi = ds.schema().quasi_identifiers().to_vec();
+        let codec = GenCodec::new(&ds).unwrap();
         let dims: Vec<usize> = (0..lattice.dimensions()).collect();
         for levels in [
             vec![0, 0, 0, 0, 0, 0],
@@ -364,10 +355,47 @@ mod tests {
         ] {
             let table = lattice.apply(&ds, &levels, "x").unwrap();
             let full_ok = Constraint::k_anonymity(3).violating_tuples(&table) <= 6;
-            let proj_ok = projection_satisfies(&ds, &qi, &dims, &levels, 3, 6).unwrap();
+            let proj_ok = projection_satisfies(&codec, &dims, &levels, 3, 6).unwrap();
             assert_eq!(
                 proj_ok, full_ok,
                 "projection check must agree with full grouping at {levels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_check_on_true_subsets_matches_reference_grouping() {
+        use std::collections::HashMap;
+        let ds = small_census();
+        let codec = GenCodec::new(&ds).unwrap();
+        let qi = ds.schema().quasi_identifiers().to_vec();
+        // Project onto dims {0, 2} at mixed levels and compare against a
+        // straightforward signature count.
+        let dims = vec![0usize, 2];
+        let levels = vec![1usize, 0];
+        for (k, budget) in [(2usize, 0usize), (3, 5), (10, 2)] {
+            let mut groups: HashMap<Vec<_>, usize> = HashMap::new();
+            for t in 0..ds.len() {
+                let sig: Vec<_> = dims
+                    .iter()
+                    .zip(&levels)
+                    .map(|(&d, &l)| {
+                        let col = qi[d];
+                        ds.schema()
+                            .attribute(col)
+                            .hierarchy()
+                            .unwrap()
+                            .generalize(ds.value(t, col), l)
+                            .unwrap()
+                    })
+                    .collect();
+                *groups.entry(sig).or_insert(0) += 1;
+            }
+            let violating: usize = groups.values().filter(|&&s| s < k).sum();
+            assert_eq!(
+                projection_satisfies(&codec, &dims, &levels, k, budget).unwrap(),
+                violating <= budget,
+                "k={k} budget={budget}"
             );
         }
     }

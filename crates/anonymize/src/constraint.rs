@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use anoncmp_microdata::prelude::AnonymizedTable;
+use anoncmp_microdata::prelude::{AnonymizedTable, NodePartition};
 
 use crate::models::{KAnonymity, PrivacyModel};
 
@@ -85,6 +85,37 @@ impl Constraint {
             s.push_str(&format!(" (≤ {} suppressed)", self.max_suppression));
         }
         s
+    }
+
+    /// Whether this is a pure frequency-set constraint — k-anonymity plus
+    /// a suppression budget, no extra models — decidable from equivalence
+    /// class **sizes** alone, without materializing a table.
+    pub fn is_frequency_only(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Frequency-set feasibility from class sizes: whether a release with
+    /// these class sizes can be brought to satisfaction within the
+    /// suppression budget. Suppressing the tuples of every class below `k`
+    /// only merges them into the fully suppressed class (which cannot
+    /// shrink any class), so for a frequency-only constraint
+    /// [`enforce`](Self::enforce) succeeds **iff** the tuples in
+    /// sub-`k` classes fit the budget. Always `false` when extra models
+    /// are attached — those need the actual table.
+    pub fn feasible_class_sizes(&self, sizes: &[u32]) -> bool {
+        self.is_frequency_only()
+            && sizes
+                .iter()
+                .filter(|&&s| (s as usize) < self.k)
+                .map(|&s| s as usize)
+                .sum::<usize>()
+                <= self.max_suppression
+    }
+
+    /// [`feasible_class_sizes`](Self::feasible_class_sizes) over a codec
+    /// [`NodePartition`] — Incognito's frequency-set check.
+    pub fn feasible_partition(&self, partition: &NodePartition) -> bool {
+        self.is_frequency_only() && partition.tuples_below(self.k) <= self.max_suppression
     }
 
     /// Whether one class (by members) satisfies every requirement.
@@ -243,6 +274,44 @@ mod tests {
         let enforced = c.enforce(&t).unwrap();
         assert!(c.satisfied(&enforced));
         assert!(c.describe().contains("2-diversity"));
+    }
+
+    #[test]
+    fn frequency_set_check_matches_enforce() {
+        // Class sizes 3, 1, 2 (see `fixture`): the sizes-only check must
+        // agree with enforce() for every pure-k constraint.
+        let t = fixture();
+        let codec = GenCodec::new(t.dataset()).unwrap();
+        let part = codec.partition(&[1]).unwrap();
+        assert_eq!(part.sizes(), &[3, 1, 2]);
+        for k in 1..=7 {
+            for budget in 0..=7 {
+                let c = Constraint::k_anonymity(k).with_suppression(budget);
+                assert!(c.is_frequency_only());
+                assert_eq!(
+                    c.feasible_partition(&part),
+                    c.enforce(&t).is_some(),
+                    "k={k} budget={budget}"
+                );
+                assert_eq!(
+                    c.feasible_class_sizes(part.sizes()),
+                    c.feasible_partition(&part)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_set_check_refuses_extra_models() {
+        let t = fixture();
+        let codec = GenCodec::new(t.dataset()).unwrap();
+        let part = codec.partition(&[1]).unwrap();
+        let c = Constraint::k_anonymity(1).with_model(StdArc::new(LDiversity::distinct(2)));
+        assert!(!c.is_frequency_only());
+        // k=1 is trivially feasible by sizes, but the model must force the
+        // slow path: the sizes check conservatively refuses.
+        assert!(!c.feasible_partition(&part));
+        assert!(!c.feasible_class_sizes(part.sizes()));
     }
 
     #[test]

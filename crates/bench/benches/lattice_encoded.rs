@@ -1,0 +1,73 @@
+//! Encoded vs materialized per-node lattice evaluation.
+//!
+//! The search algorithms spend almost all their time deciding, node by
+//! node, whether a lattice node's equivalence classes satisfy the
+//! constraint. Three ways to make that decision, from slowest to fastest:
+//!
+//! * `materialized` — `Lattice::apply`: clone and generalize every cell
+//!   into an [`AnonymizedTable`], grouping `GenValue` tuples;
+//! * `encoded` — `Lattice::evaluate_node`: group per-column `u32` code
+//!   slices from the [`GenCodec`], no cells materialized;
+//! * `coarsen` — `GenCodec::coarsen`: re-key only the parent node's class
+//!   representatives, O(#classes) instead of O(#rows).
+//!
+//! `bench_baseline` records the same comparison as JSON; this bench gives
+//! the criterion-grade numbers behind README's perf note.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_microdata::prelude::*;
+
+/// A mid-lattice census node: generalized enough to merge classes, low
+/// enough that grouping still sees many distinct signatures.
+const NODE: [usize; 6] = [2, 2, 1, 1, 1, 0];
+
+fn per_node_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_encoded");
+    group
+        .sample_size(12)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for rows in [10_000usize, 50_000] {
+        let ds = generate(&CensusConfig {
+            rows,
+            seed: 5,
+            zip_pool: 20,
+        });
+        let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
+        let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
+        // Warm the per-(column, level) encodings so the encoded benches
+        // measure steady-state per-node cost, as seen inside a search.
+        codec.partition(&NODE).expect("valid node");
+        let parent_levels: Vec<usize> = {
+            let mut l = NODE.to_vec();
+            let dim = l.iter().position(|&v| v > 0).expect("non-bottom node");
+            l[dim] -= 1;
+            l
+        };
+        let parent = codec.partition(&parent_levels).expect("valid parent");
+
+        group.bench_with_input(BenchmarkId::new("materialized", rows), &rows, |b, _| {
+            b.iter(|| {
+                let t = lattice.apply(&ds, &NODE, "bench").expect("valid node");
+                black_box(t.classes().min_class_size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encoded", rows), &rows, |b, _| {
+            b.iter(|| {
+                let p = lattice.evaluate_node(&codec, &NODE).expect("valid node");
+                black_box(p.min_class_size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coarsen", rows), &rows, |b, _| {
+            b.iter(|| {
+                let p = codec.coarsen(&parent, &NODE).expect("nested step");
+                black_box(p.min_class_size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_node_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Emits `BENCH_baseline.json`: machine-readable wall-clock baselines for
+//! the `algorithms`, `grouping`, and `lattice_encoded` bench groups.
+//!
+//! Criterion's HTML-free vendored harness prints per-run numbers but keeps
+//! no history; this binary records a single JSON snapshot that CI and the
+//! README perf note can diff against. Timings are wall-clock (mean and min
+//! over a fixed iteration count), measured the same way the criterion
+//! benches measure them, on the same census datasets.
+//!
+//! ```text
+//! cargo run -p anoncmp-bench --release --bin bench_baseline            # writes ./BENCH_baseline.json
+//! cargo run -p anoncmp-bench --release --bin bench_baseline -- out.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use anoncmp_anonymize::prelude::*;
+use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_microdata::prelude::*;
+use serde::Serialize;
+
+/// One timed bench entry.
+#[derive(Serialize)]
+struct BenchEntry {
+    group: String,
+    name: String,
+    rows: usize,
+    iters: usize,
+    mean_ms: f64,
+    min_ms: f64,
+}
+
+/// The whole baseline file.
+#[derive(Serialize)]
+struct Baseline {
+    /// Speedup of encoded per-node evaluation over `Lattice::apply` at the
+    /// largest measured size (min-over-min ratio).
+    encoded_speedup_50k: f64,
+    /// Speedup of incremental coarsening over `Lattice::apply` at the
+    /// largest measured size.
+    coarsen_speedup_50k: f64,
+    benches: Vec<BenchEntry>,
+}
+
+/// Times `f` over `iters` runs, returning `(mean_ms, min_ms)`.
+fn time_ms(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total += ms;
+        min = min.min(ms);
+    }
+    (total / iters as f64, min)
+}
+
+fn entry(group: &str, name: &str, rows: usize, iters: usize, f: impl FnMut()) -> BenchEntry {
+    let (mean_ms, min_ms) = time_ms(iters, f);
+    eprintln!("{group}/{name} rows={rows}: mean {mean_ms:.3} ms, min {min_ms:.3} ms");
+    BenchEntry {
+        group: group.into(),
+        name: name.into(),
+        rows,
+        iters,
+        mean_ms,
+        min_ms,
+    }
+}
+
+fn census(rows: usize) -> Arc<Dataset> {
+    generate(&CensusConfig {
+        rows,
+        seed: 5,
+        zip_pool: 20,
+    })
+}
+
+/// Same mid-lattice node the `lattice_encoded` criterion bench uses.
+const NODE: [usize; 6] = [2, 2, 1, 1, 1, 0];
+
+fn grouping_benches(out: &mut Vec<BenchEntry>) {
+    let rows = 10_000;
+    let ds = census(rows);
+    let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
+    let table = lattice.apply(&ds, &NODE, "bench").expect("valid node");
+    let records = table.records().to_vec();
+    let qi: Vec<usize> = ds.schema().quasi_identifiers().to_vec();
+    let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
+    let columns: Vec<&[u32]> = (0..NODE.len())
+        .map(|dim| codec.encoded_column(dim, NODE[dim]))
+        .collect();
+
+    let iters = 20;
+    out.push(entry("grouping", "hash", rows, iters, || {
+        std::hint::black_box(EquivalenceClasses::group_by_hash(&records, &qi));
+    }));
+    out.push(entry("grouping", "sort", rows, iters, || {
+        std::hint::black_box(EquivalenceClasses::group_by_sort(&records, &qi));
+    }));
+    out.push(entry("grouping", "codes", rows, iters, || {
+        std::hint::black_box(EquivalenceClasses::group_by_codes(rows, &columns));
+    }));
+}
+
+fn algorithm_benches(out: &mut Vec<BenchEntry>) {
+    let rows = 600;
+    let ds = census(rows);
+    let constraint = Constraint::k_anonymity(5).with_suppression(rows / 20);
+    let iters = 10;
+    out.push(entry("algorithms", "datafly", rows, iters, || {
+        std::hint::black_box(Datafly.anonymize(&ds, &constraint).expect("satisfiable"));
+    }));
+    out.push(entry("algorithms", "samarati", rows, iters, || {
+        std::hint::black_box(
+            Samarati::default()
+                .anonymize(&ds, &constraint)
+                .expect("satisfiable"),
+        );
+    }));
+    out.push(entry("algorithms", "incognito", rows, iters, || {
+        std::hint::black_box(
+            Incognito::default()
+                .anonymize(&ds, &constraint)
+                .expect("satisfiable"),
+        );
+    }));
+}
+
+fn lattice_benches(out: &mut Vec<BenchEntry>) {
+    for rows in [10_000usize, 50_000] {
+        let ds = census(rows);
+        let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
+        let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
+        codec.partition(&NODE).expect("valid node"); // warm the encodings
+        let parent_levels: Vec<usize> = {
+            let mut l = NODE.to_vec();
+            l[0] -= 1;
+            l
+        };
+        let parent = codec.partition(&parent_levels).expect("valid parent");
+
+        let iters = 10;
+        out.push(entry(
+            "lattice_encoded",
+            "materialized",
+            rows,
+            iters,
+            || {
+                let t = lattice.apply(&ds, &NODE, "bench").expect("valid node");
+                std::hint::black_box(t.classes().min_class_size());
+            },
+        ));
+        out.push(entry("lattice_encoded", "encoded", rows, iters, || {
+            let p = lattice.evaluate_node(&codec, &NODE).expect("valid node");
+            std::hint::black_box(p.min_class_size());
+        }));
+        out.push(entry("lattice_encoded", "coarsen", rows, iters, || {
+            let p = codec.coarsen(&parent, &NODE).expect("nested step");
+            std::hint::black_box(p.min_class_size());
+        }));
+    }
+}
+
+fn min_of(benches: &[BenchEntry], group: &str, name: &str, rows: usize) -> f64 {
+    benches
+        .iter()
+        .find(|b| b.group == group && b.name == name && b.rows == rows)
+        .expect("entry present")
+        .min_ms
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let mut benches = Vec::new();
+    grouping_benches(&mut benches);
+    algorithm_benches(&mut benches);
+    lattice_benches(&mut benches);
+
+    let materialized = min_of(&benches, "lattice_encoded", "materialized", 50_000);
+    let baseline = Baseline {
+        encoded_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "encoded", 50_000),
+        coarsen_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "coarsen", 50_000),
+        benches,
+    };
+    eprintln!(
+        "encoded speedup at 50k rows: {:.1}x, coarsen: {:.1}x",
+        baseline.encoded_speedup_50k, baseline.coarsen_speedup_50k
+    );
+    std::fs::write(&path, baseline.to_json() + "\n").expect("writable output path");
+    eprintln!("wrote {path}");
+}

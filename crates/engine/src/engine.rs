@@ -42,7 +42,7 @@ use anoncmp_microdata::loss::LossMetric;
 use anoncmp_microdata::prelude::AnonymizedTable;
 
 use crate::cache::{CacheStats, MemoCache};
-use crate::fingerprint::{derive_seed, hex_id, Fingerprinter};
+use crate::fingerprint::{derive_seed, fingerprint_release, hex_id, Fingerprinter};
 use crate::job::EvalJob;
 use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
 
@@ -365,6 +365,14 @@ impl Engine {
             _ => None,
         };
 
+        // Content digest of the released cells + suppression mask. Computed
+        // over integer codes, so it certifies the release itself, not its
+        // rendering, and matches across evaluation strategies.
+        let release_digest = match (&status, &table) {
+            (JobStatus::Ok, Some(t)) => Some(hex_id(fingerprint_release(t))),
+            _ => None,
+        };
+
         let record = EvalRecord {
             job_id: hex_id(release_fp),
             dataset: job.dataset.label(),
@@ -374,6 +382,7 @@ impl Engine {
             seed,
             status: status.clone(),
             metrics,
+            release_digest,
             properties: vectors.iter().map(PropertySummary::of).collect(),
             duration_ms: started.elapsed().as_millis() as u64,
             cache_hit,

@@ -6,6 +6,12 @@
 //! are randomized per process. This module implements 64-bit FNV-1a over a
 //! canonical field encoding instead: stable across runs, processes, and
 //! platforms.
+//!
+//! Release *content* digests ([`fingerprint_release`]) hash the tagged
+//! integer codes underlying every [`GenValue`] cell — never rendered
+//! strings, whose formatting could drift without the release changing.
+
+use anoncmp_microdata::prelude::{AnonymizedTable, GenValue};
 
 /// 64-bit FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -90,6 +96,43 @@ pub fn hex_id(fingerprint: u64) -> String {
     format!("{fingerprint:016x}")
 }
 
+/// Content digest of a computed release.
+///
+/// Hashes the table's dimensions, every cell's tagged integer encoding,
+/// and the suppression mask — the complete released content, independent
+/// of the table's display name or any rendering. Two releases digest
+/// equally iff they contain the same generalized cells and suppress the
+/// same tuples, so the digest certifies that a refactor of the evaluation
+/// path (e.g. encoded vs materialized lattice application) left the
+/// released data bit-identical.
+///
+/// Each [`GenValue`] variant gets a distinct tag byte before its payload
+/// integers, so `Int(5)` and `Cat(5)` — or `Node(n)` at different
+/// hierarchy levels — cannot collide structurally.
+pub fn fingerprint_release(table: &AnonymizedTable) -> u64 {
+    let mut f = Fingerprinter::new();
+    let cols = table.records().first().map_or(0, Vec::len);
+    f.write_usize(table.len()).write_usize(cols);
+    for record in table.records() {
+        for cell in record {
+            match cell {
+                GenValue::Int(v) => f.write_bytes(&[1]).write_u64(*v as u64),
+                GenValue::Interval { lo, hi } => f
+                    .write_bytes(&[2])
+                    .write_u64(*lo as u64)
+                    .write_u64(*hi as u64),
+                GenValue::Cat(c) => f.write_bytes(&[3]).write_u64(u64::from(*c)),
+                GenValue::Node(n) => f.write_bytes(&[4]).write_u64(u64::from(*n)),
+                GenValue::Suppressed => f.write_bytes(&[5]),
+            };
+        }
+    }
+    for &s in table.suppression_mask() {
+        f.write_bytes(&[u8::from(s)]);
+    }
+    f.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +171,44 @@ mod tests {
     fn hex_id_is_fixed_width() {
         assert_eq!(hex_id(0xab), "00000000000000ab");
         assert_eq!(hex_id(u64::MAX).len(), 16);
+    }
+
+    #[test]
+    fn release_digest_tracks_content_not_name() {
+        use anoncmp_datagen::paper::{paper_schema_t3, paper_table1};
+        use anoncmp_microdata::prelude::Lattice;
+
+        let ds = paper_table1(paper_schema_t3());
+        let lattice = Lattice::new(ds.schema().clone()).unwrap();
+        let levels = vec![1; lattice.max_levels().len()];
+        let a = lattice.apply(&ds, &levels, "a").unwrap();
+
+        // Renaming does not change the released content.
+        assert_eq!(
+            fingerprint_release(&a),
+            fingerprint_release(&a.clone().renamed("b"))
+        );
+        // Different generalization levels do.
+        let bottom = lattice.apply(&ds, &lattice.bottom(), "a").unwrap();
+        assert_ne!(fingerprint_release(&a), fingerprint_release(&bottom));
+        // Suppressing a tuple changes both cells and mask.
+        assert_ne!(
+            fingerprint_release(&a),
+            fingerprint_release(&a.suppress_tuples([0]))
+        );
+        // Deterministic across calls.
+        assert_eq!(fingerprint_release(&a), fingerprint_release(&a));
+    }
+
+    #[test]
+    fn release_digest_distinguishes_cell_tags() {
+        // Int(5) vs Cat(5) carry the same payload integer; the tag byte
+        // must keep their digests apart. Exercised through the raw
+        // encoder rather than a full table to pin the tagging scheme.
+        let mut int5 = Fingerprinter::new();
+        int5.write_bytes(&[1]).write_u64(5);
+        let mut cat5 = Fingerprinter::new();
+        cat5.write_bytes(&[3]).write_u64(5);
+        assert_ne!(int5.finish(), cat5.finish());
     }
 }

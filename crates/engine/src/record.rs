@@ -98,6 +98,11 @@ pub struct EvalRecord {
     pub status: JobStatus,
     /// Release summary; `None` unless `status` is `Ok`.
     pub metrics: Option<ReleaseMetrics>,
+    /// Hex content digest of the released table (cells + suppression
+    /// mask, computed over integer codes, not rendered strings); `None`
+    /// unless `status` is `Ok`. Stable across evaluation strategies:
+    /// encoded and materialized lattice application digest identically.
+    pub release_digest: Option<String>,
     /// Extracted property vectors, in requested order.
     pub properties: Vec<PropertySummary>,
     /// Wall-clock time this job occupied a worker, in milliseconds.
@@ -147,6 +152,7 @@ mod tests {
                 suppressed: 0,
                 total_loss: 3.5,
             }),
+            release_digest: Some("00000000000000cd".into()),
             properties: vec![PropertySummary {
                 name: "eq-class-size".into(),
                 values: vec![2.0, 2.0, 3.0],
@@ -176,6 +182,7 @@ mod tests {
         assert!(line.contains("\"algorithm\":\"datafly\""));
         assert!(line.contains("\"status\":\"Ok\""));
         assert!(line.contains("\"min_class_size\":2"));
+        assert!(line.contains("\"release_digest\":\"00000000000000cd\""));
     }
 
     #[test]

@@ -59,6 +59,30 @@ impl DistinctValues {
             _ => None,
         }
     }
+
+    /// The distinct values present, ascending, as raw [`Value`]s.
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            DistinctValues::Integers(v) => v.iter().map(|&x| Value::Int(x)).collect(),
+            DistinctValues::Categories(v) => v.iter().map(|&c| Value::Cat(c)).collect(),
+        }
+    }
+
+    /// The dense code of `value`: its index among the sorted distinct
+    /// values, if present in the column. This is the raw-code assignment
+    /// the [`GenCodec`](crate::codec::GenCodec) dictionary encoding is
+    /// built on.
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        match (self, value) {
+            (DistinctValues::Integers(v), Value::Int(x)) => {
+                v.binary_search(x).ok().map(|i| i as u32)
+            }
+            (DistinctValues::Categories(v), Value::Cat(c)) => {
+                v.binary_search(c).ok().map(|i| i as u32)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// An immutable microdata table: a schema plus `N` rows.
@@ -302,6 +326,36 @@ mod tests {
         assert_eq!(ds.distinct(1).count_in_interval(0, 10), 0);
         assert!(!ds.distinct(0).contains_category(0));
         assert_eq!(ds.distinct(1).int_range(), None);
+    }
+
+    #[test]
+    fn code_of_indexes_sorted_distinct_values() {
+        let ds = Dataset::new(
+            schema(),
+            vec![
+                vec![Value::Int(41), Value::Cat(2)],
+                vec![Value::Int(30), Value::Cat(0)],
+                vec![Value::Int(30), Value::Cat(2)],
+            ],
+        )
+        .unwrap();
+        // Distinct ages sorted: [30, 41]; colors: [0, 2].
+        assert_eq!(ds.distinct(0).code_of(&Value::Int(30)), Some(0));
+        assert_eq!(ds.distinct(0).code_of(&Value::Int(41)), Some(1));
+        assert_eq!(ds.distinct(0).code_of(&Value::Int(99)), None);
+        assert_eq!(ds.distinct(1).code_of(&Value::Cat(2)), Some(1));
+        assert_eq!(ds.distinct(1).code_of(&Value::Cat(1)), None);
+        // Cross-kind lookups are inert.
+        assert_eq!(ds.distinct(0).code_of(&Value::Cat(0)), None);
+        assert_eq!(ds.distinct(1).code_of(&Value::Int(0)), None);
+        // values() round-trips through code_of.
+        for (col, n) in [(0, 2), (1, 2)] {
+            let values = ds.distinct(col).values();
+            assert_eq!(values.len(), n);
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(ds.distinct(col).code_of(v), Some(i as u32));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! A minimal Fx-style hasher for hot grouping paths.
+//!
+//! The default `SipHash` hasher is DoS-resistant but noticeably slower for
+//! the short integer keys the codec groups by (packed `u64` row keys,
+//! `&[u32]` code slices). Keys here are derived from dense dictionary
+//! codes, not attacker-controlled input, so the classic Firefox
+//! multiply-rotate hash is safe and measurably faster. No external crate
+//! is pulled in; this is the whole implementation.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply constant of the Firefox/rustc Fx hash (64-bit golden
+/// ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; see the module docs for when it is appropriate.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_buckets() {
+        let mut m: FxMap<u64, u32> = FxMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&7], 7);
+    }
+
+    #[test]
+    fn slice_keys_hash_consistently() {
+        let mut m: FxMap<Vec<u32>, u32> = FxMap::default();
+        m.insert(vec![1, 2, 3], 0);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&0));
+        assert_eq!(m.get(&vec![3, 2, 1]), None);
+    }
+}

@@ -45,10 +45,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod anonymized;
+pub mod codec;
 pub mod csv;
 pub mod dataset;
 pub mod display;
 pub mod error;
+mod hash;
 pub mod hierarchy;
 pub mod intervals;
 pub mod lattice;
@@ -61,6 +63,7 @@ pub mod value;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::anonymized::{AnonymizedTable, EquivalenceClasses};
+    pub use crate::codec::{EncodedView, GenCodec, NodePartition};
     pub use crate::dataset::{Dataset, DatasetBuilder, DistinctValues};
     pub use crate::error::{Error, Result};
     pub use crate::hierarchy::Hierarchy;

@@ -190,15 +190,22 @@ proptest! {
     }
 
     #[test]
-    fn hash_and_sort_grouping_always_agree(rows in arb_rows(), l0 in 0usize..4, l1 in 0usize..3) {
+    fn grouping_strategies_always_agree(rows in arb_rows(), l0 in 0usize..4, l1 in 0usize..3) {
+        // Hash-based, sort-based, and dictionary-code-based grouping must
+        // induce the same partition on any table at any lattice node.
         let schema = small_schema();
         let ds = Dataset::new(schema.clone(), rows).expect("in-domain");
         let lattice = Lattice::new(schema).expect("lattice");
-        let t = lattice.apply(&ds, &[l0, l1], "t").expect("levels");
+        let t = lattice.apply(&ds, &[l0, l1], "t").expect("valid levels");
         let qi: Vec<usize> = ds.schema().quasi_identifiers().to_vec();
         let h = EquivalenceClasses::group_by_hash(t.records(), &qi);
         let s = EquivalenceClasses::group_by_sort(t.records(), &qi);
+        let codec = GenCodec::new(&ds).expect("every QI has a hierarchy");
+        let columns: Vec<&[u32]> = vec![codec.encoded_column(0, l0), codec.encoded_column(1, l1)];
+        let c = EquivalenceClasses::group_by_codes(ds.len(), &columns);
         prop_assert!(h.same_partition(&s));
+        prop_assert!(c.same_partition(&h));
+        prop_assert!(c.same_partition(&s));
     }
 
     #[test]
