@@ -17,10 +17,16 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use anoncmp_core::bias::gini;
-use anoncmp_core::pareto::{crowding_distance, non_dominated_sort, pareto_front};
-use anoncmp_core::prelude::{EqClassSize, Property};
+use anoncmp_core::pareto::{
+    crowding_distance, non_dominated_sort_by, nsga2_order_by, pareto_front,
+};
+use anoncmp_core::prelude::{
+    ComparisonMatrix, DominanceComparator, EqClassSize, Preference, Property, PropertyVector,
+};
 use anoncmp_microdata::loss::LossMetric;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Lattice, LevelVector};
+use anoncmp_microdata::prelude::{
+    AnonymizedTable, Dataset, GenCodec, Lattice, LevelVector, NodePartition,
+};
 
 use crate::algorithms::validate_common;
 use crate::constraint::Constraint;
@@ -34,6 +40,19 @@ pub trait Objective: Send + Sync {
 
     /// The objective value of one release.
     fn value(&self, table: &AnonymizedTable) -> f64;
+
+    /// The objective value of a lattice node, evaluated on the encoded
+    /// representation — no table materialization. The search loop calls
+    /// this for every candidate, so built-in objectives override it with
+    /// direct codec kernels; the default decodes the node and falls back
+    /// to [`Objective::value`]. Overrides must return the bit-identical
+    /// value the decoded-table path would.
+    fn value_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> f64 {
+        let table = codec
+            .decode(partition.levels(), "moga")
+            .expect("partition levels fit the codec");
+        self.value(&table)
+    }
 }
 
 /// Privacy objective: mean equivalence-class size — the "weighted
@@ -49,6 +68,13 @@ impl Objective for MeanClassSize {
     fn value(&self, table: &AnonymizedTable) -> f64 {
         EqClassSize.extract(table).mean().unwrap_or(0.0)
     }
+
+    fn value_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> f64 {
+        EqClassSize
+            .extract_encoded(codec, partition)
+            .mean()
+            .unwrap_or(0.0)
+    }
 }
 
 /// Privacy objective: the scalar k (minimum class size) — kept for
@@ -63,6 +89,10 @@ impl Objective for MinClassSize {
 
     fn value(&self, table: &AnonymizedTable) -> f64 {
         table.classes().min_class_size() as f64
+    }
+
+    fn value_encoded(&self, _codec: &GenCodec, partition: &NodePartition) -> f64 {
+        partition.sizes().iter().copied().min().unwrap_or(0) as f64
     }
 }
 
@@ -89,6 +119,13 @@ impl Objective for NegLoss {
     fn value(&self, table: &AnonymizedTable) -> f64 {
         -self.metric.total_loss(table)
     }
+
+    fn value_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> f64 {
+        -self
+            .metric
+            .total_loss_encoded(codec, partition.levels())
+            .expect("partition levels fit the codec")
+    }
 }
 
 /// Fairness objective: negated Gini coefficient of the per-tuple privacy
@@ -103,6 +140,10 @@ impl Objective for NegPrivacyGini {
 
     fn value(&self, table: &AnonymizedTable) -> f64 {
         -gini(&EqClassSize.extract(table))
+    }
+
+    fn value_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> f64 {
+        -gini(&EqClassSize.extract_encoded(codec, partition))
     }
 }
 
@@ -189,14 +230,16 @@ struct Individual {
 }
 
 impl MultiObjectiveGenetic {
-    fn evaluate(
-        &self,
-        lattice: &Lattice,
-        dataset: &Arc<Dataset>,
-        levels: LevelVector,
-    ) -> Result<Individual> {
-        let table = lattice.apply(dataset, &levels, "moga")?;
-        let objectives = self.objectives.iter().map(|o| o.value(&table)).collect();
+    /// Scores one lattice node through the encoded kernel: a
+    /// [`NodePartition`] (class structure only) replaces the materialized
+    /// table the search loop used to build per candidate.
+    fn evaluate(&self, codec: &GenCodec, levels: LevelVector) -> Result<Individual> {
+        let partition = codec.partition(&levels)?;
+        let objectives = self
+            .objectives
+            .iter()
+            .map(|o| o.value_encoded(codec, &partition))
+            .collect();
         Ok(Individual { levels, objectives })
     }
 
@@ -222,19 +265,20 @@ impl MultiObjectiveGenetic {
             ));
         }
         let lattice = Lattice::new(dataset.schema().clone())?;
+        let codec = GenCodec::new(dataset)?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // Initial population: corners plus random nodes.
         let mut population: Vec<Individual> = Vec::with_capacity(self.config.population * 2);
-        population.push(self.evaluate(&lattice, dataset, lattice.bottom())?);
-        population.push(self.evaluate(&lattice, dataset, lattice.top())?);
+        population.push(self.evaluate(&codec, lattice.bottom())?);
+        population.push(self.evaluate(&codec, lattice.top())?);
         while population.len() < self.config.population {
             let levels: LevelVector = lattice
                 .max_levels()
                 .iter()
                 .map(|&m| rng.gen_range(0..=m))
                 .collect();
-            population.push(self.evaluate(&lattice, dataset, levels)?);
+            population.push(self.evaluate(&codec, levels)?);
         }
 
         for _ in 0..self.config.generations {
@@ -266,12 +310,15 @@ impl MultiObjectiveGenetic {
                         };
                     }
                 }
-                offspring.push(self.evaluate(&lattice, dataset, child)?);
+                offspring.push(self.evaluate(&codec, child)?);
             }
-            // Environmental selection: μ+λ, keep the NSGA-II best.
+            // Environmental selection: μ+λ, keep the NSGA-II best. Fronts
+            // come from one batched dominance matrix over the pooled
+            // population instead of per-pair point comparisons.
             population.extend(offspring);
             let points: Vec<Vec<f64>> = population.iter().map(|i| i.objectives.clone()).collect();
-            let keep = anoncmp_core::pareto::nsga2_order(&points);
+            let matrix = dominance_matrix(&points);
+            let keep = nsga2_order_by(&points, |i, j| matrix.outcome(i, j) == Preference::First);
             let mut next: Vec<Individual> = Vec::with_capacity(self.config.population);
             let mut taken = vec![false; population.len()];
             for &i in keep.iter().take(self.config.population) {
@@ -308,9 +355,27 @@ impl MultiObjectiveGenetic {
     }
 }
 
+/// All-pairs dominance over objective points, computed by the batched
+/// [`ComparisonMatrix`] kernel. Its [`Preference::First`] entries coincide
+/// exactly with `point_strongly_dominates` (weak dominance forward without
+/// weak dominance backward ⟺ `≥` everywhere and `>` somewhere), so
+/// matrix-fed sorting reproduces the point-based sort bit for bit.
+fn dominance_matrix(points: &[Vec<f64>]) -> ComparisonMatrix {
+    let names: Vec<String> = (0..points.len()).map(|i| i.to_string()).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let vectors: Vec<PropertyVector> = points
+        .iter()
+        .map(|p| PropertyVector::new("objectives", p.clone()))
+        .collect();
+    ComparisonMatrix::of_vectors(&name_refs, &vectors, &DominanceComparator)
+}
+
 /// Maps each index to its NSGA-II survival rank (0 = best).
 fn rank_lookup(points: &[Vec<f64>]) -> Vec<usize> {
-    let fronts = non_dominated_sort(points);
+    let matrix = dominance_matrix(points);
+    let fronts = non_dominated_sort_by(points.len(), |i, j| {
+        matrix.outcome(i, j) == Preference::First
+    });
     let mut rank = vec![0usize; points.len()];
     let mut position = 0usize;
     for front in fronts {
@@ -437,6 +502,37 @@ mod tests {
         assert_eq!(MinClassSize.name(), "min-class-size");
         assert_eq!(NegLoss::default().name(), "neg-loss");
         assert_eq!(NegPrivacyGini.name(), "neg-privacy-gini");
+    }
+
+    #[test]
+    fn encoded_objectives_match_table_objectives() {
+        // Every built-in objective must score a node identically whether
+        // it sees the materialized table or the encoded partition.
+        let ds = small_census();
+        let lattice = Lattice::new(ds.schema().clone()).unwrap();
+        let codec = GenCodec::new(&ds).unwrap();
+        let objectives: Vec<Arc<dyn Objective>> = vec![
+            Arc::new(MeanClassSize),
+            Arc::new(MinClassSize),
+            Arc::new(NegLoss::default()),
+            Arc::new(NegPrivacyGini),
+        ];
+        for levels in [
+            lattice.bottom(),
+            lattice.top(),
+            vec![1; lattice.bottom().len()],
+        ] {
+            let table = lattice.apply(&ds, &levels, "node").unwrap();
+            let partition = codec.partition(&levels).unwrap();
+            for o in &objectives {
+                assert_eq!(
+                    o.value(&table),
+                    o.value_encoded(&codec, &partition),
+                    "{} diverges at {levels:?}",
+                    o.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! All-pairs comparator matrix benches: the batched
+//! [`ComparisonMatrix`] kernel against the scalar ordered-pair sweep it
+//! replaces, and the thread scaling of the parallel kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anoncmp_core::prelude::*;
+
+/// `m` candidate vectors of `n` tuples, mutually incomparable enough that
+/// no comparator short-circuits.
+fn pool(m: usize, n: usize) -> Vec<PropertyVector> {
+    (0..m)
+        .map(|i| {
+            PropertyVector::new(
+                format!("c{i}"),
+                (0..n)
+                    .map(|t| ((i * 7 + t * 11) % 13) as f64 + 1.0)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn scalar_sweep(vectors: &[PropertyVector], c: &dyn Comparator) {
+    for i in 0..vectors.len() {
+        for j in 0..vectors.len() {
+            if i != j {
+                black_box(c.compare(&vectors[i], &vectors[j]));
+            }
+        }
+    }
+}
+
+fn matrix_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_matrix");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let n = 10_000;
+    for m in [8usize, 32] {
+        let vectors = pool(m, n);
+        let names: Vec<String> = (0..m).map(|i| i.to_string()).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let refs: Vec<&PropertyVector> = vectors.iter().collect();
+        let comparators: Vec<(&str, Box<dyn Comparator>)> = vec![
+            ("cov", Box::new(CoverageComparator)),
+            ("rank", Box::new(RankComparator::toward_ideal_of(&refs))),
+            ("hv", Box::new(HypervolumeComparator::default())),
+            ("dominance", Box::new(DominanceComparator)),
+        ];
+        for (tag, cmp) in &comparators {
+            group.bench_with_input(BenchmarkId::new(format!("scalar_{tag}"), m), &m, |b, _| {
+                b.iter(|| scalar_sweep(&vectors, cmp.as_ref()))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("matrix_{tag}"), m), &m, |b, _| {
+                b.iter(|| {
+                    black_box(ComparisonMatrix::of_vectors(
+                        &name_refs,
+                        &vectors,
+                        cmp.as_ref(),
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator_matrix_parallel");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let (m, n) = (32usize, 10_000usize);
+    let vectors = pool(m, n);
+    let names: Vec<String> = (0..m).map(|i| i.to_string()).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("cov", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                black_box(ComparisonMatrix::of_vectors_parallel(
+                    &name_refs,
+                    &vectors,
+                    &CoverageComparator,
+                    threads,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matrix_vs_scalar, parallel_scaling);
+criterion_main!(benches);

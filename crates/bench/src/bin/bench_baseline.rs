@@ -1,5 +1,6 @@
 //! Emits `BENCH_baseline.json`: machine-readable wall-clock baselines for
-//! the `algorithms`, `grouping`, and `lattice_encoded` bench groups.
+//! the `algorithms`, `grouping`, `lattice_encoded`, `property_extraction`,
+//! and `comparator_matrix` bench groups.
 //!
 //! Criterion's HTML-free vendored harness prints per-run numbers but keeps
 //! no history; this binary records a single JSON snapshot that CI and the
@@ -16,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use anoncmp_anonymize::prelude::*;
+use anoncmp_core::prelude::*;
 use anoncmp_datagen::census::{generate, CensusConfig};
 use anoncmp_microdata::prelude::*;
 use serde::Serialize;
@@ -40,6 +42,13 @@ struct Baseline {
     /// Speedup of incremental coarsening over `Lattice::apply` at the
     /// largest measured size.
     coarsen_speedup_50k: f64,
+    /// Speedup of encoded property extraction over the materialize-then-
+    /// extract path at the largest measured size.
+    extraction_speedup_50k: f64,
+    /// Speedup of the batched `ComparisonMatrix` kernel over the scalar
+    /// all-ordered-pairs sweep for 32 candidates (summed over the cov,
+    /// rank, and hv comparators).
+    matrix_speedup_m32: f64,
     benches: Vec<BenchEntry>,
 }
 
@@ -164,6 +173,99 @@ fn lattice_benches(out: &mut Vec<BenchEntry>) {
     }
 }
 
+fn extraction_properties() -> Vec<Box<dyn Property>> {
+    vec![
+        Box::new(EqClassSize),
+        Box::new(SensitiveValueCount::default()),
+        Box::new(GeneralizationLoss::classic()),
+        Box::new(Precision),
+        Box::new(Discernibility),
+    ]
+}
+
+fn property_extraction_benches(out: &mut Vec<BenchEntry>) {
+    let props = extraction_properties();
+    for rows in [10_000usize, 50_000] {
+        let ds = census(rows);
+        let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
+        let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
+
+        let iters = 10;
+        out.push(entry(
+            "property_extraction",
+            "materialized",
+            rows,
+            iters,
+            || {
+                let table = lattice.apply(&ds, &NODE, "bench").expect("valid node");
+                for p in &props {
+                    std::hint::black_box(p.extract(&table));
+                }
+            },
+        ));
+        out.push(entry("property_extraction", "encoded", rows, iters, || {
+            let partition = codec.partition(&NODE).expect("valid node");
+            for p in &props {
+                std::hint::black_box(p.extract_encoded(&codec, &partition));
+            }
+        }));
+    }
+}
+
+/// Candidate pool for the matrix benches: `m` vectors of `n` tuples.
+fn candidate_pool(m: usize, n: usize) -> Vec<PropertyVector> {
+    (0..m)
+        .map(|i| {
+            PropertyVector::new(
+                format!("c{i}"),
+                (0..n)
+                    .map(|t| ((i * 7 + t * 11) % 13) as f64 + 1.0)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn comparator_matrix_benches(out: &mut Vec<BenchEntry>) {
+    let (m, n) = (32usize, 10_000usize);
+    let pool = candidate_pool(m, n);
+    let names: Vec<String> = (0..m).map(|i| i.to_string()).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let refs: Vec<&PropertyVector> = pool.iter().collect();
+    let comparators: Vec<(&str, Box<dyn Comparator>)> = vec![
+        ("cov", Box::new(CoverageComparator)),
+        ("rank", Box::new(RankComparator::toward_ideal_of(&refs))),
+        ("hv", Box::new(HypervolumeComparator::default())),
+    ];
+    let iters = 5;
+    for (tag, c) in &comparators {
+        out.push(entry(
+            "comparator_matrix",
+            &format!("scalar_{tag}"),
+            n,
+            iters,
+            || {
+                for i in 0..m {
+                    for j in 0..m {
+                        if i != j {
+                            std::hint::black_box(c.compare(&pool[i], &pool[j]));
+                        }
+                    }
+                }
+            },
+        ));
+        out.push(entry(
+            "comparator_matrix",
+            &format!("matrix_{tag}"),
+            n,
+            iters,
+            || {
+                std::hint::black_box(ComparisonMatrix::of_vectors(&name_refs, &pool, c.as_ref()));
+            },
+        ));
+    }
+}
+
 fn min_of(benches: &[BenchEntry], group: &str, name: &str, rows: usize) -> f64 {
     benches
         .iter()
@@ -180,16 +282,47 @@ fn main() {
     grouping_benches(&mut benches);
     algorithm_benches(&mut benches);
     lattice_benches(&mut benches);
+    property_extraction_benches(&mut benches);
+    comparator_matrix_benches(&mut benches);
 
     let materialized = min_of(&benches, "lattice_encoded", "materialized", 50_000);
+    let scalar_total: f64 = ["cov", "rank", "hv"]
+        .iter()
+        .map(|t| {
+            min_of(
+                &benches,
+                "comparator_matrix",
+                &format!("scalar_{t}"),
+                10_000,
+            )
+        })
+        .sum();
+    let matrix_total: f64 = ["cov", "rank", "hv"]
+        .iter()
+        .map(|t| {
+            min_of(
+                &benches,
+                "comparator_matrix",
+                &format!("matrix_{t}"),
+                10_000,
+            )
+        })
+        .sum();
     let baseline = Baseline {
         encoded_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "encoded", 50_000),
         coarsen_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "coarsen", 50_000),
+        extraction_speedup_50k: min_of(&benches, "property_extraction", "materialized", 50_000)
+            / min_of(&benches, "property_extraction", "encoded", 50_000),
+        matrix_speedup_m32: scalar_total / matrix_total,
         benches,
     };
     eprintln!(
         "encoded speedup at 50k rows: {:.1}x, coarsen: {:.1}x",
         baseline.encoded_speedup_50k, baseline.coarsen_speedup_50k
+    );
+    eprintln!(
+        "property extraction speedup at 50k rows: {:.1}x, comparator matrix at M=32: {:.1}x",
+        baseline.extraction_speedup_50k, baseline.matrix_speedup_m32
     );
     std::fs::write(&path, baseline.to_json() + "\n").expect("writable output path");
     eprintln!("wrote {path}");

@@ -7,7 +7,7 @@
 //! "fix k, maximize utility" methodology actually see?
 
 use anoncmp_anonymize::prelude::*;
-use anoncmp_core::pareto::point_strongly_dominates;
+use anoncmp_core::prelude::{ComparisonMatrix, DominanceComparator, Preference, PropertyVector};
 use anoncmp_engine::prelude::*;
 
 /// Runs E14 with the given dataset size.
@@ -68,13 +68,34 @@ pub fn e14_frontier_with(rows: usize) -> String {
     })
     .collect();
     let sweep = Engine::global().run(&jobs);
-    for o in &sweep.outcomes {
-        match (&o.record.status, &o.record.metrics) {
+    // Frontier samples and classical points form one candidate list; a
+    // single batched dominance matrix then answers every placement query
+    // (`First` at (frontier, classical) ⟺ strict point dominance).
+    let mut candidates: Vec<PropertyVector> = front
+        .iter()
+        .map(|s| PropertyVector::new("objectives", s.objectives.clone()))
+        .collect();
+    let placed: Vec<Option<usize>> = sweep
+        .outcomes
+        .iter()
+        .map(|o| match (&o.record.status, &o.record.metrics) {
             (JobStatus::Ok, Some(m)) => {
                 let point = vec![o.vectors[0].mean().expect("non-empty"), -m.total_loss];
-                let dominated = front
-                    .iter()
-                    .any(|s| point_strongly_dominates(&s.objectives, &point));
+                candidates.push(PropertyVector::new("objectives", point));
+                Some(candidates.len() - 1)
+            }
+            _ => None,
+        })
+        .collect();
+    let names: Vec<String> = (0..candidates.len()).map(|i| i.to_string()).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let matrix = ComparisonMatrix::of_vectors(&name_refs, &candidates, &DominanceComparator);
+    for (o, slot) in sweep.outcomes.iter().zip(&placed) {
+        match slot {
+            Some(c) => {
+                let point = candidates[*c].values();
+                let dominated =
+                    (0..front.len()).any(|f| matrix.outcome(f, *c) == Preference::First);
                 out.push_str(&format!(
                     "  {:<12} mean |EC| {:>8.2}  loss {:>8.1}  → {}\n",
                     o.record.algorithm,
@@ -87,7 +108,10 @@ pub fn e14_frontier_with(rows: usize) -> String {
                     }
                 ));
             }
-            (status, _) => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
+            None => out.push_str(&format!(
+                "  {} failed: {:?}\n",
+                o.record.algorithm, o.record.status
+            )),
         }
     }
     out.push_str(

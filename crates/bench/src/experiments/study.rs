@@ -129,22 +129,11 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
         ));
     }
 
-    // Pairwise tournaments on privacy.
-    let mut cov_wins = vec![0usize; releases.len()];
-    let mut spr_wins = vec![0usize; releases.len()];
-    for i in 0..releases.len() {
-        for j in 0..releases.len() {
-            if i == j {
-                continue;
-            }
-            if CoverageComparator.compare(&vectors[i], &vectors[j]) == Preference::First {
-                cov_wins[i] += 1;
-            }
-            if SpreadComparator.compare(&vectors[i], &vectors[j]) == Preference::First {
-                spr_wins[i] += 1;
-            }
-        }
-    }
+    // Pairwise tournaments on privacy: one batched matrix per comparator —
+    // the kernel evaluates each unordered pair once instead of twice.
+    let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
+    let cov = ComparisonMatrix::of_vectors(&names, &vectors, &CoverageComparator);
+    let spr = ComparisonMatrix::of_vectors(&names, &vectors, &SpreadComparator);
     // ▶rank against the ideal point of the candidate set.
     let refs: Vec<&PropertyVector> = vectors.iter().collect();
     let rank = RankComparator::toward_ideal_of(&refs);
@@ -156,8 +145,8 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
         out.push_str(&format!(
             "  {:<12} {:>9} {:>9} {:>12.1}\n",
             t.name(),
-            cov_wins[i],
-            spr_wins[i],
+            cov.wins(i),
+            spr.wins(i),
             rank.rank(&vectors[i])
         ));
     }
@@ -183,14 +172,8 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
         vec![Box::new(CoverageComparator), Box::new(CoverageComparator)],
     );
     let champion = |cmp: &dyn SetComparator| -> String {
-        let mut wins = vec![0usize; sets.len()];
-        for i in 0..sets.len() {
-            for j in 0..sets.len() {
-                if i != j && cmp.compare(&sets[i], &sets[j]) == Preference::First {
-                    wins[i] += 1;
-                }
-            }
-        }
+        let matrix = ComparisonMatrix::of_sets(&sets, cmp);
+        let wins: Vec<usize> = (0..sets.len()).map(|i| matrix.wins(i)).collect();
         let best = wins
             .iter()
             .enumerate()

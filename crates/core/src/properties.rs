@@ -7,8 +7,11 @@
 //! paper's comparators (§5); lower-is-better measurements are negated and
 //! the raw (un-negated) variant is available separately where useful.
 
-use anoncmp_microdata::loss::{discernibility_vector, precision_vector, LossMetric};
-use anoncmp_microdata::prelude::{AnonymizedTable, Value};
+use anoncmp_microdata::loss::{
+    discernibility_vector, discernibility_vector_encoded, precision_vector,
+    precision_vector_encoded, LossMetric,
+};
+use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, GenCodec, NodePartition, Value};
 
 use crate::vector::{PropertySet, PropertyVector};
 
@@ -20,6 +23,36 @@ pub trait Property {
     /// Measures the property on every tuple, in the higher-is-better
     /// orientation.
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector;
+
+    /// Measures the property directly from a codec partition — no table
+    /// materialization — returning a vector **bit-identical** to
+    /// [`Property::extract`] on the decoded node (same values, same
+    /// order, same name).
+    ///
+    /// The default implementation decodes the node and falls back to
+    /// [`Property::extract`]; the built-in properties override it with
+    /// kernels that read class sizes, per-row class ids, and per-level
+    /// dictionaries straight from the codec.
+    ///
+    /// # Panics
+    /// If `partition` does not fit `codec` (mismatched levels or dataset),
+    /// consistent with the comparators' panics on mismatched dimensions.
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let table = codec
+            .decode(partition.levels(), "encoded-extract")
+            .expect("partition levels fit the codec");
+        self.extract(&table)
+    }
+}
+
+/// Per-row class sizes under a partition — the shared kernel of the
+/// class-size-derived properties.
+fn encoded_class_sizes(codec: &GenCodec, partition: &NodePartition) -> Vec<u32> {
+    let ids = partition
+        .class_ids(codec)
+        .expect("partition levels fit the codec");
+    let sizes = partition.sizes();
+    ids.iter().map(|&c| sizes[c as usize]).collect()
 }
 
 /// Size of the equivalence class a tuple belongs to — the property behind
@@ -36,6 +69,14 @@ impl Property for EqClassSize {
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         let sizes: Vec<usize> = (0..table.len())
             .map(|t| table.classes().class_size_of(t))
+            .collect();
+        PropertyVector::from_usizes(self.name(), &sizes)
+    }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let sizes: Vec<usize> = encoded_class_sizes(codec, partition)
+            .into_iter()
+            .map(|s| s as usize)
             .collect();
         PropertyVector::from_usizes(self.name(), &sizes)
     }
@@ -66,6 +107,14 @@ impl Property for BreachProbability {
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         self.raw(table).negated().renamed(self.name())
     }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let v: Vec<f64> = encoded_class_sizes(codec, partition)
+            .into_iter()
+            .map(|s| -(1.0 / s as f64))
+            .collect();
+        PropertyVector::new(self.name(), v)
+    }
 }
 
 /// Number of times a tuple's sensitive value appears within its equivalence
@@ -83,14 +132,36 @@ pub struct SensitiveValueCount {
 }
 
 fn resolve_sensitive_column(table: &AnonymizedTable, column: Option<usize>) -> usize {
+    resolve_sensitive_column_of(table.dataset(), column)
+}
+
+fn resolve_sensitive_column_of(ds: &Dataset, column: Option<usize>) -> usize {
     column.unwrap_or_else(|| {
-        *table
-            .dataset()
-            .schema()
+        *ds.schema()
             .sensitive()
             .first()
             .expect("schema declares at least one sensitive attribute")
     })
+}
+
+/// Per-`(class, sensitive value)` occurrence counts in one pass — the
+/// shared kernel of the encoded sensitive-value properties. Returns the
+/// per-row class ids alongside the count map.
+fn sensitive_counts<'a>(
+    codec: &'a GenCodec,
+    partition: &'a NodePartition,
+    col: usize,
+) -> (&'a [u32], std::collections::HashMap<(u32, Value), usize>) {
+    let ds = codec.dataset();
+    let ids = partition
+        .class_ids(codec)
+        .expect("partition levels fit the codec");
+    let mut counts: std::collections::HashMap<(u32, Value), usize> =
+        std::collections::HashMap::new();
+    for (row, &class) in ids.iter().enumerate() {
+        *counts.entry((class, *ds.value(row, col))).or_insert(0) += 1;
+    }
+    (ids, counts)
 }
 
 impl Property for SensitiveValueCount {
@@ -114,6 +185,18 @@ impl Property for SensitiveValueCount {
             })
             .collect();
         PropertyVector::from_usizes(self.name(), &counts)
+    }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let ds = codec.dataset();
+        let col = resolve_sensitive_column_of(ds, self.column);
+        let (ids, counts) = sensitive_counts(codec, partition, col);
+        let v: Vec<usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(row, &class)| counts[&(class, *ds.value(row, col))])
+            .collect();
+        PropertyVector::from_usizes(self.name(), &v)
     }
 }
 
@@ -148,6 +231,29 @@ impl Property for DistinctSensitiveCount {
             .map(|t| per_class[table.classes().class_of(t)])
             .collect();
         PropertyVector::from_usizes(self.name(), &counts)
+    }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let ds = codec.dataset();
+        let col = resolve_sensitive_column_of(ds, self.column);
+        let ids = partition
+            .class_ids(codec)
+            .expect("partition levels fit the codec");
+        // Distinct sensitive values per class, in one pass over the rows.
+        let mut per_class: Vec<Vec<Value>> = vec![Vec::new(); partition.class_count()];
+        for (row, &class) in ids.iter().enumerate() {
+            per_class[class as usize].push(*ds.value(row, col));
+        }
+        let distinct: Vec<usize> = per_class
+            .into_iter()
+            .map(|mut vals| {
+                vals.sort_unstable();
+                vals.dedup();
+                vals.len()
+            })
+            .collect();
+        let v: Vec<usize> = ids.iter().map(|&c| distinct[c as usize]).collect();
+        PropertyVector::from_usizes(self.name(), &v)
     }
 }
 
@@ -210,6 +316,43 @@ impl Property for TClosenessDistance {
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         self.raw(table).negated().renamed(self.name())
     }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let ds = codec.dataset();
+        let col = resolve_sensitive_column_of(ds, self.column);
+        let n = codec.rows() as f64;
+        // Global distribution over observed sensitive values, in the same
+        // first-appearance order as the materialized path (the TV sum
+        // accumulates in this order, so the order matters bit-for-bit).
+        let mut global: Vec<(Value, f64)> = Vec::new();
+        for t in 0..codec.rows() {
+            let v = *ds.value(t, col);
+            match global.iter_mut().find(|(g, _)| *g == v) {
+                Some((_, c)) => *c += 1.0,
+                None => global.push((v, 1.0)),
+            }
+        }
+        for (_, c) in &mut global {
+            *c /= n;
+        }
+        let (ids, counts) = sensitive_counts(codec, partition, col);
+        let per_class: Vec<f64> = partition
+            .sizes()
+            .iter()
+            .enumerate()
+            .map(|(class, &size)| {
+                let m = size as f64;
+                let mut tv = 0.0;
+                for (gv, gp) in &global {
+                    let local = counts.get(&(class as u32, *gv)).copied().unwrap_or(0) as f64 / m;
+                    tv += (local - gp).abs();
+                }
+                tv / 2.0
+            })
+            .collect();
+        let v: Vec<f64> = ids.iter().map(|&c| -per_class[c as usize]).collect();
+        PropertyVector::new(self.name(), v)
+    }
 }
 
 /// Per-tuple data utility under a configurable loss metric:
@@ -250,6 +393,14 @@ impl Property for IyengarUtility {
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         PropertyVector::new(self.name(), self.metric.utility_vector(table))
     }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let v = self
+            .metric
+            .utility_vector_encoded(codec, partition.levels())
+            .expect("partition levels fit the codec");
+        PropertyVector::new(self.name(), v)
+    }
 }
 
 /// Per-tuple generalization loss (lower is better; extracted negated).
@@ -285,6 +436,17 @@ impl Property for GeneralizationLoss {
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         self.raw(table).negated().renamed(self.name())
     }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let v: Vec<f64> = self
+            .metric
+            .loss_vector_encoded(codec, partition.levels())
+            .expect("partition levels fit the codec")
+            .into_iter()
+            .map(|l| -l)
+            .collect();
+        PropertyVector::new(self.name(), v)
+    }
 }
 
 /// Per-tuple precision (Sweeney's Prec decomposed by tuple; higher is
@@ -299,6 +461,12 @@ impl Property for Precision {
 
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         PropertyVector::new(self.name(), precision_vector(table))
+    }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let v = precision_vector_encoded(codec, partition.levels())
+            .expect("partition levels fit the codec");
+        PropertyVector::new(self.name(), v)
     }
 }
 
@@ -321,6 +489,15 @@ impl Property for Discernibility {
 
     fn extract(&self, table: &AnonymizedTable) -> PropertyVector {
         self.raw(table).negated().renamed(self.name())
+    }
+
+    fn extract_encoded(&self, codec: &GenCodec, partition: &NodePartition) -> PropertyVector {
+        let v: Vec<f64> = discernibility_vector_encoded(codec, partition)
+            .expect("partition levels fit the codec")
+            .into_iter()
+            .map(|d| -d)
+            .collect();
+        PropertyVector::new(self.name(), v)
     }
 }
 
@@ -441,6 +618,30 @@ mod tests {
         assert_eq!(d.values(), &[3.0; 6]);
         let dn = Discernibility.extract(&t);
         assert_eq!(dn.values(), &[-3.0; 6]);
+    }
+
+    #[test]
+    fn encoded_extraction_is_bit_identical_to_table_extraction() {
+        let t = fixture();
+        let codec = GenCodec::new(t.dataset()).unwrap();
+        let partition = codec.partition(&[1]).unwrap();
+        let props: Vec<Box<dyn Property>> = vec![
+            Box::new(EqClassSize),
+            Box::new(BreachProbability),
+            Box::new(SensitiveValueCount::default()),
+            Box::new(DistinctSensitiveCount::default()),
+            Box::new(TClosenessDistance::default()),
+            Box::new(IyengarUtility::with_metric(LossMetric::paper_ratio())),
+            Box::new(GeneralizationLoss::classic()),
+            Box::new(Precision),
+            Box::new(Discernibility),
+        ];
+        for p in &props {
+            let from_table = p.extract(&t);
+            let from_codec = p.extract_encoded(&codec, &partition);
+            assert_eq!(from_table.name(), from_codec.name(), "{}", p.name());
+            assert_eq!(from_table.values(), from_codec.values(), "{}", p.name());
+        }
     }
 
     #[test]

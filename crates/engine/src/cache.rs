@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use anoncmp_core::prelude::PropertyVector;
 use anoncmp_microdata::prelude::{AnonymizedTable, Dataset};
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -47,8 +48,15 @@ impl CacheStats {
 pub struct MemoCache {
     releases: Mutex<HashMap<u64, Arc<AnonymizedTable>>>,
     datasets: Mutex<HashMap<u64, Arc<Dataset>>>,
+    /// Extracted property vectors, keyed by (release *content* digest,
+    /// property tag). Content addressing means a vector computed for one
+    /// job serves every job whose release has the same cells — whatever
+    /// algorithm or parameters produced it.
+    vectors: Mutex<HashMap<(u64, &'static str), Arc<PropertyVector>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    vector_hits: AtomicU64,
+    vector_misses: AtomicU64,
 }
 
 impl MemoCache {
@@ -106,6 +114,47 @@ impl MemoCache {
             .clone()
     }
 
+    /// Looks up an extracted property vector by release content digest and
+    /// property tag, counting a vector-cache hit or miss.
+    pub fn get_vector(&self, digest: u64, tag: &'static str) -> Option<Arc<PropertyVector>> {
+        let found = self.vectors.lock().get(&(digest, tag)).cloned();
+        match found {
+            Some(v) => {
+                self.vector_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.vector_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an extracted property vector. Keeps the existing entry on a
+    /// racing double-insert so every holder sees the same `Arc`.
+    pub fn insert_vector(
+        &self,
+        digest: u64,
+        tag: &'static str,
+        vector: Arc<PropertyVector>,
+    ) -> Arc<PropertyVector> {
+        self.vectors
+            .lock()
+            .entry((digest, tag))
+            .or_insert(vector)
+            .clone()
+    }
+
+    /// Vector-cache `(hits, misses)`. Scheduling-dependent — two workers
+    /// racing on same-content releases can both miss — so these counters
+    /// stay out of [`CacheStats`] and every determinism-compared report.
+    pub fn vector_stats(&self) -> (u64, u64) {
+        (
+            self.vector_hits.load(Ordering::Relaxed),
+            self.vector_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -115,9 +164,10 @@ impl MemoCache {
         }
     }
 
-    /// Drops cached releases but keeps materialized datasets and the
-    /// counters. Benchmarks use this to re-measure anonymization cost
-    /// without paying dataset synthesis on every iteration.
+    /// Drops cached releases but keeps materialized datasets, extracted
+    /// vectors (content-addressed, so still valid), and the counters.
+    /// Benchmarks use this to re-measure anonymization cost without paying
+    /// dataset synthesis on every iteration.
     pub fn clear_releases(&self) {
         self.releases.lock().clear();
     }
@@ -126,8 +176,11 @@ impl MemoCache {
     pub fn clear(&self) {
         self.releases.lock().clear();
         self.datasets.lock().clear();
+        self.vectors.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.vector_hits.store(0, Ordering::Relaxed);
+        self.vector_misses.store(0, Ordering::Relaxed);
     }
 }
 

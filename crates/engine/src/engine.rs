@@ -182,6 +182,13 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Cumulative vector-cache `(hits, misses)`. Scheduling-dependent
+    /// (racing workers can both miss), so not part of [`CacheStats`] or
+    /// any determinism-compared report.
+    pub fn vector_cache_stats(&self) -> (u64, u64) {
+        self.cache.vector_stats()
+    }
+
     /// Drops all cached artifacts (mainly for tests).
     pub fn clear_cache(&self) {
         self.cache.clear();
@@ -332,14 +339,31 @@ impl Engine {
             }
         };
 
+        // Content digest of the released cells + suppression mask. Computed
+        // over integer codes, so it certifies the release itself, not its
+        // rendering, and matches across evaluation strategies. Also the
+        // release half of the vector-cache key: same content, same vectors.
+        let content_fp = table.as_ref().map(|t| fingerprint_release(t));
+
         // Property extraction is pure but still third-party code from the
-        // record's point of view; keep panics contained per job.
-        let (vectors, status) = match &table {
-            Some(t) => {
+        // record's point of view; keep panics contained per job. Vectors
+        // are served from the content-addressed cache when an earlier job
+        // already extracted them from a same-content release.
+        let (vectors, status) = match (&table, content_fp) {
+            (Some(t), Some(digest)) => {
                 match catch_unwind(AssertUnwindSafe(|| {
                     job.properties
                         .iter()
-                        .map(|p| p.instantiate().extract(t))
+                        .map(|p| {
+                            let tag = p.tag();
+                            match self.cache.get_vector(digest, tag) {
+                                Some(v) => (*v).clone(),
+                                None => {
+                                    let v = Arc::new(p.instantiate().extract(t));
+                                    (*self.cache.insert_vector(digest, tag, v)).clone()
+                                }
+                            }
+                        })
                         .collect::<Vec<PropertyVector>>()
                 })) {
                     Ok(vectors) => (vectors, status),
@@ -351,7 +375,7 @@ impl Engine {
                     ),
                 }
             }
-            None => (Vec::new(), status),
+            _ => (Vec::new(), status),
         };
 
         let metrics = match (&status, &table) {
@@ -365,11 +389,8 @@ impl Engine {
             _ => None,
         };
 
-        // Content digest of the released cells + suppression mask. Computed
-        // over integer codes, so it certifies the release itself, not its
-        // rendering, and matches across evaluation strategies.
-        let release_digest = match (&status, &table) {
-            (JobStatus::Ok, Some(t)) => Some(hex_id(fingerprint_release(t))),
+        let release_digest = match (&status, content_fp) {
+            (JobStatus::Ok, Some(fp)) => Some(hex_id(fp)),
             _ => None,
         };
 
@@ -543,6 +564,53 @@ mod tests {
             sweep.outcomes[0].record.canonical(),
             sweep.outcomes[2].record.canonical()
         );
+    }
+
+    #[test]
+    fn repeated_sweeps_serve_vectors_from_the_cache() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let jobs = quick_jobs();
+        let first = engine.run(&jobs);
+        let (hits_after_first, misses_after_first) = engine.vector_cache_stats();
+        assert_eq!(hits_after_first, 0);
+        assert!(misses_after_first >= jobs.len() as u64);
+        let second = engine.run(&jobs);
+        let (hits_after_second, misses_after_second) = engine.vector_cache_stats();
+        assert_eq!(misses_after_second, misses_after_first, "no re-extraction");
+        assert!(hits_after_second >= jobs.len() as u64);
+        // Cache-served vectors are the same values a fresh extraction gave.
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.vectors, b.vectors);
+        }
+    }
+
+    #[test]
+    fn vector_cache_is_content_addressed_across_jobs() {
+        // Same dataset and algorithm but different max_suppression settings
+        // that end in the same release content: distinct job fingerprints,
+        // one extraction.
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            ..EngineConfig::default()
+        });
+        let base = quick_jobs().remove(0);
+        let mut relaxed = base.clone();
+        relaxed.max_suppression = base.max_suppression + 1;
+        let sweep = engine.run(&[base, relaxed]);
+        let digests: Vec<_> = sweep
+            .outcomes
+            .iter()
+            .map(|o| o.record.release_digest.clone())
+            .collect();
+        if digests[0] == digests[1] {
+            let (hits, misses) = engine.vector_cache_stats();
+            assert_eq!(misses, 1, "one extraction for one release content");
+            assert_eq!(hits, 1, "second job served from the vector cache");
+            assert_eq!(sweep.outcomes[0].vectors, sweep.outcomes[1].vectors);
+        }
     }
 
     #[test]

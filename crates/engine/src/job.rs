@@ -318,8 +318,9 @@ impl PropertySpec {
         }
     }
 
-    /// The extractor's stable tag, used only for fingerprinting.
-    fn tag(&self) -> &'static str {
+    /// The extractor's stable tag, used for fingerprinting and as the
+    /// property half of the vector-cache key.
+    pub(crate) fn tag(&self) -> &'static str {
         match self {
             PropertySpec::EqClassSize => "eq-class-size",
             PropertySpec::BreachProbability => "breach-probability",

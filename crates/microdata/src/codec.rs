@@ -234,6 +234,11 @@ impl GenCodec {
         self.columns[dim].levels.len() - 1
     }
 
+    /// The schema column index dimension `dim` encodes.
+    pub fn column_of(&self, dim: usize) -> usize {
+        self.columns[dim].col
+    }
+
     /// Whether dimension `dim` satisfies the class-merge invariant (see
     /// the module docs): required for [`GenCodec::coarsen`] to step this
     /// dimension.
@@ -374,6 +379,7 @@ impl GenCodec {
             levels: levels.to_vec(),
             sizes,
             reps,
+            assignments: OnceLock::new(),
         })
     }
 
@@ -436,6 +442,7 @@ impl GenCodec {
             levels: levels.to_vec(),
             sizes,
             reps,
+            assignments: OnceLock::new(),
         })
     }
 
@@ -585,6 +592,52 @@ impl EncodedView<'_> {
         let (sizes, _) = self.sizes_and_reps();
         sizes.iter().copied().min().unwrap_or(0) as usize
     }
+
+    /// The class id of every row, in first-appearance numbering — the
+    /// same numbering [`EncodedView::sizes_and_reps`] assigns, and
+    /// identical to [`EquivalenceClasses::group_by_hash`] on the decoded
+    /// table. This is the per-row view property extractors need without
+    /// materializing member lists.
+    pub fn class_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::with_capacity(self.rows);
+        let mut count: u32 = 0;
+        match self.packing() {
+            Some(shifts) => {
+                let mut index: FxMap<u64, u32> = FxMap::default();
+                index.reserve(1024.min(self.rows));
+                for row in 0..self.rows {
+                    let key = self.packed_key(row, &shifts);
+                    let class = *index.entry(key).or_insert(count);
+                    if class == count {
+                        count += 1;
+                    }
+                    ids.push(class);
+                }
+            }
+            None => {
+                let cols = self.columns.len();
+                if cols == 0 {
+                    // No columns: all rows share the empty signature.
+                    return vec![0; self.rows];
+                }
+                let mut flat: Vec<u32> = Vec::with_capacity(self.rows * cols);
+                for row in 0..self.rows {
+                    for col in &self.columns {
+                        flat.push(col[row]);
+                    }
+                }
+                let mut index: FxMap<&[u32], u32> = FxMap::default();
+                for key in flat.chunks_exact(cols) {
+                    let class = *index.entry(key).or_insert(count);
+                    if class == count {
+                        count += 1;
+                    }
+                    ids.push(class);
+                }
+            }
+        }
+        ids
+    }
 }
 
 /// The partition a lattice node induces, reduced to what frequency-set
@@ -595,6 +648,10 @@ pub struct NodePartition {
     levels: LevelVector,
     sizes: Vec<u32>,
     reps: Vec<u32>,
+    /// Per-row class ids, materialized on first request and shared by
+    /// every property extractor that asks (cloning a partition clones the
+    /// cached assignment along with it).
+    assignments: OnceLock<Vec<u32>>,
 }
 
 impl NodePartition {
@@ -622,6 +679,22 @@ impl NodePartition {
     /// The size of the smallest class, or 0 when empty.
     pub fn min_class_size(&self) -> usize {
         self.sizes.iter().copied().min().unwrap_or(0) as usize
+    }
+
+    /// The class id of every row under this partition's levels, computed
+    /// from `codec` on first use and cached (first-appearance numbering,
+    /// aligned with [`NodePartition::sizes`]). `codec` must be the codec
+    /// this partition was derived from.
+    ///
+    /// # Errors
+    /// As [`GenCodec::validate`] when the partition's levels do not fit
+    /// `codec` (e.g. a partition paired with a different dataset's codec).
+    pub fn class_ids(&self, codec: &GenCodec) -> Result<&[u32]> {
+        codec.validate(&self.levels)?;
+        Ok(self.assignments.get_or_init(|| {
+            let view = codec.view(&self.levels).expect("levels validated above");
+            view.class_ids()
+        }))
     }
 
     /// Number of tuples in classes smaller than `k` — the tuples a
@@ -706,6 +779,34 @@ mod tests {
                 .map(|c| table.classes().members(c).len() as u32)
                 .collect();
             assert_eq!(part.sizes(), &sizes[..], "sizes differ at {levels:?}");
+        }
+    }
+
+    #[test]
+    fn class_ids_match_materialized_grouping() {
+        let ds = dataset();
+        let lattice = Lattice::new(ds.schema().clone()).unwrap();
+        let codec = GenCodec::new(&ds).unwrap();
+        for levels in lattice.iter_all() {
+            let table = lattice.apply(&ds, &levels, "t").unwrap();
+            let expected: Vec<u32> = (0..ds.len())
+                .map(|t| table.classes().class_of(t) as u32)
+                .collect();
+            let view = codec.view(&levels).unwrap();
+            assert_eq!(view.class_ids(), expected, "view ids differ at {levels:?}");
+            // The cached accessor agrees, for partitions built from
+            // scratch and for coarsened ones.
+            let part = codec.partition(&levels).unwrap();
+            assert_eq!(part.class_ids(&codec).unwrap(), &expected[..]);
+            for succ in lattice.successors(&levels) {
+                let stepped = codec.coarsen(&part, &succ).unwrap();
+                let fresh = codec.partition(&succ).unwrap();
+                assert_eq!(
+                    stepped.class_ids(&codec).unwrap(),
+                    fresh.class_ids(&codec).unwrap(),
+                    "coarsened ids differ at {levels:?} → {succ:?}"
+                );
+            }
         }
     }
 

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::intervals::{IntervalLadder, IntervalLevel};
     pub use crate::lattice::{Lattice, LevelVector};
     pub use crate::loss::{
-        discernibility_vector, precision_vector, CellLossCache, ColumnSet, CoverageBasis, LossKind,
-        LossMetric,
+        discernibility_vector, discernibility_vector_encoded, precision_vector,
+        precision_vector_encoded, CellLossCache, ColumnSet, CoverageBasis, LossKind, LossMetric,
     };
     pub use crate::schema::{Attribute, Domain, Role, Schema};
     pub use crate::stats::{render_profile, subset_profile, uniqueness_profile, SubsetProfile};

@@ -25,9 +25,49 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use crate::anonymized::AnonymizedTable;
+use crate::codec::{GenCodec, NodePartition};
 use crate::dataset::Dataset;
+use crate::error::Result;
 use crate::schema::Domain;
 use crate::value::GenValue;
+
+/// Per-row contribution of one column to a per-tuple sum, without
+/// materializing cells: the distinct-value terms are computed once per
+/// `(column, level)` and scattered through the codec's `u32` codes. Used
+/// by the encoded loss and precision kernels below.
+///
+/// `terms` must be indexed by the codes in `codes`; adds `terms[code]`
+/// into `acc[row]` for every row. Accumulation order per row matches the
+/// materialized path's column-by-column sum exactly, so results stay
+/// bit-identical.
+fn scatter_terms(acc: &mut [f64], codes: &[u32], terms: &[f64]) {
+    for (a, &code) in acc.iter_mut().zip(codes) {
+        *a += terms[code as usize];
+    }
+}
+
+/// Schema column → codec dimension for the columns `codec` encodes.
+fn dims_by_column(codec: &GenCodec) -> Vec<Option<usize>> {
+    let mut dim_of: Vec<Option<usize>> = vec![None; codec.dataset().schema().len()];
+    for dim in 0..codec.dims() {
+        dim_of[codec.column_of(dim)] = Some(dim);
+    }
+    dim_of
+}
+
+/// The per-distinct-raw-value codes of a column the codec does *not*
+/// encode (decoding renders such cells as raw values). Returns per-row
+/// codes into the column's sorted distinct values.
+fn raw_codes(ds: &Dataset, col: usize) -> Vec<u32> {
+    let distinct = ds.distinct(col);
+    (0..ds.len())
+        .map(|row| {
+            distinct
+                .code_of(ds.value(row, col))
+                .expect("dataset values appear in their own distinct summary")
+        })
+        .collect()
+}
 
 /// Which universe coverage fractions are normalized against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -270,6 +310,71 @@ impl LossMetric {
     pub fn total_loss(&self, table: &AnonymizedTable) -> f64 {
         self.loss_vector(table).iter().sum()
     }
+
+    /// Per-tuple loss vector computed directly from the codec — no table
+    /// materialization. Bit-identical to [`LossMetric::loss_vector`] on
+    /// the decoded node: per-column cell losses are evaluated once per
+    /// distinct generalized value (the codec's dictionary) and scattered
+    /// through the `u32` code columns, accumulating in the same column
+    /// order as the materialized path.
+    ///
+    /// # Errors
+    /// As [`GenCodec::validate`] for an invalid `levels` vector.
+    pub fn loss_vector_encoded(&self, codec: &GenCodec, levels: &[usize]) -> Result<Vec<f64>> {
+        codec.validate(levels)?;
+        let ds = codec.dataset();
+        let cols = self.columns.resolve(ds);
+        let dim_of = dims_by_column(codec);
+        let mut losses = vec![0.0f64; codec.rows()];
+        for &c in &cols {
+            match dim_of[c] {
+                Some(dim) => {
+                    let level = levels[dim];
+                    let terms: Vec<f64> = codec
+                        .dict(dim, level)
+                        .iter()
+                        .map(|gv| self.cell_loss(ds, c, gv))
+                        .collect();
+                    scatter_terms(&mut losses, codec.encoded_column(dim, level), &terms);
+                }
+                None => {
+                    // Un-encoded columns decode to raw cells; their loss
+                    // depends only on the distinct raw value.
+                    let terms: Vec<f64> = ds
+                        .distinct(c)
+                        .values()
+                        .iter()
+                        .map(|v| self.cell_loss(ds, c, &GenValue::raw(*v)))
+                        .collect();
+                    scatter_terms(&mut losses, &raw_codes(ds, c), &terms);
+                }
+            }
+        }
+        Ok(losses)
+    }
+
+    /// Per-tuple utility vector from the codec; see
+    /// [`LossMetric::loss_vector_encoded`].
+    ///
+    /// # Errors
+    /// As [`GenCodec::validate`].
+    pub fn utility_vector_encoded(&self, codec: &GenCodec, levels: &[usize]) -> Result<Vec<f64>> {
+        let a = self.columns.resolve(codec.dataset()).len() as f64;
+        Ok(self
+            .loss_vector_encoded(codec, levels)?
+            .into_iter()
+            .map(|l| a - l)
+            .collect())
+    }
+
+    /// Total (summed) loss of a node from the codec; see
+    /// [`LossMetric::loss_vector_encoded`].
+    ///
+    /// # Errors
+    /// As [`GenCodec::validate`].
+    pub fn total_loss_encoded(&self, codec: &GenCodec, levels: &[usize]) -> Result<f64> {
+        Ok(self.loss_vector_encoded(codec, levels)?.iter().sum())
+    }
 }
 
 /// Memoizes cell losses per `(column, generalized value)`.
@@ -355,6 +460,69 @@ pub fn precision_vector(table: &AnonymizedTable) -> Vec<f64> {
             1.0 - acc / cols.len() as f64
         })
         .collect()
+}
+
+/// Encoded variant of [`discernibility_vector`]: a tuple in a class of
+/// size `s` is penalized `s`. Decoded codec tables never carry suppressed
+/// tuples (full-domain recoding suppresses by generalizing, not by
+/// masking rows), so the suppression branch of the materialized path
+/// cannot fire and the two are bit-identical.
+///
+/// # Errors
+/// As [`GenCodec::validate`] when the partition does not fit the codec.
+pub fn discernibility_vector_encoded(
+    codec: &GenCodec,
+    partition: &NodePartition,
+) -> Result<Vec<f64>> {
+    let ids = partition.class_ids(codec)?;
+    let sizes = partition.sizes();
+    Ok(ids.iter().map(|&c| sizes[c as usize] as f64).collect())
+}
+
+/// Encoded variant of [`precision_vector`]: per-cell `level / max_level`
+/// ratios are evaluated once per distinct generalized value and scattered
+/// through the codec's code columns, accumulating per row in the same
+/// column order as the materialized path (bit-identical results).
+///
+/// # Errors
+/// As [`GenCodec::validate`] for an invalid `levels` vector.
+pub fn precision_vector_encoded(codec: &GenCodec, levels: &[usize]) -> Result<Vec<f64>> {
+    codec.validate(levels)?;
+    let ds = codec.dataset();
+    let schema = ds.schema();
+    let cols: Vec<(usize, usize)> = (0..schema.len())
+        .filter_map(|c| schema.attribute(c).hierarchy().map(|h| (c, h.max_level())))
+        .collect();
+    if cols.is_empty() {
+        return Ok(vec![1.0; codec.rows()]);
+    }
+    let dim_of = dims_by_column(codec);
+    let mut acc = vec![0.0f64; codec.rows()];
+    for &(c, max) in &cols {
+        let h = schema.attribute(c).hierarchy().expect("filtered above");
+        match dim_of[c] {
+            Some(dim) => {
+                let level = levels[dim];
+                let terms: Vec<f64> = codec
+                    .dict(dim, level)
+                    .iter()
+                    .map(|gv| h.level_of(gv).unwrap_or(max) as f64 / max as f64)
+                    .collect();
+                scatter_terms(&mut acc, codec.encoded_column(dim, level), &terms);
+            }
+            None => {
+                let terms: Vec<f64> = ds
+                    .distinct(c)
+                    .values()
+                    .iter()
+                    .map(|v| h.level_of(&GenValue::raw(*v)).unwrap_or(max) as f64 / max as f64)
+                    .collect();
+                scatter_terms(&mut acc, &raw_codes(ds, c), &terms);
+            }
+        }
+    }
+    let d = cols.len() as f64;
+    Ok(acc.into_iter().map(|a| 1.0 - a / d).collect())
 }
 
 #[cfg(test)]
@@ -531,6 +699,63 @@ mod tests {
         for p in precision_vector(&mid) {
             assert!(p > 0.0 && p < 1.0);
         }
+    }
+
+    #[test]
+    fn encoded_vectors_are_bit_identical_to_materialized() {
+        let ds = dataset();
+        let lattice = Lattice::new(ds.schema().clone()).unwrap();
+        let codec = GenCodec::new(&ds).unwrap();
+        let metrics = [
+            LossMetric::classic(),
+            LossMetric::paper_ratio(),
+            LossMetric::new(
+                LossKind::RatioLm,
+                CoverageBasis::DatasetDistinct,
+                ColumnSet::Explicit(vec![1, 2]),
+            ),
+        ];
+        for levels in lattice.iter_all() {
+            let t = codec.decode(&levels, "t").unwrap();
+            for m in &metrics {
+                assert_eq!(
+                    m.loss_vector_encoded(&codec, &levels).unwrap(),
+                    m.loss_vector(&t),
+                    "loss differs at {levels:?}"
+                );
+                assert_eq!(
+                    m.utility_vector_encoded(&codec, &levels).unwrap(),
+                    m.utility_vector(&t),
+                    "utility differs at {levels:?}"
+                );
+                assert_eq!(
+                    m.total_loss_encoded(&codec, &levels).unwrap(),
+                    m.total_loss(&t),
+                    "total loss differs at {levels:?}"
+                );
+            }
+            assert_eq!(
+                precision_vector_encoded(&codec, &levels).unwrap(),
+                precision_vector(&t),
+                "precision differs at {levels:?}"
+            );
+            let part = codec.partition(&levels).unwrap();
+            assert_eq!(
+                discernibility_vector_encoded(&codec, &part).unwrap(),
+                discernibility_vector(&t),
+                "discernibility differs at {levels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_vectors_validate_levels() {
+        let ds = dataset();
+        let codec = GenCodec::new(&ds).unwrap();
+        assert!(LossMetric::classic()
+            .loss_vector_encoded(&codec, &[0])
+            .is_err());
+        assert!(precision_vector_encoded(&codec, &[9, 9]).is_err());
     }
 
     #[test]

@@ -76,7 +76,10 @@ fn main() {
         print!(" {:>10}", t.name());
     }
     println!();
-    let mut wins = vec![0usize; releases.len()];
+    // The tournament tally comes from one batched matrix pass; the cells
+    // still print the directed coverage indices.
+    let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
+    let matrix = ComparisonMatrix::of_vectors(&names, &vectors, &CoverageComparator);
     for (i, di) in vectors.iter().enumerate() {
         print!("  {:<12}", releases[i].name());
         for (j, dj) in vectors.iter().enumerate() {
@@ -86,16 +89,13 @@ fn main() {
             }
             let c = coverage_index(di, dj);
             print!(" {c:>10.2}");
-            if CoverageComparator.compare(di, dj) == Preference::First {
-                wins[i] += 1;
-            }
         }
         println!();
     }
-    let champion = wins
-        .iter()
+    let champion = (0..releases.len())
+        .map(|i| matrix.wins(i))
         .enumerate()
-        .max_by_key(|(_, &w)| w)
+        .max_by_key(|&(_, w)| w)
         .map(|(i, _)| releases[i].name())
         .unwrap_or("none");
     println!("  ▶cov tournament champion: {champion}");
@@ -130,9 +130,10 @@ fn main() {
         Box::new(CoverageComparator),
         Box::new(CoverageComparator),
     ]);
+    let wtd_matrix = ComparisonMatrix::of_sets(&sets, &wtd);
     for i in 0..sets.len() {
         for j in (i + 1)..sets.len() {
-            let verdict = match wtd.compare(&sets[i], &sets[j]) {
+            let verdict = match wtd_matrix.outcome(i, j) {
                 Preference::First => format!(
                     "{} ▶WTD {}",
                     sets[i].anonymization(),

@@ -251,9 +251,13 @@ fn compare(opts: &Options) -> Result<(), String> {
         );
     }
     println!("\npairwise ▶cov verdicts on per-tuple privacy:");
+    // One batched matrix pass computes every verdict; the kernel shares
+    // each unordered pair's coverage indices between both directions.
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let matrix = ComparisonMatrix::of_vectors(&name_refs, &vectors, &CoverageComparator);
     for i in 0..names.len() {
         for j in (i + 1)..names.len() {
-            let verdict = match CoverageComparator.compare(&vectors[i], &vectors[j]) {
+            let verdict = match matrix.outcome(i, j) {
                 Preference::First => format!("{} ▶cov {}", names[i], names[j]),
                 Preference::Second => format!("{} ▶cov {}", names[j], names[i]),
                 _ => format!("{} ≈ {}", names[i], names[j]),
