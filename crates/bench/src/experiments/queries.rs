@@ -47,9 +47,22 @@ pub fn e15_queries_with(rows: usize) -> String {
     let sweep = Engine::global().run(&jobs);
     let mut releases: Vec<Arc<AnonymizedTable>> = Vec::new();
     for o in &sweep.outcomes {
-        match (&o.record.status, &o.table) {
-            (JobStatus::Ok, Some(t)) => releases.push(t.clone()),
-            (status, _) => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
+        match &o.record.status {
+            // Workload evaluation needs the release itself, which a
+            // journal-replayed outcome doesn't carry — rematerialize it
+            // through the engine (cache-served on every later call).
+            JobStatus::Ok => match o
+                .table
+                .clone()
+                .or_else(|| Engine::global().release_for(&o.job))
+            {
+                Some(t) => releases.push(t),
+                None => out.push_str(&format!(
+                    "  {} failed: release unavailable\n",
+                    o.record.algorithm
+                )),
+            },
+            status => out.push_str(&format!("  {} failed: {status:?}\n", o.record.algorithm)),
         }
     }
 

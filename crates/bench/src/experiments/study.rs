@@ -13,12 +13,9 @@
 //! experiment that asks for the same release (E16's agreement tournament
 //! does) gets a cache hit instead of a recomputation.
 
-use std::sync::Arc;
-
 use anoncmp_anonymize::prelude::Constraint;
 use anoncmp_core::prelude::*;
 use anoncmp_engine::prelude::*;
-use anoncmp_microdata::prelude::AnonymizedTable;
 
 /// Study configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -87,17 +84,20 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
         "── k = {k} ({}) ──────────────────────────────────────────────\n",
         constraint.describe()
     ));
-    let mut releases: Vec<Arc<AnonymizedTable>> = Vec::new();
+    // Names and vectors come from the records, not from materialized
+    // tables: journal-replayed outcomes (a resumed sweep) carry records
+    // and vectors but no table, and the study must render identically.
+    let mut names: Vec<String> = Vec::new();
     let mut vectors: Vec<PropertyVector> = Vec::new();
     let mut utils: Vec<PropertyVector> = Vec::new();
     for o in outcomes {
-        match (&o.record.status, &o.table) {
-            (JobStatus::Ok, Some(t)) => {
-                releases.push(t.clone());
+        match &o.record.status {
+            JobStatus::Ok => {
+                names.push(o.record.algorithm.clone());
                 vectors.push(o.vectors[0].clone());
                 utils.push(o.vectors[1].clone());
             }
-            (status, _) => out.push_str(&format!(
+            status => out.push_str(&format!(
                 "  {} failed: {}\n",
                 o.record.algorithm,
                 status_message(status)
@@ -131,9 +131,9 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
 
     // Pairwise tournaments on privacy: one batched matrix per comparator —
     // the kernel evaluates each unordered pair once instead of twice.
-    let names: Vec<&str> = releases.iter().map(|t| t.name()).collect();
-    let cov = ComparisonMatrix::of_vectors(&names, &vectors, &CoverageComparator);
-    let spr = ComparisonMatrix::of_vectors(&names, &vectors, &SpreadComparator);
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let cov = ComparisonMatrix::of_vectors(&name_refs, &vectors, &CoverageComparator);
+    let spr = ComparisonMatrix::of_vectors(&name_refs, &vectors, &SpreadComparator);
     // ▶rank against the ideal point of the candidate set.
     let refs: Vec<&PropertyVector> = vectors.iter().collect();
     let rank = RankComparator::toward_ideal_of(&refs);
@@ -141,10 +141,10 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
         "  {:<12} {:>9} {:>9} {:>12}\n",
         "tournament", "cov wins", "spr wins", "rank (↓)"
     ));
-    for (i, t) in releases.iter().enumerate() {
+    for (i, name) in names.iter().enumerate() {
         out.push_str(&format!(
             "  {:<12} {:>9} {:>9} {:>12.1}\n",
-            t.name(),
+            name,
             cov.wins(i),
             spr.wins(i),
             rank.rank(&vectors[i])
@@ -153,12 +153,12 @@ fn format_k(k: usize, max_suppression: usize, outcomes: &[&JobOutcome]) -> Strin
 
     // Multi-property verdicts: privacy vs utility, equal weights and
     // privacy-first lexicographic.
-    let sets: Vec<PropertySet> = releases
+    let sets: Vec<PropertySet> = names
         .iter()
         .zip(vectors.iter().zip(&utils))
-        .map(|(t, (p, u))| {
+        .map(|(name, (p, u))| {
             PropertySet::new(
-                t.name(),
+                name,
                 vec![p.clone().renamed("priv"), u.clone().renamed("util")],
             )
         })
@@ -221,6 +221,10 @@ pub fn e13_study(config: &StudyConfig) -> String {
         out.push_str(&format_k(k, config.rows / 20, &section));
     }
     out.push_str(&format!("{}\n", sweep.cache_summary()));
+    // Deterministic for a fixed flag set: resumption, retry, and
+    // quarantine counts depend only on the journal contents and the
+    // (content-pure) chaos decisions, never on scheduling.
+    out.push_str(&format!("{}\n", sweep.resilience_summary()));
     out.push_str(
         "Reading guide: identical k columns with different gini/rank rows are the\n\
          anonymization bias in action; WTD/LEX champions can differ because the\n\

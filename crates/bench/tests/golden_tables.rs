@@ -1,0 +1,73 @@
+//! Golden-file tests pinning the paper-table experiments (E01–E03:
+//! Tables 1–3 of the source paper) to committed snapshots.
+//!
+//! The existing unit tests check that a handful of tokens appear; these
+//! pin the *entire* rendering byte-for-byte, so an innocent-looking
+//! change to the display code, the hierarchy ladders, or the lattice
+//! levels that silently shifts a paper-reproduced cell fails loudly with
+//! a diff instead of drifting.
+//!
+//! To re-bless after an intentional rendering change:
+//! `GOLDEN_BLESS=1 cargo test -p anoncmp-bench --test golden_tables`
+
+use std::path::PathBuf;
+
+use anoncmp_bench::experiments::paper_tables;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Point at the first diverging line so the failure reads as a
+        // diff, not two walls of text.
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  golden: {:?}\n  actual: {:?}",
+                    i + 1,
+                    expected.lines().nth(i).unwrap_or(""),
+                    actual.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| "line counts differ".to_owned());
+        panic!(
+            "{name} drifted from its golden snapshot ({})\n{mismatch}\n\
+             If the change is intentional, re-bless with GOLDEN_BLESS=1.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn e01_table1_matches_golden() {
+    assert_matches_golden("e01", &paper_tables::e01_table1());
+}
+
+#[test]
+fn e02_table2_matches_golden() {
+    assert_matches_golden("e02", &paper_tables::e02_table2());
+}
+
+#[test]
+fn e03_table3_matches_golden() {
+    assert_matches_golden("e03", &paper_tables::e03_table3());
+}

@@ -1,13 +1,15 @@
-//! The sweep executor: worker pool, memoization, and record collection.
+//! The sweep executor: worker pool, memoization, checkpointing, and
+//! record collection.
 //!
 //! # Execution model
 //!
 //! [`Engine::run`] deduplicates the submitted jobs by content fingerprint,
-//! feeds the unique ones into a crossbeam channel shared by `--jobs N`
-//! worker threads (a shared channel *is* work stealing: idle workers pull
-//! the next pending job), and collects `(index, outcome)` pairs back on
-//! the submitting thread, which restores submission order and streams
-//! JSONL records to an optional sink.
+//! serves any job already present in the resumed checkpoint journal
+//! without recomputation, feeds the remaining unique ones into a crossbeam
+//! channel shared by `--jobs N` worker threads (a shared channel *is* work
+//! stealing: idle workers pull the next pending job), and collects
+//! `(index, outcome)` pairs back on the submitting thread, which restores
+//! submission order and streams JSONL records to an optional sink.
 //!
 //! # Determinism
 //!
@@ -20,20 +22,30 @@
 //! 3. records expose scheduling-dependent observations (`duration_ms`,
 //!    `cache_hit`) as fields that [`EvalRecord::canonical`] strips.
 //!
+//! Resume preserves the same guarantee: journal replay is lossless
+//! ([`EvalRecord::from_jsonl`]), so an interrupted-then-resumed sweep's
+//! canonical record set is byte-identical to an uninterrupted run's.
+//!
 //! # Robustness
 //!
-//! Worker bodies run the algorithm under `catch_unwind`, and optionally
-//! under a wall-clock budget (the job then runs on a watchdog thread and
-//! is abandoned on timeout — the thread is detached and leaked, which is
-//! the only portable way to bound safe-but-runaway Rust code). Either
-//! failure becomes an error [`EvalRecord`]; the sweep always completes.
+//! Worker bodies run the algorithm under `catch_unwind` (with a panic
+//! hook that preserves the payload message *and* source location),
+//! optionally under a wall-clock budget (the job then runs on a watchdog
+//! thread and is abandoned on timeout — the thread is detached and
+//! leaked, which is the only portable way to bound safe-but-runaway Rust
+//! code). Transient failures (panic, budget) are retried under
+//! [`RetryPolicy`] with deterministic exponential backoff, then
+//! quarantined to the quarantine sink (`failed.jsonl`) with cause and
+//! attempt history; the sweep always completes.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Once, OnceLock};
 use std::time::{Duration, Instant};
 
 use anoncmp_anonymize::prelude::Result as AnonymizeResult;
@@ -42,9 +54,57 @@ use anoncmp_microdata::loss::LossMetric;
 use anoncmp_microdata::prelude::AnonymizedTable;
 
 use crate::cache::{CacheStats, MemoCache};
+use crate::chaos::{ChaosConfig, Fault, CHAOS_PANIC_MESSAGE};
 use crate::fingerprint::{derive_seed, fingerprint_release, hex_id, Fingerprinter};
 use crate::job::EvalJob;
-use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+use crate::journal::Journal;
+use crate::record::{
+    AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
+};
+
+/// Retry policy for transient job failures (panics and budget timeouts).
+///
+/// Backoff is `base · 2^attempt` plus a content-derived jitter in
+/// `[0, base)` — deterministic in `(job, attempt)`, so two runs of the
+/// same sweep retry identically and produce identical records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff; doubles per attempt.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries at the default base backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff to sleep after the given failed attempt
+    /// of the job with this release fingerprint.
+    pub fn backoff_for(&self, release_fingerprint: u64, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_millis() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exponential = base.saturating_mul(1u64 << attempt.min(10));
+        let jitter = derive_seed(release_fingerprint, u64::from(attempt)) % base;
+        Duration::from_millis(exponential.saturating_add(jitter))
+    }
+}
 
 /// Construction-time engine settings.
 #[derive(Debug, Clone)]
@@ -55,6 +115,10 @@ pub struct EngineConfig {
     pub root_seed: u64,
     /// Optional per-job wall-clock budget.
     pub budget: Option<Duration>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injection (tests and chaos smokes).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +130,8 @@ impl Default for EngineConfig {
             jobs: 0,
             root_seed: 0xED5B_2009,
             budget: None,
+            retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -77,9 +143,13 @@ pub struct JobOutcome {
     pub job: EvalJob,
     /// The machine-readable record.
     pub record: EvalRecord,
-    /// The release, when the job succeeded.
+    /// The release, when the job succeeded **in this process**. `None`
+    /// for journal-replayed outcomes (the journal stores records, not
+    /// tables); use [`Engine::release_for`] to rematerialize on demand.
     pub table: Option<Arc<AnonymizedTable>>,
-    /// The extracted property vectors, in requested order.
+    /// The extracted property vectors, in requested order. Journal-
+    /// replayed outcomes reconstruct them from the record (records carry
+    /// full vectors), so they are identical to freshly extracted ones.
     pub vectors: Vec<PropertyVector>,
 }
 
@@ -92,13 +162,21 @@ pub struct SweepResult {
     pub cache: CacheStats,
     /// Wall-clock time of the sweep.
     pub wall: Duration,
+    /// Unique jobs served from the resumed checkpoint journal (skipped,
+    /// not recomputed).
+    pub resumed: usize,
+    /// Retry attempts spent on transient failures during this sweep.
+    pub retries: u64,
+    /// Jobs that exhausted their retry budget and were quarantined.
+    pub quarantined: u64,
 }
 
 impl SweepResult {
     /// The sweep's records as canonical JSONL (one line per job, in
     /// submission order, scheduling-dependent fields stripped). Two runs
     /// of the same jobs under the same root seed yield byte-identical
-    /// output here, whatever `--jobs` was.
+    /// output here, whatever `--jobs` was — including runs resumed from a
+    /// checkpoint journal.
     pub fn canonical_jsonl(&self) -> String {
         let mut out = String::new();
         for o in &self.outcomes {
@@ -117,25 +195,74 @@ impl SweepResult {
             self.cache.hits, self.cache.misses
         )
     }
+
+    /// A one-line resilience summary: journal resumption, retries, and
+    /// quarantines. Kept separate from [`SweepResult::cache_summary`]
+    /// because resumption counts legitimately differ between a fresh run
+    /// and a resumed one, so this line must stay out of reports whose
+    /// byte-identity determinism tests compare.
+    pub fn resilience_summary(&self) -> String {
+        format!(
+            "engine resilience: {} resumed from journal, {} retr{}, {} quarantined",
+            self.resumed,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+            self.quarantined
+        )
+    }
 }
 
-/// The parallel, memoizing sweep executor.
+/// What [`Engine::resume`] recovered from a checkpoint journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// Distinct completed jobs replayed from the journal.
+    pub replayed: usize,
+    /// Torn or corrupt journal lines dropped (and truncated away).
+    pub dropped: usize,
+}
+
+/// Internal journal state: the open file plus chaos-truncation bookkeeping.
+struct JournalState {
+    journal: Journal,
+    /// Appends so far (replayed entries count toward it, so chaos
+    /// truncation points are absolute positions in the journal).
+    appends: u64,
+    /// Set after an I/O failure or a chaos-injected torn write; a dead
+    /// journal stops checkpointing but never aborts the sweep.
+    dead: bool,
+}
+
+/// The parallel, memoizing, checkpointing sweep executor.
 pub struct Engine {
     cache: MemoCache,
     root_seed: u64,
-    budget: Option<Duration>,
+    budget: parking_lot::Mutex<Option<Duration>>,
     jobs: AtomicUsize,
+    retry: parking_lot::Mutex<RetryPolicy>,
+    chaos: parking_lot::Mutex<Option<ChaosConfig>>,
     /// Optional process-level record sink (the CLI's `--out` JSONL file);
     /// every sweep appends its records here in submission order.
     sink: parking_lot::Mutex<Option<Box<dyn Write + Send>>>,
+    /// Optional quarantine sink (`failed.jsonl`): one JSONL
+    /// [`QuarantineRecord`] per job that exhausted its retry budget.
+    quarantine_sink: parking_lot::Mutex<Option<Box<dyn Write + Send>>>,
+    /// The open checkpoint journal, when resumable execution is on.
+    journal: parking_lot::Mutex<Option<JournalState>>,
+    /// Completed records keyed by job fingerprint: journal replay plus
+    /// everything checkpointed this process. Jobs found here are served
+    /// without recomputation.
+    completed: parking_lot::Mutex<HashMap<u64, EvalRecord>>,
+    retries_total: AtomicU64,
+    quarantined_total: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("root_seed", &self.root_seed)
-            .field("budget", &self.budget)
+            .field("budget", &*self.budget.lock())
             .field("jobs", &self.jobs)
+            .field("retry", &*self.retry.lock())
             .field("cache", &self.cache.stats())
             .finish()
     }
@@ -144,12 +271,20 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// A fresh engine with its own empty cache.
     pub fn new(config: EngineConfig) -> Self {
+        install_panic_capture();
         Engine {
             cache: MemoCache::new(),
             root_seed: config.root_seed,
-            budget: config.budget,
+            budget: parking_lot::Mutex::new(config.budget),
             jobs: AtomicUsize::new(config.jobs),
+            retry: parking_lot::Mutex::new(config.retry),
+            chaos: parking_lot::Mutex::new(config.chaos),
             sink: parking_lot::Mutex::new(None),
+            quarantine_sink: parking_lot::Mutex::new(None),
+            journal: parking_lot::Mutex::new(None),
+            completed: parking_lot::Mutex::new(HashMap::new()),
+            retries_total: AtomicU64::new(0),
+            quarantined_total: AtomicU64::new(0),
         }
     }
 
@@ -175,6 +310,28 @@ impl Engine {
                 .unwrap_or(1),
             n => n,
         }
+    }
+
+    /// Sets (or clears) the per-job wall-clock budget.
+    pub fn set_budget(&self, budget: Option<Duration>) {
+        *self.budget.lock() = budget;
+    }
+
+    /// Sets the retry policy for transient failures.
+    pub fn set_retry(&self, retry: RetryPolicy) {
+        *self.retry.lock() = retry;
+    }
+
+    /// Sets the retry count, keeping the configured backoff (the CLI's
+    /// `--max-retries` flag).
+    pub fn set_max_retries(&self, max_retries: u32) {
+        self.retry.lock().max_retries = max_retries;
+    }
+
+    /// Installs (or removes) deterministic fault injection (the CLI's
+    /// `--chaos-seed` flag).
+    pub fn set_chaos(&self, chaos: Option<ChaosConfig>) {
+        *self.chaos.lock() = chaos;
     }
 
     /// Current cumulative cache counters.
@@ -206,6 +363,54 @@ impl Engine {
         *self.sink.lock() = sink;
     }
 
+    /// Installs (or removes) the quarantine sink; jobs that exhaust their
+    /// retry budget append one [`QuarantineRecord`] JSONL line each. This
+    /// backs the CLI's `failed.jsonl` file.
+    pub fn set_quarantine_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+        *self.quarantine_sink.lock() = sink;
+    }
+
+    /// Resumes from a checkpoint journal (creating it if absent): replays
+    /// completed jobs, truncates any torn tail, and keeps the journal
+    /// open so subsequent sweeps checkpoint into it. Jobs found in the
+    /// journal are served from it — skipped, not recomputed — and the
+    /// merged record set is byte-identical (canonically) to an
+    /// uninterrupted run.
+    pub fn resume(&self, path: impl AsRef<Path>) -> io::Result<ResumeSummary> {
+        let (journal, replay) = Journal::open_resumable(path)?;
+        *self.journal.lock() = Some(JournalState {
+            journal,
+            appends: replay.entries as u64,
+            dead: false,
+        });
+        let summary = ResumeSummary {
+            replayed: replay.completed.len(),
+            dropped: replay.dropped,
+        };
+        self.completed.lock().extend(replay.completed);
+        Ok(summary)
+    }
+
+    /// Starts a fresh checkpoint journal at `path` (truncating any
+    /// existing file). Subsequent sweeps append each completed job,
+    /// fsync'd, so a later [`Engine::resume`] can pick up where a killed
+    /// process left off.
+    pub fn checkpoint_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        *self.journal.lock() = Some(JournalState {
+            journal: Journal::create(path)?,
+            appends: 0,
+            dead: false,
+        });
+        Ok(())
+    }
+
+    /// Detaches the journal (if any) and forgets replayed completions.
+    /// Subsequent sweeps recompute everything (modulo the memo cache).
+    pub fn detach_journal(&self) {
+        *self.journal.lock() = None;
+        self.completed.lock().clear();
+    }
+
     /// Runs a sweep, returning outcomes in submission order.
     pub fn run(&self, jobs: &[EvalJob]) -> SweepResult {
         self.run_sweep(jobs, None).expect("no sink, no io")
@@ -218,6 +423,26 @@ impl Engine {
         self.run_sweep(jobs, Some(sink))
     }
 
+    /// The release for a job: cache-served, or computed on the calling
+    /// thread (and cached). Chaos faults are never injected here. This is
+    /// the rematerialization path for journal-replayed outcomes, whose
+    /// `table` is `None`.
+    pub fn release_for(&self, job: &EvalJob) -> Option<Arc<AnonymizedTable>> {
+        let release_fp = job.release_fingerprint();
+        if let Some(table) = self.cache.get_release(release_fp) {
+            return Some(table);
+        }
+        let seed = derive_seed(self.root_seed, release_fp);
+        // `u32::MAX` is past every chaos `faults_per_job`, so injection is
+        // structurally off for rematerialization.
+        match self.compute_release(job, seed, u32::MAX) {
+            (JobStatus::Ok, Some(table)) => {
+                Some(self.cache.insert_release(release_fp, Arc::new(table)))
+            }
+            _ => None,
+        }
+    }
+
     fn run_sweep(
         &self,
         jobs: &[EvalJob],
@@ -225,6 +450,8 @@ impl Engine {
     ) -> io::Result<SweepResult> {
         let started = Instant::now();
         let stats_before = self.cache.stats();
+        let retries_before = self.retries_total.load(Ordering::Relaxed);
+        let quarantined_before = self.quarantined_total.load(Ordering::Relaxed);
 
         // Deduplicate identical jobs: the first occurrence executes, later
         // ones alias its outcome. `primary[i]` is the unique-slot index of
@@ -241,11 +468,31 @@ impl Engine {
             primary.push(slot);
         }
 
-        // Materialize each distinct dataset once, up front. Workers would
-        // otherwise race through `dataset_or_insert_with` (which builds
-        // outside the lock) and synthesize the same dataset N times.
+        // Serve journal-replayed completions first: those jobs are
+        // skipped entirely (no dataset synthesis, no anonymization, no
+        // extraction).
+        let mut slots: Vec<Option<JobOutcome>> = (0..unique.len()).map(|_| None).collect();
+        let mut resumed = 0usize;
+        {
+            let completed = self.completed.lock();
+            if !completed.is_empty() {
+                for (slot, &i) in unique.iter().enumerate() {
+                    if let Some(record) = completed.get(&jobs[i].job_fingerprint()) {
+                        slots[slot] = Some(outcome_from_checkpoint(&jobs[i], record.clone()));
+                        resumed += 1;
+                    }
+                }
+            }
+        }
+
+        // Materialize each distinct dataset that will actually run, up
+        // front. Workers would otherwise race through
+        // `dataset_or_insert_with` (which builds outside the lock) and
+        // synthesize the same dataset N times.
+        let pending: Vec<usize> = (0..unique.len()).filter(|&s| slots[s].is_none()).collect();
         let mut seen_datasets: HashMap<u64, ()> = HashMap::new();
-        for &i in &unique {
+        for &slot in &pending {
+            let i = unique[slot];
             let mut ds_fp = Fingerprinter::new();
             jobs[i].dataset.fingerprint_into(&mut ds_fp);
             let fp = ds_fp.finish();
@@ -255,13 +502,11 @@ impl Engine {
             }
         }
 
-        let worker_count = self.jobs().min(unique.len()).max(1);
-        let mut slots: Vec<Option<JobOutcome>> = (0..unique.len()).map(|_| None).collect();
-
-        if !unique.is_empty() {
+        let worker_count = self.jobs().min(pending.len()).max(1);
+        if !pending.is_empty() {
             let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
             let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, JobOutcome)>();
-            for slot in 0..unique.len() {
+            for &slot in &pending {
                 task_tx.send(slot).expect("queueing tasks");
             }
             drop(task_tx);
@@ -273,7 +518,9 @@ impl Engine {
                     let unique = &unique;
                     scope.spawn(move || {
                         while let Ok(slot) = task_rx.recv() {
-                            let outcome = self.execute(&jobs[unique[slot]]);
+                            let job = &jobs[unique[slot]];
+                            let outcome = self.execute(job);
+                            self.checkpoint(job, &outcome.record);
                             if done_tx.send((slot, outcome)).is_err() {
                                 return;
                             }
@@ -321,11 +568,117 @@ impl Engine {
             outcomes,
             cache: self.cache.stats().since(&stats_before),
             wall: started.elapsed(),
+            resumed,
+            retries: self
+                .retries_total
+                .load(Ordering::Relaxed)
+                .saturating_sub(retries_before),
+            quarantined: self
+                .quarantined_total
+                .load(Ordering::Relaxed)
+                .saturating_sub(quarantined_before),
         })
     }
 
-    /// Executes one job on the calling worker thread.
+    /// Checkpoints a completed job into the journal, if one is attached.
+    /// Only deterministic terminal statuses (`Ok`, `Failed`) are
+    /// journaled: transient failures must re-run on resume.
+    fn checkpoint(&self, job: &EvalJob, record: &EvalRecord) {
+        if !matches!(record.status, JobStatus::Ok | JobStatus::Failed { .. }) {
+            return;
+        }
+        let job_fp = job.job_fingerprint();
+        {
+            let mut guard = self.journal.lock();
+            let Some(state) = guard.as_mut() else { return };
+            if state.dead {
+                return;
+            }
+            let truncate_at = self
+                .chaos
+                .lock()
+                .as_ref()
+                .and_then(|c| c.truncate_journal_after);
+            if truncate_at == Some(state.appends) {
+                // Chaos: die mid-append, exactly like a process kill.
+                let _ = state.journal.append_torn(job_fp, record);
+                state.dead = true;
+                return;
+            }
+            match state.journal.append(job_fp, record) {
+                Ok(()) => state.appends += 1,
+                Err(e) => {
+                    // Checkpointing is best-effort: losing the journal
+                    // must never abort the sweep. Say so once.
+                    eprintln!(
+                        "warning: checkpoint journal {} failed ({e}); further checkpoints disabled",
+                        state.journal.path().display()
+                    );
+                    state.dead = true;
+                    return;
+                }
+            }
+        }
+        // Completed in the journal ⇒ a later sweep in this process can
+        // also serve it from the completion map.
+        self.completed.lock().insert(job_fp, record.clone());
+    }
+
+    /// Writes a quarantine record for a job whose transient failures
+    /// exhausted the retry budget.
+    fn quarantine(&self, job: &EvalJob, record: &EvalRecord, attempts: &[AttemptFailure]) {
+        self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        let entry = QuarantineRecord {
+            job_id: record.job_id.clone(),
+            job_fingerprint: hex_id(job.job_fingerprint()),
+            dataset: job.dataset.label(),
+            algorithm: job.algorithm.name().to_owned(),
+            k: job.k,
+            max_suppression: job.max_suppression,
+            cause: record.status.clone(),
+            attempts: attempts.to_vec(),
+        };
+        if let Some(w) = self.quarantine_sink.lock().as_mut() {
+            let _ = writeln!(w, "{}", entry.to_jsonl());
+            let _ = w.flush();
+        }
+    }
+
+    /// Executes one job on the calling worker thread, retrying transient
+    /// failures under the engine's [`RetryPolicy`] and quarantining jobs
+    /// that exhaust it.
     fn execute(&self, job: &EvalJob) -> JobOutcome {
+        let policy = *self.retry.lock();
+        let release_fp = job.release_fingerprint();
+        let mut attempts: Vec<AttemptFailure> = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.execute_attempt(job, attempt);
+            let transient = matches!(
+                outcome.record.status,
+                JobStatus::Panicked { .. } | JobStatus::BudgetExceeded { .. }
+            );
+            if !transient {
+                return outcome;
+            }
+            if attempt >= policy.max_retries {
+                self.quarantine(job, &outcome.record, &attempts);
+                return outcome;
+            }
+            let backoff = policy.backoff_for(release_fp, attempt);
+            attempts.push(AttemptFailure {
+                attempt,
+                cause: outcome.record.status.clone(),
+                backoff_ms: backoff.as_millis() as u64,
+            });
+            self.retries_total.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff);
+            attempt += 1;
+        }
+    }
+
+    /// One attempt of one job.
+    fn execute_attempt(&self, job: &EvalJob, attempt: u32) -> JobOutcome {
         let started = Instant::now();
         let release_fp = job.release_fingerprint();
         let seed = derive_seed(self.root_seed, release_fp);
@@ -333,7 +686,7 @@ impl Engine {
         let (status, table, cache_hit) = match self.cache.get_release(release_fp) {
             Some(table) => (JobStatus::Ok, Some(table), true),
             None => {
-                let (status, table) = self.compute_release(job, seed);
+                let (status, table) = self.compute_release(job, seed, attempt);
                 let table = table.map(|t| self.cache.insert_release(release_fp, Arc::new(t)));
                 (status, table, false)
             }
@@ -351,7 +704,7 @@ impl Engine {
         // already extracted them from a same-content release.
         let (vectors, status) = match (&table, content_fp) {
             (Some(t), Some(digest)) => {
-                match catch_unwind(AssertUnwindSafe(|| {
+                match contained(AssertUnwindSafe(|| {
                     job.properties
                         .iter()
                         .map(|p| {
@@ -367,12 +720,7 @@ impl Engine {
                         .collect::<Vec<PropertyVector>>()
                 })) {
                     Ok(vectors) => (vectors, status),
-                    Err(payload) => (
-                        Vec::new(),
-                        JobStatus::Panicked {
-                            message: panic_message(payload),
-                        },
-                    ),
+                    Err(message) => (Vec::new(), JobStatus::Panicked { message }),
                 }
             }
             _ => (Vec::new(), status),
@@ -417,9 +765,15 @@ impl Engine {
         }
     }
 
-    /// Runs the anonymization itself, under `catch_unwind` and the
-    /// optional wall-clock budget.
-    fn compute_release(&self, job: &EvalJob, seed: u64) -> (JobStatus, Option<AnonymizedTable>) {
+    /// Runs the anonymization itself, under panic containment and the
+    /// optional wall-clock budget, with chaos faults injected when
+    /// configured.
+    fn compute_release(
+        &self,
+        job: &EvalJob,
+        seed: u64,
+        attempt: u32,
+    ) -> (JobStatus, Option<AnonymizedTable>) {
         let mut ds_fp = Fingerprinter::new();
         job.dataset.fingerprint_into(&mut ds_fp);
         let dataset = self
@@ -427,22 +781,31 @@ impl Engine {
             .dataset_or_insert_with(ds_fp.finish(), || job.dataset.materialize());
         let constraint = job.constraint();
         let algorithm = job.algorithm;
+        let chaos_fault = self
+            .chaos
+            .lock()
+            .as_ref()
+            .and_then(|c| c.fault_for(job.release_fingerprint(), attempt));
+        let budget = *self.budget.lock();
 
-        let guarded = match self.budget {
-            None => catch_unwind(AssertUnwindSafe(|| {
-                algorithm.instantiate(seed).anonymize(&dataset, &constraint)
-            })),
+        let run = move || -> AnonymizeResult<AnonymizedTable> {
+            match chaos_fault {
+                Some(Fault::Panic) => panic!("{CHAOS_PANIC_MESSAGE}"),
+                Some(Fault::Stall(d)) => std::thread::sleep(d),
+                None => {}
+            }
+            algorithm.instantiate(seed).anonymize(&dataset, &constraint)
+        };
+
+        let guarded = match budget {
+            None => contained(AssertUnwindSafe(run)),
             Some(budget) => {
                 // Run on a watchdog thread so the wait can time out. On
                 // timeout the thread is abandoned (detached and leaked) —
                 // its eventual result is discarded along with the channel.
-                let (tx, rx) =
-                    mpsc::channel::<std::thread::Result<AnonymizeResult<AnonymizedTable>>>();
+                let (tx, rx) = mpsc::channel::<Result<AnonymizeResult<AnonymizedTable>, String>>();
                 std::thread::spawn(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        algorithm.instantiate(seed).anonymize(&dataset, &constraint)
-                    }));
-                    let _ = tx.send(result);
+                    let _ = tx.send(contained(AssertUnwindSafe(run)));
                 });
                 match rx.recv_timeout(budget) {
                     Ok(result) => result,
@@ -466,17 +829,86 @@ impl Engine {
                 },
                 None,
             ),
-            Err(payload) => (
-                JobStatus::Panicked {
-                    message: panic_message(payload),
-                },
-                None,
-            ),
+            Err(message) => (JobStatus::Panicked { message }, None),
         }
     }
 }
 
-/// Extracts a readable message from a caught panic payload.
+/// Rebuilds a [`JobOutcome`] from a journaled record. The table is not
+/// journaled (use [`Engine::release_for`] to rematerialize); the vectors
+/// are — records carry every component — so downstream comparators see
+/// exactly what a fresh extraction would have produced.
+fn outcome_from_checkpoint(job: &EvalJob, record: EvalRecord) -> JobOutcome {
+    let vectors = record
+        .properties
+        .iter()
+        .map(|p| PropertyVector::new(p.name.clone(), p.values.clone()))
+        .collect();
+    JobOutcome {
+        job: job.clone(),
+        record,
+        table: None,
+        vectors,
+    }
+}
+
+thread_local! {
+    /// Whether the current thread is inside an engine containment region
+    /// (so the panic hook captures instead of printing).
+    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+    /// The last contained panic's message + source location, captured by
+    /// the hook (which sees the location; the unwind payload does not).
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs (once per process) a panic hook that, for panics inside
+/// [`contained`] regions, records the payload message **and source
+/// location** instead of printing a backtrace to stderr. Panics anywhere
+/// else are forwarded to the previously installed hook, so test-harness
+/// and application panics behave exactly as before.
+fn install_panic_capture() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINED.with(Cell::get) {
+                previous(info);
+                return;
+            }
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            let full = match info.location() {
+                Some(location) => format!("{message} (at {location})"),
+                None => message,
+            };
+            LAST_PANIC.with(|last| *last.borrow_mut() = Some(full));
+        }));
+    });
+}
+
+/// `catch_unwind` with full payload preservation: on panic, returns the
+/// payload message annotated with the panic's source location (captured
+/// by the engine's hook). Quarantine records therefore say *why* a job
+/// died and *where*, not just that it died.
+fn contained<T>(f: impl FnOnce() -> T + std::panic::UnwindSafe) -> Result<T, String> {
+    install_panic_capture();
+    CONTAINED.with(|c| c.set(true));
+    LAST_PANIC.with(|last| last.borrow_mut().take());
+    let result = catch_unwind(f);
+    CONTAINED.with(|c| c.set(false));
+    result.map_err(|payload| {
+        LAST_PANIC
+            .with(|last| last.borrow_mut().take())
+            .unwrap_or_else(|| panic_message(payload))
+    })
+}
+
+/// Extracts a readable message from a caught panic payload (the fallback
+/// when the hook did not run, e.g. a panic while panicking).
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -511,6 +943,16 @@ mod tests {
                     })
             })
             .collect()
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "anoncmp-engine-{name}-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&p).ok();
+        p
     }
 
     #[test]
@@ -628,11 +1070,49 @@ mod tests {
             other => panic!("expected Panicked, got {other:?}"),
         }
         assert!(sweep.outcomes[1].table.is_none());
+        // With zero retries, the transient failure quarantines directly.
+        assert_eq!(sweep.quarantined, 1);
+        assert_eq!(sweep.retries, 0);
         // Every other job still succeeded.
         for (i, o) in sweep.outcomes.iter().enumerate() {
             if i != 1 {
                 assert!(o.record.status.is_ok());
             }
+        }
+    }
+
+    #[test]
+    fn contained_panics_preserve_message_and_location() {
+        // String payloads keep their formatted message; every payload —
+        // string or not — gains the panic's source location. This is the
+        // "quarantined jobs record *why* they died" guarantee.
+        let err = contained(|| -> () { panic!("kaboom {}", 6 + 1) }).unwrap_err();
+        assert!(err.contains("kaboom 7"), "message lost: {err}");
+        assert!(err.contains("engine.rs"), "location lost: {err}");
+
+        let err = contained(|| -> () { std::panic::panic_any(42u32) }).unwrap_err();
+        assert!(err.contains("non-string panic payload"), "bad: {err}");
+        assert!(err.contains("engine.rs"), "location lost: {err}");
+    }
+
+    #[test]
+    fn panic_payload_message_reaches_the_record() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            ..EngineConfig::default()
+        });
+        let mut job = quick_jobs().remove(0);
+        job.algorithm = AlgorithmSpec::MockPanic;
+        let sweep = engine.run(std::slice::from_ref(&job));
+        match &sweep.outcomes[0].record.status {
+            JobStatus::Panicked { message } => {
+                assert!(
+                    message.contains("deliberate failure injected"),
+                    "payload message lost: {message}"
+                );
+                assert!(message.contains("job.rs"), "location lost: {message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
         }
     }
 
@@ -672,5 +1152,197 @@ mod tests {
         for (line, outcome) in lines.iter().zip(&sweep.outcomes) {
             assert_eq!(*line, outcome.record.to_jsonl());
         }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(40),
+        };
+        let b0 = policy.backoff_for(0xfeed, 0);
+        let b1 = policy.backoff_for(0xfeed, 1);
+        assert_eq!(b0, policy.backoff_for(0xfeed, 0), "deterministic");
+        assert!(b1 >= b0, "exponential growth dominates jitter");
+        assert!(b0 >= Duration::from_millis(40) && b0 < Duration::from_millis(80));
+        assert!(b1 >= Duration::from_millis(80) && b1 < Duration::from_millis(120));
+        // Different jobs jitter differently (with overwhelming probability
+        // for these two fingerprints — pinned, so not flaky).
+        assert_ne!(policy.backoff_for(0xfeed, 0), policy.backoff_for(0xbeef, 0));
+    }
+
+    #[test]
+    fn transient_chaos_fault_heals_on_retry() {
+        let mut chaos = ChaosConfig::seeded(99);
+        chaos.panic_rate = 1.0; // every job faults on its first attempt
+        chaos.stall_rate = 0.0;
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+            },
+            chaos: Some(chaos),
+            ..EngineConfig::default()
+        });
+        let jobs = quick_jobs();
+        let sweep = engine.run(&jobs);
+        assert!(
+            sweep.outcomes.iter().all(|o| o.record.status.is_ok()),
+            "retries heal transient faults"
+        );
+        assert_eq!(sweep.retries, jobs.len() as u64);
+        assert_eq!(sweep.quarantined, 0);
+
+        // The healed sweep's canonical records match a chaos-free run.
+        let clean = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(sweep.canonical_jsonl(), clean.canonical_jsonl());
+    }
+
+    #[test]
+    fn persistent_chaos_fault_exhausts_retries_and_quarantines() {
+        let mut chaos = ChaosConfig::persistent(99);
+        chaos.panic_rate = 1.0;
+        chaos.stall_rate = 0.0;
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+            },
+            chaos: Some(chaos),
+            ..EngineConfig::default()
+        });
+        let job = quick_jobs().remove(0);
+        let sweep = engine.run(std::slice::from_ref(&job));
+        assert_eq!(sweep.quarantined, 1);
+        assert_eq!(sweep.retries, 2);
+        match &sweep.outcomes[0].record.status {
+            JobStatus::Panicked { message } => {
+                assert!(message.contains(CHAOS_PANIC_MESSAGE), "cause: {message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_record_carries_cause_and_attempt_history() {
+        // A quarantined job's JSONL entry must state why it died (with
+        // the preserved panic payload) and every prior attempt.
+        struct SharedSink(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buffer = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+            },
+            ..EngineConfig::default()
+        });
+        engine.set_quarantine_sink(Some(Box::new(SharedSink(buffer.clone()))));
+        let mut job = quick_jobs().remove(0);
+        job.algorithm = AlgorithmSpec::MockPanic;
+        let sweep = engine.run(std::slice::from_ref(&job));
+        assert_eq!(sweep.quarantined, 1);
+        assert_eq!(sweep.retries, 2);
+
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "one quarantine entry: {text}");
+        let entry = serde::json::parse(lines[0]).expect("valid JSONL");
+        assert_eq!(entry.get("algorithm").unwrap().as_str(), Some("mock-panic"));
+        let cause = entry.get("cause").unwrap().get("Panicked").unwrap();
+        let message = cause.get("message").unwrap().as_str().unwrap();
+        assert!(message.contains("deliberate failure injected"), "{message}");
+        let attempts = entry.get("attempts").unwrap().as_array().unwrap();
+        assert_eq!(attempts.len(), 2, "both prior attempts recorded");
+        for (i, a) in attempts.iter().enumerate() {
+            assert_eq!(a.get("attempt").unwrap().as_u64(), Some(i as u64));
+            assert!(a.get("cause").unwrap().get("Panicked").is_some());
+            assert!(a.get("backoff_ms").unwrap().as_u64().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_without_recomputation() {
+        let path = temp_journal("resume-basic");
+        let jobs = quick_jobs();
+
+        // First process: checkpoint a full sweep.
+        let first = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        first.checkpoint_to(&path).unwrap();
+        let original = first.run(&jobs);
+
+        // Second process (fresh engine = empty caches): resume and re-run.
+        let second = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        });
+        let summary = second.resume(&path).unwrap();
+        assert_eq!(summary.replayed, jobs.len());
+        assert_eq!(summary.dropped, 0);
+        let resumed = second.run(&jobs);
+        assert_eq!(resumed.resumed, jobs.len());
+        assert_eq!(resumed.cache.misses, 0, "nothing recomputed");
+        assert_eq!(original.canonical_jsonl(), resumed.canonical_jsonl());
+        // Replayed vectors equal freshly extracted ones.
+        for (a, b) in original.outcomes.iter().zip(&resumed.outcomes) {
+            assert_eq!(a.vectors, b.vectors);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn release_for_rematerializes_after_resume() {
+        let path = temp_journal("rematerialize");
+        let jobs = quick_jobs();
+        let first = Engine::new(EngineConfig::default());
+        first.checkpoint_to(&path).unwrap();
+        let original = first.run(&jobs);
+
+        let second = Engine::new(EngineConfig::default());
+        second.resume(&path).unwrap();
+        let resumed = second.run(&jobs);
+        assert!(resumed.outcomes[0].table.is_none(), "journal has no table");
+        let table = second
+            .release_for(&jobs[0])
+            .expect("rematerialization succeeds");
+        let fresh = original.outcomes[0].table.as_ref().unwrap();
+        assert_eq!(
+            fingerprint_release(&table),
+            fingerprint_release(fresh),
+            "rematerialized release is bit-identical"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilience_summary_reads_well() {
+        let engine = Engine::new(EngineConfig {
+            jobs: 1,
+            ..EngineConfig::default()
+        });
+        let sweep = engine.run(&quick_jobs());
+        assert_eq!(
+            sweep.resilience_summary(),
+            "engine resilience: 0 resumed from journal, 0 retries, 0 quarantined"
+        );
     }
 }

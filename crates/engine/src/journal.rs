@@ -1,0 +1,337 @@
+//! The write-ahead checkpoint journal that makes sweeps crash-safe.
+//!
+//! # Format
+//!
+//! One JSON envelope per line:
+//!
+//! ```text
+//! {"v":1,"job":"<16-hex job fingerprint>","crc":"<16-hex FNV-1a>","record":{...}}
+//! ```
+//!
+//! * `job` — the [`EvalJob::job_fingerprint`] of the completed job. Replay
+//!   keys on it, so a resumed sweep skips exactly the jobs whose spec
+//!   (dataset × algorithm × parameters × requested properties) already
+//!   completed.
+//! * `crc` — FNV-1a 64 over the `record` object's JSON text. The engine's
+//!   serializer is deterministic and the parser preserves it byte-for-byte
+//!   (see [`EvalRecord::from_jsonl`]), so replay re-serializes the parsed
+//!   record and compares digests: any corruption — torn write, truncated
+//!   tail, editor mangling — fails the check and drops the line.
+//! * `record` — the completed [`EvalRecord`], verbatim.
+//!
+//! # Durability
+//!
+//! [`Journal::append`] writes the line, flushes, and `fdatasync`s before
+//! returning: once the engine reports a job complete, the journal entry
+//! survives a process kill. A kill *during* an append leaves a torn final
+//! line; [`Journal::replay`] ignores it and [`Journal::open_resumable`]
+//! truncates the file back to the last intact entry so appends resume on a
+//! clean boundary.
+//!
+//! Only deterministic terminal statuses (`Ok`, `Failed`) are journaled by
+//! the engine. `Panicked` and `BudgetExceeded` are treated as transient:
+//! they are retried within the sweep and — if still failing — quarantined,
+//! never checkpointed, so a resumed sweep gives them a fresh chance.
+//!
+//! [`EvalJob::job_fingerprint`]: crate::job::EvalJob::job_fingerprint
+//! [`EvalRecord::from_jsonl`]: crate::record::EvalRecord::from_jsonl
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fingerprint::{hex_id, Fingerprinter};
+use crate::record::EvalRecord;
+
+/// Journal format version (the `"v"` envelope field).
+const FORMAT_VERSION: u64 = 1;
+
+/// An open, append-only checkpoint journal.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("path", &self.path).finish()
+    }
+}
+
+/// What [`Journal::replay`] recovered from a journal file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Completed records, keyed by job fingerprint. Later duplicates of a
+    /// key are ignored (journaled records are deterministic in the job, so
+    /// duplicates are byte-identical anyway).
+    pub completed: HashMap<u64, EvalRecord>,
+    /// Intact entries read (including duplicates).
+    pub entries: usize,
+    /// Lines dropped as torn or corrupt (failed parse or CRC).
+    pub dropped: usize,
+    /// Byte offset just past the last intact line — the truncation point
+    /// for crash recovery.
+    pub valid_len: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) a fresh journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Journal { file, path })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Renders the envelope line (no trailing newline) for one completed
+    /// job. Exposed for the chaos layer, which truncates it mid-write.
+    pub fn entry_line(job_fingerprint: u64, record: &EvalRecord) -> String {
+        let record_json = record.to_jsonl();
+        let mut crc = Fingerprinter::new();
+        crc.write_bytes(record_json.as_bytes());
+        format!(
+            "{{\"v\":{FORMAT_VERSION},\"job\":\"{}\",\"crc\":\"{}\",\"record\":{}}}",
+            hex_id(job_fingerprint),
+            hex_id(crc.finish()),
+            record_json
+        )
+    }
+
+    /// Appends one completed job, fsync'd: when this returns `Ok`, the
+    /// entry survives a process kill.
+    pub fn append(&mut self, job_fingerprint: u64, record: &EvalRecord) -> io::Result<()> {
+        let line = Self::entry_line(job_fingerprint, record);
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Chaos hook: writes a torn prefix of the entry (no newline) and
+    /// syncs it, simulating a crash mid-append.
+    pub fn append_torn(&mut self, job_fingerprint: u64, record: &EvalRecord) -> io::Result<()> {
+        let line = Self::entry_line(job_fingerprint, record);
+        self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Replays a journal file. A missing file replays as empty (a fresh
+    /// sweep); torn or corrupt lines are counted and dropped.
+    pub fn replay(path: impl AsRef<Path>) -> io::Result<Replay> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+            Err(e) => return Err(e),
+        };
+        let mut replay = Replay::default();
+        let mut reader = BufReader::new(file);
+        let mut line: Vec<u8> = Vec::new();
+        let mut offset = 0u64;
+        loop {
+            line.clear();
+            let n = reader.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                break;
+            }
+            let intact = line.last() == Some(&b'\n');
+            // Corruption can produce invalid UTF-8; treat it like any
+            // other undecodable line rather than an I/O error.
+            let text = std::str::from_utf8(&line).unwrap_or("");
+            match decode_entry(text.trim_end_matches('\n')) {
+                Some((job_fp, record)) if intact => {
+                    replay.entries += 1;
+                    replay.completed.entry(job_fp).or_insert(record);
+                    offset += n as u64;
+                    replay.valid_len = offset;
+                }
+                _ => {
+                    // A torn or corrupt line ends recovery: anything after
+                    // it was written past a bad boundary and cannot be
+                    // trusted to start on a line break of its own.
+                    replay.dropped += 1;
+                    break;
+                }
+            }
+        }
+        Ok(replay)
+    }
+
+    /// Opens a journal for resumption: replays it, truncates any torn
+    /// tail, and reopens for appending. The returned [`Replay`] holds the
+    /// recovered records.
+    pub fn open_resumable(path: impl AsRef<Path>) -> io::Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let replay = Self::replay(&path)?;
+        // Deliberately not truncating on open: the recovered prefix must
+        // survive. `set_len` below trims exactly the torn tail.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        file.set_len(replay.valid_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((Journal { file, path }, replay))
+    }
+}
+
+/// Decodes one envelope line into `(job_fingerprint, record)`, verifying
+/// the CRC by re-serializing the parsed record.
+fn decode_entry(line: &str) -> Option<(u64, EvalRecord)> {
+    let envelope = serde::json::parse(line)?;
+    if envelope.get("v")?.as_u64()? != FORMAT_VERSION {
+        return None;
+    }
+    let job_fp = u64::from_str_radix(envelope.get("job")?.as_str()?, 16).ok()?;
+    let stored_crc = u64::from_str_radix(envelope.get("crc")?.as_str()?, 16).ok()?;
+    let record_value = envelope.get("record")?;
+    let record = EvalRecord::from_json_value(record_value)?;
+    let mut crc = Fingerprinter::new();
+    crc.write_bytes(record.to_jsonl().as_bytes());
+    if crc.finish() != stored_crc {
+        return None;
+    }
+    Some((job_fp, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{JobStatus, PropertySummary, ReleaseMetrics};
+
+    fn record(tag: u64) -> EvalRecord {
+        EvalRecord {
+            job_id: hex_id(tag),
+            dataset: "census(rows=10, seed=1, zips=5)".into(),
+            algorithm: "datafly".into(),
+            k: 2,
+            max_suppression: 1,
+            seed: tag.wrapping_mul(0x9e37_79b9),
+            status: JobStatus::Ok,
+            metrics: Some(ReleaseMetrics {
+                rows: 10,
+                classes: 4,
+                min_class_size: 2,
+                suppressed: 0,
+                total_loss: 3.5 + tag as f64,
+            }),
+            release_digest: Some(hex_id(tag ^ 0xff)),
+            properties: vec![PropertySummary {
+                name: "eq-class-size".into(),
+                values: vec![2.0, 2.0, 3.0, 0.1 + 0.2],
+            }],
+            duration_ms: 17,
+            cache_hit: false,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anoncmp-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut journal = Journal::create(&path).unwrap();
+        for fp in 1u64..=5 {
+            journal.append(fp, &record(fp)).unwrap();
+        }
+        drop(journal);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.entries, 5);
+        assert_eq!(replay.dropped, 0);
+        assert_eq!(replay.completed.len(), 5);
+        for fp in 1u64..=5 {
+            assert_eq!(replay.completed[&fp], record(fp));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let replay = Journal::replay(temp_path("never-created")).unwrap();
+        assert_eq!(replay.entries, 0);
+        assert_eq!(replay.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let path = temp_path("torn");
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(1, &record(1)).unwrap();
+        journal.append(2, &record(2)).unwrap();
+        journal.append_torn(3, &record(3)).unwrap();
+        drop(journal);
+
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.entries, 2);
+        assert_eq!(replay.dropped, 1);
+        assert!(replay.completed.contains_key(&1) && replay.completed.contains_key(&2));
+
+        // Reopening truncates the torn tail; appends land on a clean
+        // boundary and the next replay sees all three entries intact.
+        let (mut reopened, resumed) = Journal::open_resumable(&path).unwrap();
+        assert_eq!(resumed.entries, 2);
+        reopened.append(3, &record(3)).unwrap();
+        drop(reopened);
+        let healed = Journal::replay(&path).unwrap();
+        assert_eq!(healed.entries, 3);
+        assert_eq!(healed.dropped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_line_ends_recovery_at_the_last_good_prefix() {
+        let path = temp_path("corrupt");
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(1, &record(1)).unwrap();
+        journal.append(2, &record(2)).unwrap();
+        journal.append(3, &record(3)).unwrap();
+        drop(journal);
+        // Flip a byte inside the second entry's record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let target = second_start + 120;
+        bytes[target] = bytes[target].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.entries, 1, "recovery stops at the corruption");
+        assert!(replay.completed.contains_key(&1));
+        assert_eq!(replay.valid_len as usize, second_start);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn entry_line_crc_detects_single_byte_damage() {
+        let line = Journal::entry_line(7, &record(7));
+        assert!(decode_entry(&line).is_some());
+        // Damage the record payload without breaking JSON syntax: change a
+        // digit of the seed.
+        let damaged = line.replacen("\"seed\":", "\"seed\":1", 1);
+        assert!(decode_entry(&damaged).is_none(), "CRC must catch {damaged}");
+    }
+
+    #[test]
+    fn replay_ignores_duplicate_entries() {
+        let path = temp_path("dupes");
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(9, &record(9)).unwrap();
+        journal.append(9, &record(9)).unwrap();
+        drop(journal);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.entries, 2);
+        assert_eq!(replay.completed.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -24,9 +24,20 @@
 //!   seed and the job's *content* (not its position or schedule), and sweep
 //!   results are returned in submission order — `--jobs 8` produces
 //!   byte-identical reports to `--jobs 1`.
-//! * **Robust.** Every job runs under `catch_unwind`, optionally with a
-//!   wall-clock budget; a panicking or runaway algorithm yields an error
-//!   [`EvalRecord`] while the rest of the sweep completes.
+//! * **Robust.** Every job runs under `catch_unwind` (with the panic
+//!   payload message and source location preserved), optionally with a
+//!   wall-clock budget; transient failures are retried under a
+//!   deterministic [`RetryPolicy`] and quarantined with their attempt
+//!   history when the budget is exhausted, while the rest of the sweep
+//!   completes.
+//! * **Resumable.** With a checkpoint [`Journal`] attached, every
+//!   completed job is appended fsync'd as one JSONL line; after a crash,
+//!   [`Engine::resume`] replays the journal (healing any torn tail) and
+//!   re-running the sweep skips completed jobs yet produces a canonical
+//!   record set byte-identical to an uninterrupted run.
+//! * **Testable under fault.** The [`chaos`] module injects deterministic,
+//!   seeded faults — panics, stalls past the budget, torn journal
+//!   writes — so recovery paths are exercised by reproducible tests.
 //!
 //! ```
 //! use anoncmp_engine::prelude::*;
@@ -53,20 +64,34 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod fingerprint;
 pub mod job;
+pub mod journal;
 pub mod record;
 
 pub use crate::cache::{CacheStats, MemoCache};
-pub use crate::engine::{Engine, EngineConfig, JobOutcome, SweepResult};
+pub use crate::chaos::{ChaosConfig, Fault};
+pub use crate::engine::{
+    Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,
+};
 pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
-pub use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+pub use crate::journal::{Journal, Replay};
+pub use crate::record::{
+    AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
+};
 
 /// One-stop imports for engine users.
 pub mod prelude {
     pub use crate::cache::CacheStats;
-    pub use crate::engine::{Engine, EngineConfig, JobOutcome, SweepResult};
+    pub use crate::chaos::{ChaosConfig, Fault};
+    pub use crate::engine::{
+        Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,
+    };
     pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
-    pub use crate::record::{EvalRecord, JobStatus, PropertySummary, ReleaseMetrics};
+    pub use crate::journal::{Journal, Replay};
+    pub use crate::record::{
+        AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
+    };
 }

@@ -69,7 +69,12 @@ const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk> [opti
   --max-sup N         suppression budget in tuples (default 0)
   --threshold P       risk threshold for `risk` (default 0.2)
   --output FILE       write the anonymized CSV here (anonymize only)
-  --jobs N            engine worker threads for `compare` (default: one per CPU)";
+  --jobs N            engine worker threads for `compare` (default: one per CPU)
+  --resume FILE       checkpoint journal for `compare`: completed jobs are
+                      appended fsync'd and replayed on re-run (crash-safe);
+                      quarantined jobs land in FILE.failed.jsonl
+  --max-retries N     retries for panicking/timed-out jobs (default 0)
+  --chaos-seed N      deterministic fault injection for `compare` (testing)";
 
 /// Parsed `--key value` options.
 struct Options(BTreeMap<String, String>);
@@ -209,6 +214,35 @@ fn compare(opts: &Options) -> Result<(), String> {
     let engine = Engine::global();
     engine.set_jobs(opts.usize_or("jobs", 0)?);
 
+    if let Some(seed) = opts.get("chaos-seed") {
+        let seed: u64 = seed.parse().map_err(|e| format!("--chaos-seed: {e}"))?;
+        engine.set_chaos(Some(ChaosConfig::seeded(seed)));
+        // Stall faults only fail under a wall-clock budget; heal transient
+        // faults by default instead of littering the comparison.
+        engine.set_budget(Some(std::time::Duration::from_secs(2)));
+        engine.set_max_retries(2);
+        eprintln!("chaos: seeded fault injection on (seed {seed}, ~10% of jobs, 2 s budget)");
+    }
+    if let Some(n) = opts.get("max-retries") {
+        let n: u32 = n.parse().map_err(|e| format!("--max-retries: {e}"))?;
+        engine.set_max_retries(n);
+    }
+    if let Some(path) = opts.get("resume") {
+        let summary = engine
+            .resume(path)
+            .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+        if summary.replayed > 0 || summary.dropped > 0 {
+            eprintln!(
+                "resume: replayed {} completed job(s) from {path}, dropped {} torn line(s)",
+                summary.replayed, summary.dropped
+            );
+        }
+        let quarantine_path = format!("{path}.failed.jsonl");
+        let file = std::fs::File::create(&quarantine_path)
+            .map_err(|e| format!("cannot create {quarantine_path}: {e}"))?;
+        engine.set_quarantine_sink(Some(Box::new(file)));
+    }
+
     // Run the full candidate suite as one engine sweep: parallel across
     // `--jobs` workers, deterministic in content, memoized by fingerprint.
     let spec = DatasetSpec::inline(opts.require("input")?, dataset);
@@ -265,6 +299,12 @@ fn compare(opts: &Options) -> Result<(), String> {
             println!("  {verdict}");
         }
     }
+    if sweep.resumed > 0 || sweep.retries > 0 || sweep.quarantined > 0 {
+        eprintln!("{}", sweep.resilience_summary());
+    }
+    // Flush the quarantine file and close the journal before exit.
+    engine.set_quarantine_sink(None);
+    engine.detach_journal();
     Ok(())
 }
 

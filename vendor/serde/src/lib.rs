@@ -30,9 +30,10 @@ pub trait Serialize {
 
 /// Marker for types the derive macro accepted as deserializable.
 ///
-/// The workspace never parses JSON back (records are consumed by external
-/// tooling), so this carries no methods; deriving it documents and
-/// type-checks the round-trip intent.
+/// Types that need to be parsed back (the `anoncmp-engine` checkpoint
+/// journal replays `EvalRecord`s) implement their own decoders over
+/// [`json::Value`]; deriving this documents and type-checks the
+/// round-trip intent.
 pub trait Deserialize<'de>: Sized {}
 
 // ---------------------------------------------------------------------
@@ -216,11 +217,384 @@ pub mod json {
         }
         out.push(']');
     }
+
+    /// A parsed JSON value.
+    ///
+    /// Numbers keep their **raw source text** instead of eagerly converting
+    /// to `f64`: a `u64` such as a 64-bit seed would lose precision through
+    /// a float detour, and the checkpoint journal needs parse → serialize
+    /// to reproduce its input byte-for-byte. Callers convert on demand with
+    /// [`Value::as_u64`], [`Value::as_f64`], etc.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, as its raw source text (e.g. `"-3.5"`, `"17"`).
+        Num(String),
+        /// A string (unescaped).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source key order (duplicate keys kept as-is).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup (first match).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The number as `u64`, if this is an unsigned integer literal.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// The number as `usize`, if this is an unsigned integer literal.
+        pub fn as_usize(&self) -> Option<usize> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// The number as `f64`. JSON `null` decodes to `NaN`, mirroring
+        /// [`write_f64`], which renders non-finite floats as `null`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(raw) => raw.parse().ok(),
+                Value::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Re-renders the value as JSON. For input produced by this
+        /// module's writers, `parse(s).to_json() == s` byte-for-byte
+        /// (numbers keep their raw text; strings re-escape with the same
+        /// scheme [`write_str`] used).
+        pub fn to_json(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out);
+            out
+        }
+
+        fn write(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(raw) => out.push_str(raw),
+                Value::Str(s) => write_str(s, out),
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_str(k, out);
+                        out.push(':');
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    /// Parses one JSON document, rejecting trailing garbage. Returns
+    /// `None` on any syntax error — callers treating a torn journal line
+    /// need "valid or not", not a diagnostic.
+    pub fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn eat(bytes: &[u8], pos: &mut usize, token: &[u8]) -> Option<()> {
+        if bytes[*pos..].starts_with(token) {
+            *pos += token.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(bytes, pos);
+        match *bytes.get(*pos)? {
+            b'n' => eat(bytes, pos, b"null").map(|_| Value::Null),
+            b't' => eat(bytes, pos, b"true").map(|_| Value::Bool(true)),
+            b'f' => eat(bytes, pos, b"false").map(|_| Value::Bool(false)),
+            b'"' => parse_string(bytes, pos).map(Value::Str),
+            b'[' => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos)? {
+                        b',' => *pos += 1,
+                        b']' => {
+                            *pos += 1;
+                            return Some(Value::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'{' => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Some(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return None;
+                    }
+                    *pos += 1;
+                    fields.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos)? {
+                        b',' => *pos += 1,
+                        b'}' => {
+                            *pos += 1;
+                            return Some(Value::Obj(fields));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+            _ => None,
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let digits_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == digits_start {
+            return None;
+        }
+        if bytes.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            let frac_start = *pos;
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+            if *pos == frac_start {
+                return None;
+            }
+        }
+        if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+                *pos += 1;
+            }
+            let exp_start = *pos;
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+            if *pos == exp_start {
+                return None;
+            }
+        }
+        // The scanned range is ASCII by construction.
+        let raw = std::str::from_utf8(&bytes[start..*pos]).ok()?;
+        Some(Value::Num(raw.to_owned()))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match *bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match *bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = bytes.get(*pos + 1..*pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            // Surrogate pairs never appear in this
+                            // workspace's output (write_str only \u-escapes
+                            // C0 controls); reject them rather than decode
+                            // them wrongly.
+                            out.push(char::from_u32(code)?);
+                            *pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                b => {
+                    let ch_len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return None,
+                    };
+                    let chunk = bytes.get(*pos..*pos + ch_len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::json::{parse, Value};
     use super::Serialize;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null"), Some(Value::Null));
+        assert_eq!(parse(" true "), Some(Value::Bool(true)));
+        assert_eq!(parse("-3.5e2"), Some(Value::Num("-3.5e2".into())));
+        assert_eq!(parse(r#""a\"b\nc""#), Some(Value::Str("a\"b\nc".into())));
+        let arr = parse(r#"[1,"x",null]"#).unwrap();
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+        let obj = parse(r#"{"k":5,"v":{"inner":[1.5]}}"#).unwrap();
+        assert_eq!(obj.get("k").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            obj.get("v").and_then(|v| v.get("inner")).unwrap(),
+            &Value::Arr(vec![Value::Num("1.5".into())])
+        );
+    }
+
+    #[test]
+    fn rejects_torn_and_trailing_input() {
+        for bad in [
+            r#"{"k":5"#,
+            r#"{"k":}"#,
+            r#"[1,2"#,
+            r#""unterminated"#,
+            "tru",
+            "1.5}",
+            "{}{}",
+            "",
+        ] {
+            assert_eq!(parse(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_to_json_round_trips_writer_output() {
+        // Byte-identical round-trips are what lets the checkpoint journal
+        // verify a replayed record by re-serialization.
+        for text in [
+            r#"{"job_id":"00ab","seed":18446744073709551615,"loss":3.5,"ok":true}"#,
+            r#"{"values":[2,2.5,-0.25,1e-9,null],"name":"eq \"class\" size"}"#,
+            r#"{"status":{"Panicked":{"message":"line\nbreak\tand \\ quote"}}}"#,
+            "[]",
+            "{}",
+            r#"[-0.0007891238,17,"µ-unicode ▶cov"]"#,
+        ] {
+            let v = parse(text).unwrap_or_else(|| panic!("parses: {text}"));
+            assert_eq!(v.to_json(), text);
+        }
+    }
+
+    #[test]
+    fn u64_precision_survives_parsing() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1: not f64-exact
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        assert_eq!(v.to_json(), "9007199254740993");
+    }
+
+    #[test]
+    fn null_decodes_as_nan_float() {
+        // write_f64 renders non-finite floats as null; as_f64 mirrors it.
+        assert!(parse("null").unwrap().as_f64().unwrap().is_nan());
+    }
 
     #[test]
     fn primitives_render_as_json() {
