@@ -55,6 +55,7 @@ pub mod risk;
 pub mod summary;
 pub mod theory;
 pub mod vector;
+pub mod wire;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {

@@ -5,8 +5,21 @@
 //! releases. Because the engine derives per-job seeds from the same
 //! fingerprints, a cached release is bit-for-bit what a fresh computation
 //! would produce — memoization never changes results, only wall-clock.
+//!
+//! # Bounded operation
+//!
+//! A long-lived process (the `anoncmp-serve` daemon) cannot let the cache
+//! grow without bound: every distinct release a client ever asked for
+//! would stay resident forever. The release and property-vector maps are
+//! therefore [`LruCache`]s — capacity-bounded, least-recently-used
+//! eviction, O(1) per operation. Capacity `0` (the default) means
+//! unbounded, which preserves the exact batch-sweep behavior the
+//! experiments and benches rely on. Eviction never changes results: an
+//! evicted release is recomputed from its spec with the same derived seed,
+//! so the recomputation is bit-identical to the evicted entry.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,6 +40,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Releases currently stored.
     pub entries: u64,
+    /// Releases evicted to stay within the configured capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -37,37 +52,239 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             entries: self.entries,
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One slab slot of an [`LruCache`]: a key/value pair threaded into the
+/// recency list.
+#[derive(Debug)]
+struct LruEntry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A capacity-bounded map with least-recently-used eviction.
+///
+/// Entries live in a slab (`Vec`) threaded into an intrusive doubly-linked
+/// recency list; the index map points at slab slots. Every operation —
+/// lookup (which refreshes recency), insert, evict — is O(1). Capacity `0`
+/// means unbounded.
+///
+/// This is the eviction policy behind [`MemoCache`]'s release and vector
+/// maps; it is generic so tests (and future cache layers) can exercise it
+/// directly.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<LruEntry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used entry, `NIL` when empty.
+    head: usize,
+    /// Least recently used entry, `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
+    /// An empty cache. `capacity == 0` means unbounded.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the capacity, evicting least-recently-used entries if the
+    /// cache currently exceeds the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity > 0 {
+            while self.map.len() > capacity {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Inserts `key → value` unless present, returning the stored value
+    /// (the existing one on a double-insert, so every holder sees the same
+    /// `Arc`). Refreshes the entry's recency either way, evicting the
+    /// least-recently-used entry when a fresh insert exceeds capacity.
+    pub fn get_or_insert(&mut self, key: K, value: V) -> V {
+        if let Some(&idx) = self.map.get(&key) {
+            self.touch(idx);
+            return self.slab[idx].value.clone();
+        }
+        if self.capacity > 0 && self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = LruEntry {
+                    key,
+                    value: value.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(LruEntry {
+                    key,
+                    value: value.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        value
+    }
+
+    /// Drops every entry (capacity and the eviction counter are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Moves `idx` to the front (most recently used) of the recency list.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        if idx == NIL {
+            return;
+        }
+        self.unlink(idx);
+        let key = self.slab[idx].key;
+        self.map.remove(&key);
+        self.free.push(idx);
+        self.evictions += 1;
     }
 }
 
 /// Thread-safe memoization cache shared by all workers of an [`Engine`].
 ///
 /// [`Engine`]: crate::engine::Engine
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoCache {
-    releases: Mutex<HashMap<u64, Arc<AnonymizedTable>>>,
+    releases: Mutex<LruCache<u64, Arc<AnonymizedTable>>>,
     datasets: Mutex<HashMap<u64, Arc<Dataset>>>,
     /// Extracted property vectors, keyed by (release *content* digest,
     /// property tag). Content addressing means a vector computed for one
     /// job serves every job whose release has the same cells — whatever
     /// algorithm or parameters produced it.
-    vectors: Mutex<HashMap<(u64, &'static str), Arc<PropertyVector>>>,
+    vectors: Mutex<LruCache<(u64, &'static str), Arc<PropertyVector>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     vector_hits: AtomicU64,
     vector_misses: AtomicU64,
 }
 
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl MemoCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        Self::default()
+        MemoCache {
+            releases: Mutex::new(LruCache::new(0)),
+            datasets: Mutex::new(HashMap::new()),
+            vectors: Mutex::new(LruCache::new(0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            vector_hits: AtomicU64::new(0),
+            vector_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Bounds the release and vector maps (`0` = unbounded), evicting
+    /// least-recently-used entries immediately if either already exceeds
+    /// its new capacity.
+    pub fn set_capacity(&self, releases: usize, vectors: usize) {
+        self.releases.lock().set_capacity(releases);
+        self.vectors.lock().set_capacity(vectors);
     }
 
     /// Looks up a release by fingerprint, counting a hit or miss.
     pub fn get_release(&self, fingerprint: u64) -> Option<Arc<AnonymizedTable>> {
-        let found = self.releases.lock().get(&fingerprint).cloned();
+        let found = self.releases.lock().get(&fingerprint);
         match found {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -87,11 +304,7 @@ impl MemoCache {
         fingerprint: u64,
         table: Arc<AnonymizedTable>,
     ) -> Arc<AnonymizedTable> {
-        self.releases
-            .lock()
-            .entry(fingerprint)
-            .or_insert(table)
-            .clone()
+        self.releases.lock().get_or_insert(fingerprint, table)
     }
 
     /// Materializes a dataset through the cache: synthesizes via `build`
@@ -117,7 +330,7 @@ impl MemoCache {
     /// Looks up an extracted property vector by release content digest and
     /// property tag, counting a vector-cache hit or miss.
     pub fn get_vector(&self, digest: u64, tag: &'static str) -> Option<Arc<PropertyVector>> {
-        let found = self.vectors.lock().get(&(digest, tag)).cloned();
+        let found = self.vectors.lock().get(&(digest, tag));
         match found {
             Some(v) => {
                 self.vector_hits.fetch_add(1, Ordering::Relaxed);
@@ -138,11 +351,7 @@ impl MemoCache {
         tag: &'static str,
         vector: Arc<PropertyVector>,
     ) -> Arc<PropertyVector> {
-        self.vectors
-            .lock()
-            .entry((digest, tag))
-            .or_insert(vector)
-            .clone()
+        self.vectors.lock().get_or_insert((digest, tag), vector)
     }
 
     /// Vector-cache `(hits, misses)`. Scheduling-dependent — two workers
@@ -155,12 +364,19 @@ impl MemoCache {
         )
     }
 
+    /// Property vectors evicted to stay within the vector-map capacity.
+    pub fn vector_evictions(&self) -> u64 {
+        self.vectors.lock().evictions()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let releases = self.releases.lock();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.releases.lock().len() as u64,
+            entries: releases.len() as u64,
+            evictions: releases.evictions(),
         }
     }
 
@@ -220,6 +436,7 @@ mod tests {
             hits: 0,
             misses: 1,
             entries: 0,
+            evictions: 0,
         });
         assert_eq!((delta.hits, delta.misses), (1, 0));
     }
@@ -230,5 +447,95 @@ mod tests {
         let a = cache.dataset_or_insert_with(7, tiny_dataset);
         let b = cache.dataset_or_insert_with(7, || panic!("must not rebuild a cached dataset"));
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(3);
+        for k in 1..=3u64 {
+            lru.get_or_insert(k, k * 10);
+        }
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(lru.get(&1), Some(10));
+        lru.get_or_insert(4, 40);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.get(&2), None, "least recently used entry evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.get(&4), Some(40));
+    }
+
+    #[test]
+    fn lru_double_insert_keeps_first_value_and_refreshes_recency() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(2);
+        lru.get_or_insert(1, 100);
+        lru.get_or_insert(2, 200);
+        // Double-insert of 1: value kept, recency refreshed → 2 is LRU.
+        assert_eq!(lru.get_or_insert(1, 999), 100);
+        lru.get_or_insert(3, 300);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(100));
+    }
+
+    #[test]
+    fn lru_unbounded_never_evicts() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(0);
+        for k in 0..10_000u64 {
+            lru.get_or_insert(k, k);
+        }
+        assert_eq!(lru.len(), 10_000);
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_capacity_shrink_evicts_down() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(0);
+        for k in 0..8u64 {
+            lru.get_or_insert(k, k);
+        }
+        lru.set_capacity(3);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.evictions(), 5);
+        // The three most recently inserted survive.
+        for k in 5..8u64 {
+            assert_eq!(lru.get(&k), Some(k));
+        }
+    }
+
+    #[test]
+    fn lru_slab_slots_are_reused() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(2);
+        for k in 0..100u64 {
+            lru.get_or_insert(k, k);
+        }
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions(), 98);
+        assert!(
+            lru.slab.len() <= 3,
+            "evicted slots recycled through the free list"
+        );
+    }
+
+    #[test]
+    fn bounded_release_cache_recomputes_after_eviction() {
+        let cache = MemoCache::new();
+        cache.set_capacity(1, 0);
+        let ds = tiny_dataset();
+        let table = Arc::new(
+            anoncmp_anonymize::prelude::Anonymizer::anonymize(
+                &anoncmp_anonymize::prelude::Datafly,
+                &ds,
+                &anoncmp_anonymize::prelude::Constraint::k_anonymity(2).with_suppression(3),
+            )
+            .expect("datafly on tiny census"),
+        );
+        cache.insert_release(1, table.clone());
+        cache.insert_release(2, table);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get_release(1).is_none(), "entry 1 was evicted");
+        assert!(cache.get_release(2).is_some());
     }
 }

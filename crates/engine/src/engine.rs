@@ -119,6 +119,12 @@ pub struct EngineConfig {
     pub retry: RetryPolicy,
     /// Optional deterministic fault injection (tests and chaos smokes).
     pub chaos: Option<ChaosConfig>,
+    /// Release-cache capacity in entries (`0` = unbounded). Long-lived
+    /// processes (the serve daemon) bound this; batch sweeps leave it
+    /// unbounded.
+    pub release_capacity: usize,
+    /// Property-vector-cache capacity in entries (`0` = unbounded).
+    pub vector_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +138,8 @@ impl Default for EngineConfig {
             budget: None,
             retry: RetryPolicy::default(),
             chaos: None,
+            release_capacity: 0,
+            vector_capacity: 0,
         }
     }
 }
@@ -272,8 +280,10 @@ impl Engine {
     /// A fresh engine with its own empty cache.
     pub fn new(config: EngineConfig) -> Self {
         install_panic_capture();
+        let cache = MemoCache::new();
+        cache.set_capacity(config.release_capacity, config.vector_capacity);
         Engine {
-            cache: MemoCache::new(),
+            cache,
             root_seed: config.root_seed,
             budget: parking_lot::Mutex::new(config.budget),
             jobs: AtomicUsize::new(config.jobs),
@@ -337,6 +347,20 @@ impl Engine {
     /// Current cumulative cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Bounds the release and vector caches (`0` = unbounded), evicting
+    /// least-recently-used entries immediately when a map already exceeds
+    /// its new capacity. Eviction never changes results — an evicted
+    /// release recomputes bit-identically from its content-derived seed —
+    /// so a bounded engine stays deterministic, only slower on re-misses.
+    pub fn set_cache_capacity(&self, releases: usize, vectors: usize) {
+        self.cache.set_capacity(releases, vectors);
+    }
+
+    /// Property vectors evicted so far (bounded caches only).
+    pub fn vector_cache_evictions(&self) -> u64 {
+        self.cache.vector_evictions()
     }
 
     /// Cumulative vector-cache `(hits, misses)`. Scheduling-dependent
@@ -503,7 +527,20 @@ impl Engine {
         }
 
         let worker_count = self.jobs().min(pending.len()).max(1);
-        if !pending.is_empty() {
+        if worker_count == 1 {
+            // Inline fast path: a single worker needs no scope, channels,
+            // or thread spawn — run on the calling thread. Identical
+            // outcomes (per-job seeds are content-derived), but the
+            // fixed per-sweep cost drops from ~a thread spawn to zero,
+            // which is what keeps the serve daemon's warm-cache requests
+            // in the microsecond range.
+            for &slot in &pending {
+                let job = &jobs[unique[slot]];
+                let outcome = self.execute(job);
+                self.checkpoint(job, &outcome.record);
+                slots[slot] = Some(outcome);
+            }
+        } else if !pending.is_empty() {
             let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
             let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, JobOutcome)>();
             for &slot in &pending {

@@ -318,9 +318,10 @@ impl PropertySpec {
         }
     }
 
-    /// The extractor's stable tag, used for fingerprinting and as the
-    /// property half of the vector-cache key.
-    pub(crate) fn tag(&self) -> &'static str {
+    /// The extractor's stable tag, used for fingerprinting, as the
+    /// property half of the vector-cache key, and as the property's wire
+    /// name in serve requests.
+    pub fn tag(&self) -> &'static str {
         match self {
             PropertySpec::EqClassSize => "eq-class-size",
             PropertySpec::BreachProbability => "breach-probability",

@@ -71,7 +71,7 @@ pub mod job;
 pub mod journal;
 pub mod record;
 
-pub use crate::cache::{CacheStats, MemoCache};
+pub use crate::cache::{CacheStats, LruCache, MemoCache};
 pub use crate::chaos::{ChaosConfig, Fault};
 pub use crate::engine::{
     Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,
@@ -84,7 +84,7 @@ pub use crate::record::{
 
 /// One-stop imports for engine users.
 pub mod prelude {
-    pub use crate::cache::CacheStats;
+    pub use crate::cache::{CacheStats, LruCache};
     pub use crate::chaos::{ChaosConfig, Fault};
     pub use crate::engine::{
         Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,

@@ -1,0 +1,131 @@
+//! Property tests for the hardened JSON parser.
+//!
+//! `serde::json::parse` runs on attacker-controlled bytes in the
+//! `anoncmp-serve` daemon, so it must be total: bounded recursion (no
+//! stack overflow on `[[[[…`), bounded document size, and clean `None`
+//! on everything it rejects. These properties drive the limits with
+//! generated nesting depths, padded documents, and torn inputs, and pin
+//! that the limits never reject the workspace's own well-formed output.
+
+use proptest::prelude::*;
+use serde::json::{parse, parse_with_limits, ParseLimits, Value, DEFAULT_MAX_DEPTH};
+
+/// A document of exactly `depth` nested containers, alternating arrays
+/// and objects so both recursion sites are exercised.
+fn nested(depth: usize) -> String {
+    let mut out = String::new();
+    for level in 0..depth {
+        if level % 2 == 0 {
+            out.push('[');
+        } else {
+            out.push_str("{\"k\":");
+        }
+    }
+    out.push('1');
+    for level in (0..depth).rev() {
+        if level % 2 == 0 {
+            out.push(']');
+        } else {
+            out.push('}');
+        }
+    }
+    out
+}
+
+#[test]
+fn default_depth_limit_rejects_deep_nesting_without_overflow() {
+    // Two orders of magnitude past the limit: would overflow the stack
+    // unguarded, must simply return None guarded.
+    for depth in [DEFAULT_MAX_DEPTH + 1, 10_000, 1_000_000] {
+        let doc: String = "[".repeat(depth);
+        assert_eq!(parse(&doc), None, "unterminated depth {depth}");
+        let balanced = nested(depth);
+        assert_eq!(parse(&balanced), None, "balanced depth {depth}");
+    }
+}
+
+#[test]
+fn default_depth_limit_is_exact() {
+    assert!(parse(&nested(DEFAULT_MAX_DEPTH)).is_some());
+    assert_eq!(parse(&nested(DEFAULT_MAX_DEPTH + 1)), None);
+}
+
+#[test]
+fn zero_depth_falls_back_to_default() {
+    let limits = ParseLimits {
+        max_depth: 0,
+        max_bytes: 0,
+    };
+    assert!(parse_with_limits(&nested(DEFAULT_MAX_DEPTH), limits).is_some());
+    assert_eq!(
+        parse_with_limits(&nested(DEFAULT_MAX_DEPTH + 1), limits),
+        None
+    );
+}
+
+#[test]
+fn size_guard_rejects_oversized_documents() {
+    let limits = ParseLimits {
+        max_depth: 16,
+        max_bytes: 64,
+    };
+    let small = "{\"k\":1}";
+    assert!(parse_with_limits(small, limits).is_some());
+    let big = format!("{{\"k\":\"{}\"}}", "x".repeat(128));
+    assert_eq!(parse_with_limits(&big, limits), None);
+    // The guard is on bytes received, before any parsing work: even a
+    // syntactically broken oversized body is rejected by length alone.
+    let garbage = "g".repeat(65);
+    assert_eq!(parse_with_limits(&garbage, limits), None);
+}
+
+proptest! {
+    #[test]
+    fn depth_limit_is_a_sharp_boundary(depth in 1usize..300, limit in 1usize..300) {
+        let limits = ParseLimits { max_depth: limit, max_bytes: 0 };
+        let doc = nested(depth);
+        let parsed = parse_with_limits(&doc, limits);
+        if depth <= limit {
+            prop_assert!(parsed.is_some(), "depth {} within limit {}", depth, limit);
+        } else {
+            prop_assert_eq!(parsed, None);
+        }
+    }
+
+    #[test]
+    fn size_limit_is_a_sharp_boundary(payload in 0usize..200, budget in 1usize..200) {
+        let doc = format!("\"{}\"", "a".repeat(payload));
+        let limits = ParseLimits { max_depth: 8, max_bytes: budget };
+        let parsed = parse_with_limits(&doc, limits);
+        if doc.len() <= budget {
+            prop_assert_eq!(parsed, Some(Value::Str("a".repeat(payload))));
+        } else {
+            prop_assert_eq!(parsed, None);
+        }
+    }
+
+    #[test]
+    fn workspace_records_survive_the_default_limits(rows in 1usize..20, seed in 0u64..1000) {
+        // Whatever the engine writes, the hardened default parse reads
+        // back byte-identically — hardening must not break the journal.
+        let values: Vec<f64> = (0..rows).map(|i| i as f64 + 0.5).collect();
+        let doc = format!(
+            "{{\"job_id\":\"{seed:x}\",\"seed\":{seed},\"properties\":[{{\"name\":\"eq\",\"values\":{}}}]}}",
+            serde::Serialize::to_json(&values)
+        );
+        let v = parse(&doc);
+        prop_assert!(v.is_some(), "rejected workspace output: {}", doc);
+        prop_assert_eq!(v.unwrap().to_json(), doc);
+    }
+
+    #[test]
+    fn truncated_deep_documents_never_panic(depth in 1usize..2000, cut in 0usize..4000) {
+        // Torn prefixes of deep documents: parse must return (None or
+        // Some) without panicking or overflowing, at any cut point.
+        let doc = nested(depth);
+        let cut = cut.min(doc.len());
+        if doc.is_char_boundary(cut) {
+            let _ = parse(&doc[..cut]);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Admission control: a bounded in-flight budget with load shedding.
+//!
+//! The daemon accepts connections on a dedicated thread and hands them to
+//! a fixed worker pool. Between the two sits this gate: every accepted
+//! connection holds a [`Permit`] until it closes, and when all permits
+//! are out the acceptor *sheds* — an immediate `429 overloaded` — instead
+//! of queueing unboundedly. Shedding keeps tail latency bounded under
+//! overload: clients that are served are served promptly, clients that
+//! are not find out immediately.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The shared admission gate.
+#[derive(Debug)]
+pub struct Admission {
+    /// Permits currently out (queued + actively served connections).
+    inflight: AtomicUsize,
+    /// Maximum permits; `0` means shed everything (useful in tests).
+    capacity: usize,
+    /// Connections shed since start.
+    shed: AtomicU64,
+}
+
+impl Admission {
+    /// A gate admitting at most `capacity` concurrent connections.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Admission {
+            inflight: AtomicUsize::new(0),
+            capacity,
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    /// Tries to admit one connection. `None` means the caller must shed;
+    /// the rejection is counted.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(self.clone())),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Permits currently out.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed since start.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// An admitted connection's slot; releasing is dropping.
+#[derive(Debug)]
+pub struct Permit(Arc<Admission>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let gate = Admission::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "third connection shed");
+        assert_eq!(gate.shed_total(), 1);
+        drop(a);
+        let c = gate.try_acquire();
+        assert!(c.is_some(), "slot freed on drop");
+        assert_eq!(gate.inflight(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let gate = Admission::new(0);
+        assert!(gate.try_acquire().is_none());
+        assert_eq!(gate.shed_total(), 1);
+    }
+}

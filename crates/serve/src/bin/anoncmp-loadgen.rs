@@ -1,0 +1,115 @@
+//! `anoncmp-loadgen` — the closed-loop load generator.
+//!
+//! Drives an `anoncmp serve` daemon (or, with no `--addr`, a self-hosted
+//! in-process server) through a cold phase and a warm closed loop, then
+//! writes the latency/throughput/cache report to `BENCH_serve.json`.
+//!
+//! ```text
+//! anoncmp-loadgen [--addr HOST:PORT] [--clients N] [--duration-secs N]
+//!                 [--rows N] [--threads N] [--out PATH]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use anoncmp_serve::loadgen::{self, LoadgenConfig};
+use anoncmp_serve::server::{serve, ServeConfig};
+use anoncmp_serve::shutdown::ShutdownFlag;
+use serde::Serialize;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: invalid value {:?}", args[i + 1])),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: anoncmp-loadgen [--addr HOST:PORT] [--clients N] \
+             [--duration-secs N] [--rows N] [--threads N] [--out PATH]"
+        );
+        return Ok(());
+    }
+
+    let mut config = LoadgenConfig::default();
+    if let Some(clients) = parse_flag(&args, "--clients")? {
+        config.clients = clients;
+    }
+    if let Some(secs) = parse_flag::<u64>(&args, "--duration-secs")? {
+        config.duration = Duration::from_secs(secs);
+    }
+    if let Some(rows) = parse_flag(&args, "--rows")? {
+        config.rows = rows;
+    }
+    let out: String = parse_flag(&args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".into());
+
+    // Self-host when no --addr: start the daemon in-process on a free
+    // port so one command measures the whole stack (CI's smoke path).
+    let self_hosted = match parse_flag::<std::net::SocketAddr>(&args, "--addr")? {
+        Some(addr) => {
+            config.addr = addr;
+            None
+        }
+        None => {
+            let mut server_config = ServeConfig::default();
+            if let Some(threads) = parse_flag(&args, "--threads")? {
+                server_config.threads = threads;
+            }
+            let handle =
+                serve(server_config, ShutdownFlag::new()).map_err(|e| format!("bind: {e}"))?;
+            config.addr = handle.addr();
+            eprintln!("loadgen: self-hosted server on {}", config.addr);
+            Some(handle)
+        }
+    };
+
+    eprintln!(
+        "loadgen: {} client(s), {:?} warm phase, {} rows, driving {}",
+        config.clients, config.duration, config.rows, config.addr
+    );
+    let report = loadgen::run(&config).map_err(|e| format!("load run: {e}"))?;
+    std::fs::write(&out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+
+    eprintln!(
+        "loadgen: cold p50 {:.1} ms | warm p50 {:.3} ms (x{:.0} speedup) | \
+         warm p99 {:.3} ms | {:.0} req/s | cache hit rate {:.3} | {} error(s)",
+        report.cold.p50_ms,
+        report.warm.p50_ms,
+        report.warm_speedup_p50,
+        report.warm.p99_ms,
+        report.throughput_rps,
+        report.cache_hit_rate,
+        report.cold.errors + report.warm.errors,
+    );
+    eprintln!("loadgen: report written to {out}");
+
+    if let Some(handle) = self_hosted {
+        handle.shutdown();
+    }
+    if report.cold.errors + report.warm.errors > 0 {
+        return Err("protocol errors during the run".into());
+    }
+    if report.warm.requests == 0 {
+        return Err("no completed warm-phase requests".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("anoncmp-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

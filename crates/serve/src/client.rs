@@ -1,0 +1,78 @@
+//! A minimal blocking HTTP client for the service's own wire protocol.
+//!
+//! Shared by the closed-loop load generator and the integration tests so
+//! both exercise the exact bytes a real client would send. One request
+//! per connection (`Connection: close`): the load generator measures the
+//! full accept → admit → serve path on every request, which is the
+//! honest number for a service fronted by short-lived clients.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{read_response, Response};
+
+/// Connect/read/write timeout applied to every client socket.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// `GET path` over a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    let mut stream = connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: anoncmp\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// `POST path` with a JSON body over a fresh connection. Chunked
+/// responses come back fully decoded.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
+    let mut stream = connect(addr)?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: anoncmp\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Sends one JSONL-mode request line over a fresh connection and returns
+/// the response lines up to and including the `done`/`error`/stats line.
+pub fn jsonl_request(addr: SocketAddr, line: &str) -> io::Result<Vec<String>> {
+    use std::io::BufRead;
+    let mut stream = connect(addr)?;
+    writeln!(stream, "{line}")?;
+    stream.flush()?;
+    let single_line = line.contains("\"stats\"");
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    loop {
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response terminator",
+            ));
+        }
+        let response = response.trim_end().to_owned();
+        let terminal = single_line
+            || response.starts_with("{\"done\":")
+            || response.starts_with("{\"error\":");
+        lines.push(response);
+        if terminal {
+            return Ok(lines);
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! A deliberately small HTTP/1.1 layer: exactly what the comparison
+//! service speaks, nothing more.
+//!
+//! Server side: request-line + header parsing with hard byte bounds
+//! (untrusted input), `Content-Length` bodies, fixed-status responses,
+//! and chunked transfer encoding for streamed sweep results. Client side
+//! (used by the load generator and the tests): response parsing including
+//! a chunked decoder. No TLS, no HTTP/2, no compression — the daemon sits
+//! behind loopback or a trusted LAN, and every byte saved here is a byte
+//! of tail latency under load.
+
+use std::io::{self, BufRead, Write};
+
+/// Bounds applied while reading a request from untrusted bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` beyond this is rejected
+    /// before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/compare`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lowercase) header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open. HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The connection closed cleanly before a request started.
+    Closed,
+    /// The bytes were not valid HTTP (includes over-limit heads/bodies;
+    /// the string is the rejection reason).
+    Malformed(String),
+    /// The declared body exceeded [`HttpLimits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// The socket failed or timed out.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request. `Err(ReadError::Closed)` is a clean end-of-stream
+/// between requests (keep-alive connection closed by the client).
+pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, ReadError> {
+    let mut head = Vec::with_capacity(256);
+    // Read byte-wise up to the blank line; bounded, so a slowly-trickled
+    // or never-terminated head cannot grow memory.
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("eof inside request head".into()));
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > limits.max_head_bytes {
+                    return Err(ReadError::Malformed("request head too large".into()));
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| ReadError::Malformed("request head is not utf-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > limits.max_body_bytes {
+        return Err(ReadError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the statuses this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response with `Content-Length`.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        body
+    )?;
+    w.flush()
+}
+
+/// A chunked-transfer response in progress: one chunk per JSONL line, so
+/// clients see each grid point of a sweep as soon as it is computed.
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+    done: bool,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the status line + headers and switches to chunked framing.
+    pub fn start(w: &'a mut W, status: u16, keep_alive: bool) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/jsonl\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            status,
+            reason(status),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        Ok(ChunkedWriter { w, done: false })
+    }
+
+    /// Sends one chunk (flushed immediately — streaming is the point).
+    pub fn chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.w, "{:x}\r\n{}\r\n", data.len(), data)?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.done = true;
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+impl<W: Write> Drop for ChunkedWriter<'_, W> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Best-effort termination so an error path mid-stream still
+            // leaves the client with a framed (if truncated) response.
+            let _ = self.w.write_all(b"0\r\n\r\n");
+            let _ = self.w.flush();
+        }
+    }
+}
+
+/// A parsed response (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, chunked framing already decoded.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of the (lowercase) header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response, decoding chunked transfer encoding when present.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad status line {line:?}"),
+        ));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad status code"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim_end(), 16)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                reader.read_line(&mut trailer)?;
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+        body
+    } else {
+        let length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        match length {
+            Some(n) => {
+                let mut body = vec![0u8; n];
+                reader.read_exact(&mut body)?;
+                body
+            }
+            None => {
+                // Connection: close delimits the body.
+                let mut body = Vec::new();
+                reader.read_to_end(&mut body)?;
+                body
+            }
+        }
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /compare HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"k\":3}";
+        let req = read_request(&mut BufReader::new(&raw[..]), &HttpLimits::default()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compare");
+        assert_eq!(req.body, b"{\"k\":3}");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]), &HttpLimits::default()).unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_reports_closed() {
+        let raw: &[u8] = b"";
+        match read_request(&mut BufReader::new(raw), &HttpLimits::default()) {
+            Err(ReadError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(128));
+        match read_request(&mut BufReader::new(long.as_bytes()), &limits) {
+            Err(ReadError::Malformed(m)) => assert!(m.contains("too large")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        match read_request(&mut BufReader::new(&big[..]), &limits) {
+            Err(ReadError::BodyTooLarge(999)) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for bad in [
+            &b"\x00\x01\x02\r\n\r\n"[..],
+            b"NOPE\r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+        ] {
+            let result = read_request(&mut BufReader::new(bad), &HttpLimits::default());
+            assert!(
+                matches!(result, Err(ReadError::Malformed(_))),
+                "{bad:?} -> {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_round_trips_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&out[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "{\"ok\":true}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn chunked_stream_round_trips() {
+        let mut out = Vec::new();
+        {
+            let mut chunks = ChunkedWriter::start(&mut out, 200, false).unwrap();
+            chunks.chunk("line one\n").unwrap();
+            chunks.chunk("line two\n").unwrap();
+            chunks.finish().unwrap();
+        }
+        let resp = read_response(&mut BufReader::new(&out[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "line one\nline two\n");
+    }
+}

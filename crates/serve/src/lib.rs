@@ -1,0 +1,50 @@
+//! # anoncmp-serve
+//!
+//! The long-lived comparison service: a hand-rolled thread-per-core TCP
+//! daemon that keeps one [`Engine`](anoncmp_engine::Engine) — and its
+//! content-addressed release/vector caches — warm across requests, so
+//! interactive comparison queries cost cache lookups instead of
+//! anonymization runs.
+//!
+//! Two protocols share one port, sniffed from the first byte of each
+//! connection:
+//!
+//! * **HTTP/1.1 + JSON** — `POST /compare`, `POST /sweep` (chunked JSONL
+//!   streaming), `GET /stats`, `GET /healthz`;
+//! * **JSONL-over-TCP** — one request object per line (`{"op":…}`),
+//!   canonical record lines plus a `done` trailer back.
+//!
+//! The full wire surface is documented in `docs/WIRE_PROTOCOL.md`.
+//!
+//! Load is kept honest by [`admission`] (bounded in-flight permits,
+//! immediate `429` shedding) and hardened parsing (byte- and
+//! depth-limited JSON, bounded HTTP heads/bodies); [`shutdown`] drains
+//! in-flight requests on SIGINT/SIGTERM. Responses are built exclusively
+//! from canonical evaluation records in request order, so bodies are
+//! byte-identical across server thread counts and cache states — the
+//! engine's determinism guarantee, extended over the wire.
+//!
+//! [`loadgen`] is the closed-loop measurement harness behind the
+//! `anoncmp-loadgen` binary and CI's serve-smoke job.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod requests;
+pub mod server;
+pub mod shutdown;
+
+pub use crate::server::{serve, ServeConfig, ServerHandle};
+pub use crate::shutdown::ShutdownFlag;
+
+/// One-stop imports for serve users.
+pub mod prelude {
+    pub use crate::loadgen::{LoadReport, LoadgenConfig};
+    pub use crate::requests::RequestLimits;
+    pub use crate::server::{serve, ServeConfig, ServerHandle};
+    pub use crate::shutdown::ShutdownFlag;
+}

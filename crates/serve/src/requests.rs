@@ -1,0 +1,338 @@
+//! Wire → engine mapping and request validation.
+//!
+//! Wire requests name algorithms and properties by their stable string
+//! tags; this module resolves those names onto [`AlgorithmSpec`] /
+//! [`PropertySpec`] values and expands a validated request into the
+//! [`EvalJob`] list the shared engine runs. Validation is strict and
+//! bounded: unknown names, test-only mocks, and absurd sizes are rejected
+//! *before* any dataset is synthesized, so a malicious or confused client
+//! cannot make the daemon burn minutes of CPU on one request.
+
+use anoncmp_core::wire::{CompareRequest, SweepRequest, WireDataset};
+use anoncmp_engine::prelude::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
+
+/// Hard caps applied to every request, keeping worst-case work bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Maximum dataset rows a request may ask the server to synthesize.
+    pub max_rows: usize,
+    /// Maximum k values in one sweep.
+    pub max_ks: usize,
+    /// Maximum k itself.
+    pub max_k: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_rows: 20_000,
+            max_ks: 64,
+            max_k: 10_000,
+        }
+    }
+}
+
+/// The algorithms a request may name: the paper's standard suite plus the
+/// two extended candidates. The test-only mocks (`mock-panic`,
+/// `mock-sleep`) are deliberately absent — a network client must not be
+/// able to crash or stall workers by name.
+const SERVABLE_ALGORITHMS: [AlgorithmSpec; 10] = [
+    AlgorithmSpec::Datafly,
+    AlgorithmSpec::Samarati,
+    AlgorithmSpec::Incognito,
+    AlgorithmSpec::Mondrian,
+    AlgorithmSpec::Greedy,
+    AlgorithmSpec::Genetic,
+    AlgorithmSpec::TopDown,
+    AlgorithmSpec::Clustering,
+    AlgorithmSpec::SubsetIncognito,
+    AlgorithmSpec::Optimal,
+];
+
+/// Every property a request may name.
+const SERVABLE_PROPERTIES: [PropertySpec; 8] = [
+    PropertySpec::EqClassSize,
+    PropertySpec::BreachProbability,
+    PropertySpec::IyengarUtility,
+    PropertySpec::GeneralizationLoss,
+    PropertySpec::Precision,
+    PropertySpec::Discernibility,
+    PropertySpec::SensitiveValueCount,
+    PropertySpec::DistinctSensitiveCount,
+];
+
+/// Resolves an algorithm wire name. Mocks and unknown names are errors.
+pub fn algorithm_by_name(name: &str) -> Result<AlgorithmSpec, String> {
+    SERVABLE_ALGORITHMS
+        .iter()
+        .find(|a| a.name() == name)
+        .copied()
+        .ok_or_else(|| format!("unknown algorithm {name:?}"))
+}
+
+/// Resolves a property wire name.
+pub fn property_by_name(name: &str) -> Result<PropertySpec, String> {
+    SERVABLE_PROPERTIES
+        .iter()
+        .find(|p| p.tag() == name)
+        .copied()
+        .ok_or_else(|| format!("unknown property {name:?}"))
+}
+
+fn dataset_spec(dataset: WireDataset, limits: &RequestLimits) -> Result<DatasetSpec, String> {
+    let rows = match dataset {
+        WireDataset::Census { rows, .. } | WireDataset::Hospital { rows, .. } => rows,
+    };
+    if rows == 0 {
+        return Err("dataset: \"rows\" must be at least 1".into());
+    }
+    if rows > limits.max_rows {
+        return Err(format!(
+            "dataset: {rows} rows exceeds the server limit of {} — split the request",
+            limits.max_rows
+        ));
+    }
+    Ok(match dataset {
+        WireDataset::Census {
+            rows,
+            seed,
+            zip_pool,
+        } => DatasetSpec::Census {
+            rows,
+            seed,
+            zip_pool,
+        },
+        WireDataset::Hospital { rows, seed } => DatasetSpec::Hospital { rows, seed },
+    })
+}
+
+fn algorithms(names: &[String]) -> Result<Vec<AlgorithmSpec>, String> {
+    if names.is_empty() {
+        return Ok(AlgorithmSpec::standard_suite());
+    }
+    names.iter().map(|n| algorithm_by_name(n)).collect()
+}
+
+fn properties(names: &[String]) -> Result<Vec<PropertySpec>, String> {
+    if names.is_empty() {
+        return Ok(vec![PropertySpec::EqClassSize]);
+    }
+    names.iter().map(|n| property_by_name(n)).collect()
+}
+
+/// A validated compare request, expanded to engine jobs (one per
+/// algorithm, in request order).
+#[derive(Debug, Clone)]
+pub struct ComparePlan {
+    /// One job per requested algorithm.
+    pub jobs: Vec<EvalJob>,
+    /// The request's wall-clock budget, if any.
+    pub budget_ms: Option<u64>,
+}
+
+/// Validates and expands a compare request.
+pub fn plan_compare(req: &CompareRequest, limits: &RequestLimits) -> Result<ComparePlan, String> {
+    if req.k > limits.max_k {
+        return Err(format!(
+            "\"k\" exceeds the server limit of {}",
+            limits.max_k
+        ));
+    }
+    let dataset = dataset_spec(req.dataset, limits)?;
+    let algorithms = algorithms(&req.algorithms)?;
+    let properties = properties(&req.properties)?;
+    let jobs = algorithms
+        .into_iter()
+        .map(|algorithm| EvalJob {
+            dataset: dataset.clone(),
+            algorithm,
+            k: req.k,
+            max_suppression: req.max_suppression,
+            properties: properties.clone(),
+        })
+        .collect();
+    Ok(ComparePlan {
+        jobs,
+        budget_ms: req.budget_ms,
+    })
+}
+
+/// A validated sweep request: one batch of jobs per k, in request order.
+/// Batching per grid point is what lets the server stream each point's
+/// records as soon as they are computed and check the request deadline
+/// between points.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// One `(k, jobs)` batch per requested grid point.
+    pub batches: Vec<(usize, Vec<EvalJob>)>,
+    /// The request's wall-clock budget, if any.
+    pub budget_ms: Option<u64>,
+}
+
+impl SweepPlan {
+    /// Total jobs across every batch.
+    pub fn total_jobs(&self) -> usize {
+        self.batches.iter().map(|(_, jobs)| jobs.len()).sum()
+    }
+}
+
+/// Validates and expands a sweep request.
+pub fn plan_sweep(req: &SweepRequest, limits: &RequestLimits) -> Result<SweepPlan, String> {
+    if req.ks.len() > limits.max_ks {
+        return Err(format!(
+            "\"ks\" has {} entries; the server limit is {}",
+            req.ks.len(),
+            limits.max_ks
+        ));
+    }
+    if let Some(&k) = req.ks.iter().find(|&&k| k > limits.max_k) {
+        return Err(format!(
+            "k={k} exceeds the server limit of {}",
+            limits.max_k
+        ));
+    }
+    let dataset = dataset_spec(req.dataset, limits)?;
+    let algorithms = algorithms(&req.algorithms)?;
+    let properties = properties(&req.properties)?;
+    let batches = req
+        .ks
+        .iter()
+        .map(|&k| {
+            let jobs = algorithms
+                .iter()
+                .map(|&algorithm| EvalJob {
+                    dataset: dataset.clone(),
+                    algorithm,
+                    k,
+                    max_suppression: req.max_suppression,
+                    properties: properties.clone(),
+                })
+                .collect();
+            (k, jobs)
+        })
+        .collect();
+    Ok(SweepPlan {
+        batches,
+        budget_ms: req.budget_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census() -> WireDataset {
+        WireDataset::Census {
+            rows: 100,
+            seed: 7,
+            zip_pool: 10,
+        }
+    }
+
+    #[test]
+    fn every_public_algorithm_resolves_and_mocks_do_not() {
+        for spec in SERVABLE_ALGORITHMS {
+            assert_eq!(algorithm_by_name(spec.name()).unwrap(), spec);
+        }
+        assert!(algorithm_by_name("mock-panic").is_err());
+        assert!(algorithm_by_name("mock-sleep").is_err());
+        assert!(algorithm_by_name("does-not-exist").is_err());
+    }
+
+    #[test]
+    fn every_property_resolves() {
+        for spec in SERVABLE_PROPERTIES {
+            assert_eq!(property_by_name(spec.tag()).unwrap(), spec);
+        }
+        assert!(property_by_name("entropy").is_err());
+    }
+
+    #[test]
+    fn empty_algorithm_list_means_standard_suite() {
+        let req = CompareRequest {
+            dataset: census(),
+            algorithms: vec![],
+            k: 3,
+            max_suppression: 5,
+            properties: vec![],
+            budget_ms: None,
+        };
+        let plan = plan_compare(&req, &RequestLimits::default()).unwrap();
+        assert_eq!(plan.jobs.len(), AlgorithmSpec::standard_suite().len());
+        assert!(plan
+            .jobs
+            .iter()
+            .all(|j| j.properties == [PropertySpec::EqClassSize]));
+        assert!(plan.jobs.iter().all(|j| j.k == 3 && j.max_suppression == 5));
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_before_any_work() {
+        let limits = RequestLimits {
+            max_rows: 50,
+            max_ks: 2,
+            max_k: 10,
+        };
+        let req = CompareRequest {
+            dataset: census(), // 100 rows > 50
+            algorithms: vec![],
+            k: 3,
+            max_suppression: 0,
+            properties: vec![],
+            budget_ms: None,
+        };
+        assert!(plan_compare(&req, &limits).unwrap_err().contains("rows"));
+
+        let sweep = SweepRequest {
+            dataset: WireDataset::Hospital { rows: 10, seed: 1 },
+            algorithms: vec![],
+            ks: vec![2, 3, 4],
+            max_suppression: 0,
+            properties: vec![],
+            budget_ms: None,
+        };
+        assert!(plan_sweep(&sweep, &limits).unwrap_err().contains("ks"));
+
+        let big_k = SweepRequest {
+            ks: vec![2, 999],
+            ..sweep.clone()
+        };
+        assert!(plan_sweep(&big_k, &limits).unwrap_err().contains("k=999"));
+    }
+
+    #[test]
+    fn sweep_batches_follow_request_order() {
+        let req = SweepRequest {
+            dataset: census(),
+            algorithms: vec!["datafly".into(), "mondrian".into()],
+            ks: vec![5, 2, 10],
+            max_suppression: 1,
+            properties: vec!["precision".into()],
+            budget_ms: Some(500),
+        };
+        let plan = plan_sweep(&req, &RequestLimits::default()).unwrap();
+        let ks: Vec<usize> = plan.batches.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, [5, 2, 10]);
+        assert_eq!(plan.total_jobs(), 6);
+        assert_eq!(plan.budget_ms, Some(500));
+        for (_, jobs) in &plan.batches {
+            assert_eq!(jobs[0].algorithm, AlgorithmSpec::Datafly);
+            assert_eq!(jobs[1].algorithm, AlgorithmSpec::Mondrian);
+            assert_eq!(jobs[0].properties, [PropertySpec::Precision]);
+        }
+    }
+
+    #[test]
+    fn unknown_names_surface_in_the_error() {
+        let req = CompareRequest {
+            dataset: census(),
+            algorithms: vec!["datafly".into(), "magic".into()],
+            k: 2,
+            max_suppression: 0,
+            properties: vec![],
+            budget_ms: None,
+        };
+        let err = plan_compare(&req, &RequestLimits::default()).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Graceful-shutdown plumbing: a shared flag plus SIGINT/SIGTERM hooks.
+//!
+//! The std library exposes no signal API, and the vendored-dependency
+//! constraint rules out the `signal-hook`/`libc` crates — but std already
+//! links the platform C library, so the `signal(2)` entry point is
+//! declared here directly. The handler does the only thing that is
+//! async-signal-safe: it stores into a process-global atomic. Everyone
+//! else — accept loops, keep-alive loops, the CLI's interrupt watcher —
+//! polls [`ShutdownFlag::requested`] at their own cadence and drains
+//! cleanly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable shutdown flag: set once, observed everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown. Idempotent; safe from any thread.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by [`ShutdownFlag::request`]
+    /// or, when hooked, by a delivered SIGINT/SIGTERM).
+    pub fn requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || SIGNALED.load(Ordering::SeqCst)
+    }
+
+    /// Installs SIGINT/SIGTERM handlers (once per process) whose delivery
+    /// makes *every* flag — this one and all others — report
+    /// `requested() == true`. Returns `self` for chaining.
+    pub fn on_signals(self) -> Self {
+        install_signal_hooks();
+        self
+    }
+}
+
+/// Set by the signal handler; observed by every [`ShutdownFlag`].
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::SIGNALED;
+    use std::sync::atomic::Ordering;
+    use std::sync::Once;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the C library std already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Async-signal-safe: a single atomic store.
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// Non-unix platforms: no hooks; Ctrl-C keeps its default behavior and
+    /// programmatic [`super::ShutdownFlag::request`] still works.
+    pub fn install() {}
+}
+
+/// Installs the process-global SIGINT/SIGTERM hooks (idempotent).
+pub fn install_signal_hooks() {
+    sys::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_unset_and_latches() {
+        let flag = ShutdownFlag::new();
+        assert!(!flag.requested());
+        let observer = flag.clone();
+        flag.request();
+        assert!(flag.requested());
+        assert!(observer.requested(), "clones observe the same request");
+    }
+}

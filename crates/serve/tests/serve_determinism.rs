@@ -1,0 +1,160 @@
+//! Concurrent-determinism guarantees of the daemon: response bodies are
+//! byte-identical whatever the server's thread count and whatever the
+//! cache state (cold first hit vs. warm repeat).
+
+use anoncmp_serve::client;
+use anoncmp_serve::prelude::*;
+
+fn start(threads: usize) -> ServerHandle {
+    serve(
+        ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        },
+        ShutdownFlag::new(),
+    )
+    .expect("bind on a free port")
+}
+
+fn compare_body() -> &'static str {
+    r#"{"dataset":{"kind":"census","rows":120,"seed":7,"zip_pool":10},"algorithms":["datafly","mondrian","greedy"],"k":3,"max_suppression":6,"properties":["eq-class-size","precision"]}"#
+}
+
+fn sweep_body() -> &'static str {
+    r#"{"dataset":{"kind":"census","rows":120,"seed":7,"zip_pool":10},"algorithms":["datafly","mondrian"],"ks":[2,4,6],"max_suppression":6,"properties":["eq-class-size"]}"#
+}
+
+#[test]
+fn compare_bodies_are_byte_identical_across_thread_counts_and_cache_states() {
+    let mut bodies = Vec::new();
+    for threads in [1, 4] {
+        let server = start(threads);
+        // Cold: first request computes every release.
+        let cold = client::post(server.addr(), "/compare", compare_body()).expect("cold compare");
+        assert_eq!(cold.status, 200, "{}", cold.text());
+        // Warm: the repeat is served from the cache.
+        let warm = client::post(server.addr(), "/compare", compare_body()).expect("warm compare");
+        assert_eq!(warm.status, 200);
+        assert_eq!(
+            cold.text(),
+            warm.text(),
+            "warm (cached) body must equal the cold body byte-for-byte"
+        );
+        let stats = server.stats();
+        assert!(
+            stats.response_hits >= 1,
+            "second request must hit the response cache: {stats:?}"
+        );
+        assert_eq!(
+            stats.response_misses, 1,
+            "only the cold request may miss the response cache: {stats:?}"
+        );
+        bodies.push(cold.text());
+        server.shutdown();
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "1-thread and 4-thread servers must produce byte-identical bodies"
+    );
+}
+
+#[test]
+fn sweep_streams_are_byte_identical_across_thread_counts() {
+    let mut streams = Vec::new();
+    for threads in [1, 3] {
+        let server = start(threads);
+        let first = client::post(server.addr(), "/sweep", sweep_body()).expect("cold sweep");
+        assert_eq!(first.status, 200);
+        let second = client::post(server.addr(), "/sweep", sweep_body()).expect("warm sweep");
+        assert_eq!(first.text(), second.text(), "cold vs warm sweep stream");
+        streams.push(first.text());
+        server.shutdown();
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "thread count must not leak into the stream"
+    );
+
+    // The stream is well-formed JSONL: 2 algorithms × 3 ks record lines
+    // plus the done trailer, every line parseable.
+    let lines: Vec<&str> = streams[0].lines().collect();
+    assert_eq!(lines.len(), 7, "{streams:?}");
+    for line in &lines[..6] {
+        let v = serde::json::parse(line).expect("record line parses");
+        assert!(v.get("job_id").is_some(), "{line}");
+        assert_eq!(
+            v.get("duration_ms").and_then(serde::json::Value::as_u64),
+            Some(0),
+            "records must be canonical (scheduling fields stripped): {line}"
+        );
+    }
+    let trailer = serde::json::parse(lines[6]).expect("trailer parses");
+    assert_eq!(
+        trailer.get("done").and_then(serde::json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        trailer.get("records").and_then(serde::json::Value::as_u64),
+        Some(6)
+    );
+    assert_eq!(
+        trailer
+            .get("truncated")
+            .and_then(serde::json::Value::as_bool),
+        Some(false)
+    );
+}
+
+#[test]
+fn concurrent_clients_all_read_the_same_bytes() {
+    let server = start(4);
+    let addr = server.addr();
+    let reference = client::post(addr, "/compare", compare_body())
+        .expect("reference")
+        .text();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    client::post(addr, "/compare", compare_body())
+                        .expect("concurrent compare")
+                        .text()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for body in &bodies {
+        assert_eq!(
+            body, &reference,
+            "every concurrent client reads the same bytes"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn jsonl_and_http_modes_serve_the_same_records() {
+    let server = start(2);
+    let http_response = client::post(server.addr(), "/compare", compare_body()).expect("http");
+    let http_body = http_response.text();
+
+    let jsonl_line = format!(
+        "{}{}",
+        r#"{"op":"compare","#,
+        compare_body().trim_start_matches('{')
+    );
+    let jsonl_lines = client::jsonl_request(server.addr(), &jsonl_line).expect("jsonl");
+    let records: Vec<&String> = jsonl_lines[..jsonl_lines.len() - 1].iter().collect();
+
+    // The HTTP body embeds exactly the record lines the JSONL mode streams.
+    for record in &records {
+        assert!(
+            http_body.contains(record.as_str()),
+            "jsonl record missing from the http body: {record}"
+        );
+    }
+    assert_eq!(records.len(), 3, "{jsonl_lines:?}");
+    assert!(jsonl_lines.last().unwrap().starts_with("{\"done\":"));
+    server.shutdown();
+}

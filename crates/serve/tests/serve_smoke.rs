@@ -1,0 +1,259 @@
+//! End-to-end smoke tests for the daemon: endpoint routing, error
+//! envelopes, admission shedding, budget truncation, and graceful
+//! shutdown — every path a real client can hit.
+
+use std::time::Duration;
+
+use anoncmp_serve::client;
+use anoncmp_serve::prelude::*;
+
+fn start(config: ServeConfig) -> ServerHandle {
+    serve(config, ShutdownFlag::new()).expect("bind on a free port")
+}
+
+#[test]
+fn healthz_and_stats_respond() {
+    let server = start(ServeConfig::default());
+    let health = client::get(server.addr(), "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "{\"ok\":true}");
+
+    let stats = client::get(server.addr(), "/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    let parsed = serde::json::parse(&stats.text()).expect("stats parse");
+    let decoded = anoncmp_core::wire::ServerStats::from_value(&parsed).expect("stats decode");
+    assert!(decoded.threads >= 1);
+    assert_eq!(decoded.compare_requests, 0);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_use_the_error_envelope() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    for (status, code, response) in [
+        (404, "not_found", client::get(addr, "/nope")),
+        (405, "not_found", client::get(addr, "/compare")),
+        (
+            400,
+            "bad_request",
+            client::post(addr, "/compare", "not json"),
+        ),
+        (
+            400,
+            "bad_request",
+            client::post(addr, "/compare", r#"{"k":3}"#),
+        ),
+        (
+            400,
+            "bad_request",
+            client::post(
+                addr,
+                "/compare",
+                r#"{"dataset":{"kind":"census","rows":50,"seed":1,"zip_pool":5},"k":2,"algorithms":["mock-panic"]}"#,
+            ),
+        ),
+        (
+            400,
+            "bad_request",
+            client::post(
+                addr,
+                "/sweep",
+                r#"{"dataset":{"kind":"census","rows":50,"seed":1,"zip_pool":5},"ks":[]}"#,
+            ),
+        ),
+    ] {
+        let response = response.expect("transport ok");
+        assert_eq!(response.status, status, "{}", response.text());
+        let v = serde::json::parse(&response.text()).expect("error envelope parses");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(serde::json::Value::as_str),
+            Some(code),
+            "{}",
+            response.text()
+        );
+    }
+    assert!(server.stats().rejected_total >= 6);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let server = start(ServeConfig {
+        http: anoncmp_serve::http::HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 128,
+        },
+        ..ServeConfig::default()
+    });
+    let big = format!(
+        r#"{{"dataset":{{"kind":"census","rows":50,"seed":1,"zip_pool":5}},"k":2,"properties":["{}"]}}"#,
+        "a".repeat(500)
+    );
+    let response = client::post(server.addr(), "/compare", &big).expect("transport ok");
+    assert_eq!(response.status, 413, "{}", response.text());
+    assert!(response.text().contains("payload_too_large"));
+    server.shutdown();
+}
+
+#[test]
+fn request_caps_reject_absurd_work() {
+    let server = start(ServeConfig {
+        limits: RequestLimits {
+            max_rows: 100,
+            max_ks: 4,
+            max_k: 50,
+        },
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let too_many_rows = client::post(
+        addr,
+        "/compare",
+        r#"{"dataset":{"kind":"census","rows":5000,"seed":1,"zip_pool":5},"k":2}"#,
+    )
+    .expect("transport ok");
+    assert_eq!(too_many_rows.status, 400);
+    assert!(too_many_rows.text().contains("rows"));
+
+    let too_big_k = client::post(
+        addr,
+        "/compare",
+        r#"{"dataset":{"kind":"census","rows":50,"seed":1,"zip_pool":5},"k":99}"#,
+    )
+    .expect("transport ok");
+    assert_eq!(too_big_k.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn admission_full_sheds_with_429() {
+    // Zero capacity: every connection is shed before reaching a worker.
+    let server = start(ServeConfig {
+        max_inflight: 0,
+        ..ServeConfig::default()
+    });
+    let response = client::get(server.addr(), "/healthz").expect("shed response");
+    assert_eq!(response.status, 429, "{}", response.text());
+    assert!(response.text().contains("overloaded"));
+    assert!(server.stats().shed_total >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn zero_budget_truncates_compare() {
+    let server = start(ServeConfig::default());
+    let response = client::post(
+        server.addr(),
+        "/compare",
+        r#"{"dataset":{"kind":"census","rows":60,"seed":3,"zip_pool":6},"k":2,"budget_ms":0}"#,
+    )
+    .expect("transport ok");
+    assert_eq!(response.status, 200);
+    let v = serde::json::parse(&response.text()).expect("body parses");
+    assert_eq!(
+        v.get("truncated").and_then(serde::json::Value::as_bool),
+        Some(true),
+        "{}",
+        response.text()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn zero_budget_sweep_ends_with_deadline_trailer() {
+    let server = start(ServeConfig::default());
+    let response = client::post(
+        server.addr(),
+        "/sweep",
+        r#"{"dataset":{"kind":"census","rows":60,"seed":3,"zip_pool":6},"ks":[2,3],"budget_ms":0}"#,
+    )
+    .expect("transport ok");
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    let trailer = serde::json::parse(text.lines().last().expect("trailer")).expect("parses");
+    assert_eq!(
+        trailer
+            .get("truncated")
+            .and_then(serde::json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        trailer.get("code").and_then(serde::json::Value::as_str),
+        Some("deadline_exceeded")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn jsonl_mode_serves_stats_and_rejects_unknown_ops() {
+    let server = start(ServeConfig::default());
+    let stats = client::jsonl_request(server.addr(), r#"{"op":"stats"}"#).expect("stats op");
+    assert_eq!(stats.len(), 1);
+    assert!(stats[0].contains("\"requests_total\""));
+
+    let unknown = client::jsonl_request(server.addr(), r#"{"op":"fly"}"#).expect("unknown op");
+    assert_eq!(unknown.len(), 1);
+    assert!(unknown[0].contains("bad_request"), "{unknown:?}");
+    server.shutdown();
+}
+
+#[test]
+fn hospital_dataset_is_servable() {
+    let server = start(ServeConfig::default());
+    let response = client::post(
+        server.addr(),
+        "/compare",
+        r#"{"dataset":{"kind":"hospital","rows":80,"seed":2},"algorithms":["datafly"],"k":2}"#,
+    )
+    .expect("transport ok");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert!(response.text().contains("hospital(rows=80, seed=2)"));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_joins() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    // A request in flight when shutdown is requested still completes.
+    let response = client::post(
+        addr,
+        "/compare",
+        r#"{"dataset":{"kind":"census","rows":80,"seed":5,"zip_pool":8},"algorithms":["datafly"],"k":2}"#,
+    )
+    .expect("pre-shutdown request");
+    assert_eq!(response.status, 200);
+    server.shutdown(); // blocks until acceptor + workers drain
+
+    // The listener is gone: connecting now fails (immediately or on read).
+    let after = client::get(addr, "/healthz");
+    assert!(after.is_err(), "server must be down after shutdown");
+}
+
+#[test]
+fn loadgen_reports_warm_speedup_against_a_live_server() {
+    let server = start(ServeConfig::default());
+    let report = anoncmp_serve::loadgen::run(&LoadgenConfig {
+        addr: server.addr(),
+        clients: 2,
+        duration: Duration::from_millis(600),
+        rows: 120,
+        ks: vec![2, 4],
+        algorithms: vec!["datafly".into(), "mondrian".into()],
+    })
+    .expect("load run");
+    assert_eq!(report.cold.errors + report.warm.errors, 0);
+    assert_eq!(report.cold.requests, 2);
+    assert!(report.warm.requests > 0, "closed loop made progress");
+    assert!(report.throughput_rps > 0.0);
+    assert!(
+        report.warm_speedup_p50 > 1.0,
+        "warm requests must be faster than cold: {report:?}"
+    );
+    assert!(report.cache_hit_rate > 0.5, "{report:?}");
+    server.shutdown();
+}

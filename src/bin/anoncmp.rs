@@ -14,6 +14,10 @@
 //!
 //! anoncmp risk --input data.csv --qi age,zip --sensitive disease [--threshold 0.2]
 //!     Re-identification risk of releasing the file as-is.
+//!
+//! anoncmp serve [--addr 127.0.0.1:7171] [--threads N] [--max-inflight N]
+//!     Run the long-lived comparison daemon (HTTP/1.1 + JSONL-over-TCP,
+//!     see docs/WIRE_PROTOCOL.md). Drains and exits 0 on SIGINT/SIGTERM.
 //! ```
 //!
 //! Schema inference: a column whose every value parses as an integer
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "compare" => with_options(rest, compare),
         "frontier" => with_options(rest, frontier),
         "risk" => with_options(rest, risk),
+        "serve" => with_options(rest, serve_daemon),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -59,7 +64,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk> [options]
+const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk|serve> [options]
   --input FILE        CSV file with a header row (required except for demo)
   --qi COLS           comma-separated quasi-identifier column names (required)
   --sensitive COL     sensitive column name (required)
@@ -74,7 +79,16 @@ const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk> [opti
                       appended fsync'd and replayed on re-run (crash-safe);
                       quarantined jobs land in FILE.failed.jsonl
   --max-retries N     retries for panicking/timed-out jobs (default 0)
-  --chaos-seed N      deterministic fault injection for `compare` (testing)";
+  --chaos-seed N      deterministic fault injection for `compare` (testing)
+serve options:
+  --addr HOST:PORT    bind address (default 127.0.0.1:7171; port 0 = free port)
+  --threads N         serving threads (default: one per CPU)
+  --max-inflight N    admitted connections before shedding 429s (default 64)
+  --release-cap N     release-cache LRU capacity, 0 = unbounded (default 256)
+  --vector-cap N      vector-cache LRU capacity, 0 = unbounded (default 1024)
+  --response-cap N    response-cache LRU capacity, 0 = unbounded (default 256)
+  --engine-jobs N     engine workers per sweep (default: one per CPU)
+  --max-rows N        largest synthesizable dataset per request (default 20000)";
 
 /// Parsed `--key value` options.
 struct Options(BTreeMap<String, String>);
@@ -208,6 +222,12 @@ fn anonymize(opts: &Options) -> Result<(), String> {
 fn compare(opts: &Options) -> Result<(), String> {
     use anoncmp::engine::prelude::*;
 
+    // Hook SIGINT/SIGTERM before any work: an interrupt mid-sweep now
+    // lets the sweep finish its in-flight jobs and flush the checkpoint
+    // journal instead of dying with a torn tail. (The journal heals torn
+    // tails on resume anyway, but a clean exit 0 means nothing to heal.)
+    let interrupted = anoncmp::serve::ShutdownFlag::new().on_signals();
+
     let dataset = load_from_options(opts)?;
     let k = opts.usize_or("k", 5)?;
     let max_sup = opts.usize_or("max-sup", dataset.len() / 20)?;
@@ -305,6 +325,38 @@ fn compare(opts: &Options) -> Result<(), String> {
     // Flush the quarantine file and close the journal before exit.
     engine.set_quarantine_sink(None);
     engine.detach_journal();
+    if interrupted.requested() {
+        eprintln!("interrupted: sweep drained and checkpoint journal flushed; exiting cleanly");
+    }
+    Ok(())
+}
+
+fn serve_daemon(opts: &Options) -> Result<(), String> {
+    use anoncmp::serve::prelude::*;
+
+    let mut config = ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7171").to_owned(),
+        threads: opts.usize_or("threads", 0)?,
+        max_inflight: opts.usize_or("max-inflight", 64)?,
+        release_capacity: opts.usize_or("release-cap", 256)?,
+        vector_capacity: opts.usize_or("vector-cap", 1024)?,
+        response_capacity: opts.usize_or("response-cap", 256)?,
+        engine_jobs: opts.usize_or("engine-jobs", 0)?,
+        ..ServeConfig::default()
+    };
+    config.limits.max_rows = opts.usize_or("max-rows", config.limits.max_rows)?;
+
+    // The flag is signal-hooked: SIGINT/SIGTERM stop the acceptor, drain
+    // every admitted connection, and `wait` returns — exit code 0.
+    let shutdown = ShutdownFlag::new().on_signals();
+    let server = serve(config, shutdown).map_err(|e| format!("cannot bind: {e}"))?;
+    eprintln!(
+        "anoncmp-serve listening on {} ({} thread(s)); endpoints: POST /compare, POST /sweep, GET /stats, GET /healthz — Ctrl-C drains and exits",
+        server.addr(),
+        server.stats().threads,
+    );
+    server.wait();
+    eprintln!("anoncmp-serve: drained, caches dropped, bye");
     Ok(())
 }
 

@@ -19,7 +19,9 @@
 //! * [`datagen`] — the paper's Table 1–3 examples and a synthetic census
 //!   generator ([`anoncmp_datagen`]);
 //! * [`engine`] — the parallel, memoizing evaluation engine executing
-//!   algorithm × k × dataset sweeps ([`anoncmp_engine`]).
+//!   algorithm × k × dataset sweeps ([`anoncmp_engine`]);
+//! * [`serve`] — the long-lived, cache-warm comparison daemon and its
+//!   closed-loop load generator ([`anoncmp_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use anoncmp_core as core;
 pub use anoncmp_datagen as datagen;
 pub use anoncmp_engine as engine;
 pub use anoncmp_microdata as microdata;
+pub use anoncmp_serve as serve;
 
 /// One-stop prelude: the union of the member crates' preludes.
 ///

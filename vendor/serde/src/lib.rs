@@ -342,13 +342,59 @@ pub mod json {
         }
     }
 
+    /// Guards applied while parsing untrusted input.
+    ///
+    /// The parser recurses once per container level, so an attacker
+    /// sending `[[[[…` could otherwise overflow the stack; and a
+    /// multi-gigabyte body could exhaust memory before syntax errors are
+    /// even reachable. Both bounds are checked up front / per level and
+    /// fail the parse cleanly (`None`), never the process.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ParseLimits {
+        /// Maximum container nesting (arrays + objects). A top-level
+        /// scalar has depth 0; `[1]` has depth 1. Exceeding it fails the
+        /// parse. `0` is interpreted as the default limit.
+        pub max_depth: usize,
+        /// Maximum document size in bytes; `0` = unbounded.
+        pub max_bytes: usize,
+    }
+
+    /// Default nesting bound: far beyond anything this workspace writes
+    /// (records nest 4–5 deep), far below stack-overflow territory.
+    pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+    impl Default for ParseLimits {
+        fn default() -> Self {
+            ParseLimits {
+                max_depth: DEFAULT_MAX_DEPTH,
+                max_bytes: 0,
+            }
+        }
+    }
+
     /// Parses one JSON document, rejecting trailing garbage. Returns
     /// `None` on any syntax error — callers treating a torn journal line
-    /// need "valid or not", not a diagnostic.
+    /// need "valid or not", not a diagnostic. Applies the default
+    /// [`ParseLimits`] (depth-bounded, size-unbounded); servers parsing
+    /// attacker-controlled bytes should call [`parse_with_limits`] with an
+    /// explicit size bound too.
     pub fn parse(text: &str) -> Option<Value> {
+        parse_with_limits(text, ParseLimits::default())
+    }
+
+    /// [`parse`] under explicit [`ParseLimits`].
+    pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Option<Value> {
+        if limits.max_bytes > 0 && text.len() > limits.max_bytes {
+            return None;
+        }
+        let max_depth = if limits.max_depth == 0 {
+            DEFAULT_MAX_DEPTH
+        } else {
+            limits.max_depth
+        };
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, max_depth)?;
         skip_ws(bytes, &mut pos);
         if pos == bytes.len() {
             Some(value)
@@ -372,7 +418,7 @@ pub mod json {
         }
     }
 
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    fn parse_value(bytes: &[u8], pos: &mut usize, depth_left: usize) -> Option<Value> {
         skip_ws(bytes, pos);
         match *bytes.get(*pos)? {
             b'n' => eat(bytes, pos, b"null").map(|_| Value::Null),
@@ -380,6 +426,7 @@ pub mod json {
             b'f' => eat(bytes, pos, b"false").map(|_| Value::Bool(false)),
             b'"' => parse_string(bytes, pos).map(Value::Str),
             b'[' => {
+                let depth_left = depth_left.checked_sub(1)?;
                 *pos += 1;
                 let mut items = Vec::new();
                 skip_ws(bytes, pos);
@@ -388,7 +435,7 @@ pub mod json {
                     return Some(Value::Arr(items));
                 }
                 loop {
-                    items.push(parse_value(bytes, pos)?);
+                    items.push(parse_value(bytes, pos, depth_left)?);
                     skip_ws(bytes, pos);
                     match bytes.get(*pos)? {
                         b',' => *pos += 1,
@@ -401,6 +448,7 @@ pub mod json {
                 }
             }
             b'{' => {
+                let depth_left = depth_left.checked_sub(1)?;
                 *pos += 1;
                 let mut fields = Vec::new();
                 skip_ws(bytes, pos);
@@ -416,7 +464,7 @@ pub mod json {
                         return None;
                     }
                     *pos += 1;
-                    fields.push((key, parse_value(bytes, pos)?));
+                    fields.push((key, parse_value(bytes, pos, depth_left)?));
                     skip_ws(bytes, pos);
                     match bytes.get(*pos)? {
                         b',' => *pos += 1,
