@@ -1,6 +1,8 @@
 //! Emits `BENCH_baseline.json`: machine-readable wall-clock baselines for
 //! the `algorithms`, `grouping`, `lattice_encoded`, `property_extraction`,
-//! and `comparator_matrix` bench groups.
+//! and `comparator_matrix` bench groups, plus the out-of-core chunked
+//! groups at 1M/10M rows with a `scaling` section and the process peak
+//! RSS.
 //!
 //! Criterion's HTML-free vendored harness prints per-run numbers but keeps
 //! no history; this binary records a single JSON snapshot that CI and the
@@ -11,16 +13,38 @@
 //! ```text
 //! cargo run -p anoncmp-bench --release --bin bench_baseline            # writes ./BENCH_baseline.json
 //! cargo run -p anoncmp-bench --release --bin bench_baseline -- out.json
+//! cargo run -p anoncmp-bench --release --bin bench_baseline -- \
+//!     --rows 1000000 --assert-peak-rss-mb 900 ci.json   # CI memory gate
 //! ```
+//!
+//! Flags:
+//! * `--rows N` — run the chunked groups at exactly `N` rows instead of
+//!   the default 1M/10M ladder.
+//! * `--max-rows N` — drop every bench group whose row count exceeds `N`
+//!   (applies to the in-memory and chunked groups alike).
+//! * `--assert-peak-rss-mb N` — exit non-zero if the process peak RSS
+//!   exceeded `N` MiB, so CI can pin the out-of-core memory envelope.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use anoncmp_anonymize::prelude::*;
 use anoncmp_core::prelude::*;
-use anoncmp_datagen::census::{generate, CensusConfig};
+use anoncmp_datagen::census::{census_schema, generate, CensusConfig, CensusRows};
 use anoncmp_microdata::prelude::*;
 use serde::Serialize;
+
+/// Row counts for the in-memory (materialized vs encoded) groups.
+const ROW_GROUPS: [usize; 2] = [10_000, 50_000];
+
+/// Row counts for the out-of-core chunked groups. These never materialize
+/// a `Dataset`: rows stream straight from the census generator into
+/// fixed-size column chunks.
+const CHUNKED_ROW_GROUPS: [usize; 2] = [1_000_000, 10_000_000];
+
+/// Chunk granularity of the streaming groups: 64Ki rows per block keeps
+/// the working set of one pass well under a megabyte per column.
+const CHUNK_ROWS: usize = 65_536;
 
 /// One timed bench entry.
 #[derive(Serialize)]
@@ -33,22 +57,40 @@ struct BenchEntry {
     min_ms: f64,
 }
 
+/// How the chunked kernels scale from the smaller to the larger streamed
+/// row count (min-over-min wall-clock ratios; linear scaling would be
+/// `rows_large / rows_small`).
+#[derive(Serialize)]
+struct Scaling {
+    rows_small: usize,
+    rows_large: usize,
+    partition_ratio: f64,
+    extraction_ratio: f64,
+}
+
 /// The whole baseline file.
 #[derive(Serialize)]
 struct Baseline {
     /// Speedup of encoded per-node evaluation over `Lattice::apply` at the
-    /// largest measured size (min-over-min ratio).
+    /// largest measured in-memory size (min-over-min ratio; 0.0 when the
+    /// group was filtered out by `--max-rows`).
     encoded_speedup_50k: f64,
     /// Speedup of incremental coarsening over `Lattice::apply` at the
-    /// largest measured size.
+    /// largest measured in-memory size.
     coarsen_speedup_50k: f64,
     /// Speedup of encoded property extraction over the materialize-then-
-    /// extract path at the largest measured size.
+    /// extract path at the largest measured in-memory size.
     extraction_speedup_50k: f64,
     /// Speedup of the batched `ComparisonMatrix` kernel over the scalar
     /// all-ordered-pairs sweep for 32 candidates (summed over the cov,
     /// rank, and hv comparators).
     matrix_speedup_m32: f64,
+    /// Chunked-kernel scaling between the two streamed sizes, when both
+    /// ran.
+    scaling: Option<Scaling>,
+    /// Peak resident set of this process (VmHWM), in MiB. `None` off
+    /// Linux.
+    peak_rss_mb: Option<f64>,
     benches: Vec<BenchEntry>,
 }
 
@@ -79,12 +121,16 @@ fn entry(group: &str, name: &str, rows: usize, iters: usize, f: impl FnMut()) ->
     }
 }
 
-fn census(rows: usize) -> Arc<Dataset> {
-    generate(&CensusConfig {
+fn census_config(rows: usize) -> CensusConfig {
+    CensusConfig {
         rows,
         seed: 5,
         zip_pool: 20,
-    })
+    }
+}
+
+fn census(rows: usize) -> Arc<Dataset> {
+    generate(&census_config(rows))
 }
 
 /// Same mid-lattice node the `lattice_encoded` criterion bench uses.
@@ -138,8 +184,8 @@ fn algorithm_benches(out: &mut Vec<BenchEntry>) {
     }));
 }
 
-fn lattice_benches(out: &mut Vec<BenchEntry>) {
-    for rows in [10_000usize, 50_000] {
+fn lattice_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
+    for &rows in sizes {
         let ds = census(rows);
         let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
         let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
@@ -183,9 +229,9 @@ fn extraction_properties() -> Vec<Box<dyn Property>> {
     ]
 }
 
-fn property_extraction_benches(out: &mut Vec<BenchEntry>) {
+fn property_extraction_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
     let props = extraction_properties();
-    for rows in [10_000usize, 50_000] {
+    for &rows in sizes {
         let ds = census(rows);
         let lattice = Lattice::new(ds.schema().clone()).expect("census lattice");
         let codec = GenCodec::new(&ds).expect("census hierarchies are complete");
@@ -209,6 +255,214 @@ fn property_extraction_benches(out: &mut Vec<BenchEntry>) {
                 std::hint::black_box(p.extract_encoded(&codec, &partition));
             }
         }));
+    }
+}
+
+/// The out-of-core groups: rows stream from the generator into fixed-size
+/// column chunks (no `Dataset`, no `Vec<Vec<Value>>`), then per-node
+/// grouping and property extraction run over the chunked view.
+fn chunked_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
+    let props = extraction_properties();
+    for &rows in sizes {
+        let config = census_config(rows);
+        let iters = if rows > 2_000_000 { 2 } else { 3 };
+
+        let mut built: Option<ChunkedCodec> = None;
+        out.push(entry("lattice_encoded", "chunked_build", rows, 1, || {
+            built = Some(
+                ChunkedCodec::from_rows(
+                    census_schema(config.zip_pool),
+                    || CensusRows::new(&config),
+                    CHUNK_ROWS,
+                    ChunkStore::Memory,
+                )
+                .expect("streaming build"),
+            );
+        }));
+        let codec = built.expect("built in the timed closure");
+
+        out.push(entry("lattice_encoded", "chunked", rows, iters, || {
+            let p = codec.partition(&NODE).expect("valid node");
+            std::hint::black_box(p.min_class_size());
+        }));
+        out.push(entry("property_extraction", "chunked", rows, iters, || {
+            let partition = codec.partition(&NODE).expect("valid node");
+            for p in &props {
+                std::hint::black_box(
+                    p.extract_chunked(&codec, &partition)
+                        .expect("built-ins have chunked kernels"),
+                );
+            }
+        }));
+    }
+}
+
+fn min_of(benches: &[BenchEntry], group: &str, name: &str, rows: usize) -> Option<f64> {
+    benches
+        .iter()
+        .find(|b| b.group == group && b.name == name && b.rows == rows)
+        .map(|b| b.min_ms)
+}
+
+fn scaling_of(benches: &[BenchEntry], sizes: &[usize]) -> Option<Scaling> {
+    let (&small, &large) = (sizes.iter().min()?, sizes.iter().max()?);
+    if small == large {
+        return None;
+    }
+    Some(Scaling {
+        rows_small: small,
+        rows_large: large,
+        partition_ratio: min_of(benches, "lattice_encoded", "chunked", large)?
+            / min_of(benches, "lattice_encoded", "chunked", small)?,
+        extraction_ratio: min_of(benches, "property_extraction", "chunked", large)?
+            / min_of(benches, "property_extraction", "chunked", small)?,
+    })
+}
+
+/// Peak resident set (VmHWM) of this process in MiB, from
+/// `/proc/self/status`. `None` on platforms without procfs.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+struct Cli {
+    path: String,
+    rows_override: Option<usize>,
+    max_rows: Option<usize>,
+    assert_peak_rss_mb: Option<f64>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        path: "BENCH_baseline.json".into(),
+        rows_override: None,
+        max_rows: None,
+        assert_peak_rss_mb: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |flag: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} requires a number"))
+        };
+        match arg.as_str() {
+            "--rows" => cli.rows_override = Some(numeric("--rows") as usize),
+            "--max-rows" => cli.max_rows = Some(numeric("--max-rows") as usize),
+            "--assert-peak-rss-mb" => {
+                cli.assert_peak_rss_mb = Some(numeric("--assert-peak-rss-mb"));
+            }
+            other => cli.path = other.into(),
+        }
+    }
+    cli
+}
+
+fn capped(groups: &[usize], max_rows: Option<usize>) -> Vec<usize> {
+    groups
+        .iter()
+        .copied()
+        .filter(|&rows| max_rows.is_none_or(|cap| rows <= cap))
+        .collect()
+}
+
+fn main() {
+    let cli = parse_cli();
+    let in_memory_sizes = capped(&ROW_GROUPS, cli.max_rows);
+    let chunked_sizes = capped(
+        &cli.rows_override
+            .map(|r| vec![r])
+            .unwrap_or_else(|| CHUNKED_ROW_GROUPS.to_vec()),
+        cli.max_rows,
+    );
+
+    let mut benches = Vec::new();
+    grouping_benches(&mut benches);
+    algorithm_benches(&mut benches);
+    lattice_benches(&mut benches, &in_memory_sizes);
+    property_extraction_benches(&mut benches, &in_memory_sizes);
+    comparator_matrix_benches(&mut benches);
+    chunked_benches(&mut benches, &chunked_sizes);
+
+    // Speedups are quoted at the largest in-memory size that actually ran
+    // (50k unless `--max-rows` filtered it); 0.0 means "not measured".
+    let speedup_rows = in_memory_sizes.last().copied();
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
+        _ => 0.0,
+    };
+    let materialized =
+        speedup_rows.and_then(|r| min_of(&benches, "lattice_encoded", "materialized", r));
+    let scalar_total: f64 = ["cov", "rank", "hv"]
+        .iter()
+        .filter_map(|t| {
+            min_of(
+                &benches,
+                "comparator_matrix",
+                &format!("scalar_{t}"),
+                10_000,
+            )
+        })
+        .sum();
+    let matrix_total: f64 = ["cov", "rank", "hv"]
+        .iter()
+        .filter_map(|t| {
+            min_of(
+                &benches,
+                "comparator_matrix",
+                &format!("matrix_{t}"),
+                10_000,
+            )
+        })
+        .sum();
+    let baseline = Baseline {
+        encoded_speedup_50k: ratio(
+            materialized,
+            speedup_rows.and_then(|r| min_of(&benches, "lattice_encoded", "encoded", r)),
+        ),
+        coarsen_speedup_50k: ratio(
+            materialized,
+            speedup_rows.and_then(|r| min_of(&benches, "lattice_encoded", "coarsen", r)),
+        ),
+        extraction_speedup_50k: ratio(
+            speedup_rows.and_then(|r| min_of(&benches, "property_extraction", "materialized", r)),
+            speedup_rows.and_then(|r| min_of(&benches, "property_extraction", "encoded", r)),
+        ),
+        matrix_speedup_m32: ratio(Some(scalar_total), Some(matrix_total)),
+        scaling: scaling_of(&benches, &chunked_sizes),
+        peak_rss_mb: peak_rss_mb(),
+        benches,
+    };
+    eprintln!(
+        "encoded speedup at the largest in-memory size: {:.1}x, coarsen: {:.1}x",
+        baseline.encoded_speedup_50k, baseline.coarsen_speedup_50k
+    );
+    eprintln!(
+        "property extraction speedup: {:.1}x, comparator matrix at M=32: {:.1}x",
+        baseline.extraction_speedup_50k, baseline.matrix_speedup_m32
+    );
+    if let Some(scaling) = &baseline.scaling {
+        eprintln!(
+            "chunked scaling {} -> {} rows: partition {:.1}x, extraction {:.1}x",
+            scaling.rows_small,
+            scaling.rows_large,
+            scaling.partition_ratio,
+            scaling.extraction_ratio
+        );
+    }
+    if let Some(rss) = baseline.peak_rss_mb {
+        eprintln!("peak RSS: {rss:.0} MiB");
+    }
+    std::fs::write(&cli.path, baseline.to_json() + "\n").expect("writable output path");
+    eprintln!("wrote {}", cli.path);
+    if let (Some(cap), Some(rss)) = (cli.assert_peak_rss_mb, baseline.peak_rss_mb) {
+        assert!(
+            rss <= cap,
+            "peak RSS {rss:.0} MiB exceeds the asserted ceiling of {cap:.0} MiB"
+        );
     }
 }
 
@@ -264,66 +518,4 @@ fn comparator_matrix_benches(out: &mut Vec<BenchEntry>) {
             },
         ));
     }
-}
-
-fn min_of(benches: &[BenchEntry], group: &str, name: &str, rows: usize) -> f64 {
-    benches
-        .iter()
-        .find(|b| b.group == group && b.name == name && b.rows == rows)
-        .expect("entry present")
-        .min_ms
-}
-
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_baseline.json".into());
-    let mut benches = Vec::new();
-    grouping_benches(&mut benches);
-    algorithm_benches(&mut benches);
-    lattice_benches(&mut benches);
-    property_extraction_benches(&mut benches);
-    comparator_matrix_benches(&mut benches);
-
-    let materialized = min_of(&benches, "lattice_encoded", "materialized", 50_000);
-    let scalar_total: f64 = ["cov", "rank", "hv"]
-        .iter()
-        .map(|t| {
-            min_of(
-                &benches,
-                "comparator_matrix",
-                &format!("scalar_{t}"),
-                10_000,
-            )
-        })
-        .sum();
-    let matrix_total: f64 = ["cov", "rank", "hv"]
-        .iter()
-        .map(|t| {
-            min_of(
-                &benches,
-                "comparator_matrix",
-                &format!("matrix_{t}"),
-                10_000,
-            )
-        })
-        .sum();
-    let baseline = Baseline {
-        encoded_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "encoded", 50_000),
-        coarsen_speedup_50k: materialized / min_of(&benches, "lattice_encoded", "coarsen", 50_000),
-        extraction_speedup_50k: min_of(&benches, "property_extraction", "materialized", 50_000)
-            / min_of(&benches, "property_extraction", "encoded", 50_000),
-        matrix_speedup_m32: scalar_total / matrix_total,
-        benches,
-    };
-    eprintln!(
-        "encoded speedup at 50k rows: {:.1}x, coarsen: {:.1}x",
-        baseline.encoded_speedup_50k, baseline.coarsen_speedup_50k
-    );
-    eprintln!(
-        "property extraction speedup at 50k rows: {:.1}x, comparator matrix at M=32: {:.1}x",
-        baseline.extraction_speedup_50k, baseline.matrix_speedup_m32
-    );
-    std::fs::write(&path, baseline.to_json() + "\n").expect("writable output path");
-    eprintln!("wrote {path}");
 }

@@ -19,7 +19,7 @@ use crate::comparators::{
     additive_epsilon_index, coverage_index, multiplicative_epsilon_index, prefer_higher,
     prefer_lower, shared_min_product, spread_index, BatchSpec, Comparator, Preference,
 };
-use crate::dominance::weakly_dominates;
+use crate::dominance::dominance_pair;
 use crate::preference::SetComparator;
 use crate::vector::{PropertySet, PropertyVector};
 
@@ -95,8 +95,9 @@ fn pair_outcomes(
             )
         }
         BatchSpec::Dominance => {
-            let fwd = weakly_dominates(&vectors[i], &vectors[j]);
-            let bwd = weakly_dominates(&vectors[j], &vectors[i]);
+            // One fused pass yields both directions (reads each vector
+            // once); the preference mapping is unchanged.
+            let (fwd, bwd) = dominance_pair(&vectors[i], &vectors[j]);
             (
                 dominance_preference(fwd, bwd),
                 dominance_preference(bwd, fwd),

@@ -166,26 +166,45 @@ fn weighted<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
-/// Generates a deterministic synthetic census dataset.
-pub fn generate(config: &CensusConfig) -> Arc<Dataset> {
-    let schema = census_schema(config.zip_pool);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+/// A streaming census row source: yields exactly the rows [`generate`]
+/// materializes, one at a time, without ever holding more than one row.
+///
+/// Two sources built from the same config produce identical streams, so a
+/// closure `|| CensusRows::new(&config)` is a valid deterministic row
+/// factory for `ChunkedCodec::from_rows` — the route to out-of-core
+/// datasets far larger than memory.
+pub struct CensusRows {
+    rng: StdRng,
+    remaining: usize,
+    zip_count: usize,
+    edu_labels: Vec<u32>,
+    mar_labels: Vec<u32>,
+}
 
-    let zip_attr = schema.attribute(1);
-    let edu_attr = schema.attribute(2);
-    let mar_attr = schema.attribute(3);
-    let zip_count = zip_attr.domain().cardinality().expect("categorical");
-    let edu_labels: Vec<u32> = EDUCATION
-        .iter()
-        .map(|(leaf, _)| edu_attr.category_id(leaf).expect("education label exists"))
-        .collect();
-    let mar_labels: Vec<u32> = MARITAL
-        .iter()
-        .map(|(leaf, _)| mar_attr.category_id(leaf).expect("marital label exists"))
-        .collect();
+impl CensusRows {
+    /// Creates the stream; rows match [`generate`] for the same config.
+    pub fn new(config: &CensusConfig) -> Self {
+        let schema = census_schema(config.zip_pool);
+        let zip_attr = schema.attribute(1);
+        let edu_attr = schema.attribute(2);
+        let mar_attr = schema.attribute(3);
+        CensusRows {
+            rng: StdRng::seed_from_u64(config.seed),
+            remaining: config.rows,
+            zip_count: zip_attr.domain().cardinality().expect("categorical"),
+            edu_labels: EDUCATION
+                .iter()
+                .map(|(leaf, _)| edu_attr.category_id(leaf).expect("education label exists"))
+                .collect(),
+            mar_labels: MARITAL
+                .iter()
+                .map(|(leaf, _)| mar_attr.category_id(leaf).expect("marital label exists"))
+                .collect(),
+        }
+    }
 
-    let mut rows = Vec::with_capacity(config.rows);
-    for _ in 0..config.rows {
+    fn sample_row(&mut self) -> Vec<Value> {
+        let rng = &mut self.rng;
         // Age: roughly census-shaped (bulk 25-60, tail to 95).
         let age: i64 = {
             let r: f64 = rng.gen();
@@ -202,12 +221,12 @@ pub fn generate(config: &CensusConfig) -> Arc<Dataset> {
         // Zip: Zipf-ish skew toward low pool indices (urban concentration).
         let zip = {
             let u: f64 = rng.gen();
-            let idx = (u * u * zip_count as f64) as usize;
-            idx.min(zip_count - 1) as u32
+            let idx = (u * u * self.zip_count as f64) as usize;
+            idx.min(self.zip_count - 1) as u32
         };
         // Education in EDUCATION declaration order.
         let edu_w = [0.10, 0.32, 0.18, 0.08, 0.18, 0.09, 0.02, 0.03];
-        let edu_pick = weighted(&mut rng, &edu_w);
+        let edu_pick = weighted(rng, &edu_w);
         // Marital status correlated with age.
         let mar_w: [f64; 6] = if age < 25 {
             [0.80, 0.02, 0.01, 0.00, 0.16, 0.01] // mostly never-married
@@ -218,28 +237,52 @@ pub fn generate(config: &CensusConfig) -> Arc<Dataset> {
         } else {
             [0.04, 0.12, 0.02, 0.25, 0.56, 0.01]
         };
-        let mar_pick = weighted(&mut rng, &mar_w);
+        let mar_pick = weighted(rng, &mar_w);
         // Race and sex marginals.
-        let race = weighted(&mut rng, &[0.72, 0.13, 0.06, 0.02, 0.07]) as u32;
-        let sex = weighted(&mut rng, &[0.49, 0.51]) as u32;
+        let race = weighted(rng, &[0.72, 0.13, 0.06, 0.02, 0.07]) as u32;
+        let sex = weighted(rng, &[0.49, 0.51]) as u32;
         // Occupation correlated with education tier.
         let occ_w: [f64; 10] = match EDUCATION[edu_pick].1 {
             "Basic" => [0.14, 0.20, 0.02, 0.08, 0.16, 0.01, 0.08, 0.20, 0.01, 0.10],
             "Undergraduate" => [0.16, 0.08, 0.14, 0.02, 0.04, 0.12, 0.16, 0.10, 0.12, 0.06],
             _ => [0.04, 0.01, 0.28, 0.01, 0.01, 0.48, 0.06, 0.02, 0.08, 0.01],
         };
-        let occ = weighted(&mut rng, &occ_w) as u32;
+        let occ = weighted(rng, &occ_w) as u32;
 
-        rows.push(vec![
+        vec![
             Value::Int(age),
             Value::Cat(zip),
-            Value::Cat(edu_labels[edu_pick]),
-            Value::Cat(mar_labels[mar_pick]),
+            Value::Cat(self.edu_labels[edu_pick]),
+            Value::Cat(self.mar_labels[mar_pick]),
             Value::Cat(race),
             Value::Cat(sex),
             Value::Cat(occ),
-        ]);
+        ]
     }
+}
+
+impl Iterator for CensusRows {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sample_row())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for CensusRows {}
+
+/// Generates a deterministic synthetic census dataset.
+pub fn generate(config: &CensusConfig) -> Arc<Dataset> {
+    let schema = census_schema(config.zip_pool);
+    let rows: Vec<Vec<Value>> = CensusRows::new(config).collect();
     Dataset::new(schema, rows).expect("generated rows are schema-valid")
 }
 

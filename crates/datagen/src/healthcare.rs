@@ -112,18 +112,35 @@ fn weighted<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
-/// Generates a deterministic synthetic discharge dataset.
-pub fn generate_hospital(config: &HospitalConfig) -> Arc<Dataset> {
-    let schema = hospital_schema();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let zip_count = schema
-        .attribute(1)
-        .domain()
-        .cardinality()
-        .expect("categorical");
+/// A streaming discharge row source: yields exactly the rows
+/// [`generate_hospital`] materializes, one at a time. Two sources built
+/// from the same config produce identical streams, making
+/// `|| HospitalRows::new(&config)` a deterministic row factory for
+/// `ChunkedCodec::from_rows`.
+pub struct HospitalRows {
+    rng: StdRng,
+    remaining: usize,
+    zip_count: usize,
+}
 
-    let mut rows = Vec::with_capacity(config.rows);
-    for _ in 0..config.rows {
+impl HospitalRows {
+    /// Creates the stream; rows match [`generate_hospital`] for the same
+    /// config.
+    pub fn new(config: &HospitalConfig) -> Self {
+        let schema = hospital_schema();
+        HospitalRows {
+            rng: StdRng::seed_from_u64(config.seed),
+            remaining: config.rows,
+            zip_count: schema
+                .attribute(1)
+                .domain()
+                .cardinality()
+                .expect("categorical"),
+        }
+    }
+
+    fn sample_row(&mut self) -> Vec<Value> {
+        let rng = &mut self.rng;
         let age: i64 = {
             let r: f64 = rng.gen();
             if r < 0.2 {
@@ -136,7 +153,7 @@ pub fn generate_hospital(config: &HospitalConfig) -> Arc<Dataset> {
                 rng.gen_range(70..=100)
             }
         };
-        let zip = rng.gen_range(0..zip_count) as u32;
+        let zip = rng.gen_range(0..self.zip_count) as u32;
         let sex = rng.gen_range(0..2u32);
         let admission = rng.gen_range(2018..=2025i64);
         // Diagnosis weights depend on the age profile, with a skewed base
@@ -156,17 +173,41 @@ pub fn generate_hospital(config: &HospitalConfig) -> Arc<Dataset> {
                 base * boost
             })
             .collect();
-        let diagnosis = weighted(&mut rng, &weights) as u32;
-        let insurance = weighted(&mut rng, &[0.55, 0.22, 0.15, 0.08]) as u32;
-        rows.push(vec![
+        let diagnosis = weighted(rng, &weights) as u32;
+        let insurance = weighted(rng, &[0.55, 0.22, 0.15, 0.08]) as u32;
+        vec![
             Value::Int(age),
             Value::Cat(zip),
             Value::Cat(sex),
             Value::Int(admission),
             Value::Cat(diagnosis),
             Value::Cat(insurance),
-        ]);
+        ]
     }
+}
+
+impl Iterator for HospitalRows {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sample_row())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for HospitalRows {}
+
+/// Generates a deterministic synthetic discharge dataset.
+pub fn generate_hospital(config: &HospitalConfig) -> Arc<Dataset> {
+    let schema = hospital_schema();
+    let rows: Vec<Vec<Value>> = HospitalRows::new(config).collect();
     Dataset::new(schema, rows).expect("generated rows are schema-valid")
 }
 

@@ -29,7 +29,7 @@ pub mod healthcare;
 pub mod paper;
 pub mod random;
 
-pub use census::{census_schema, generate, CensusConfig};
-pub use healthcare::{generate_hospital, hospital_schema, HospitalConfig};
+pub use census::{census_schema, generate, CensusConfig, CensusRows};
+pub use healthcare::{generate_hospital, hospital_schema, HospitalConfig, HospitalRows};
 pub use paper::{paper_schema_t3, paper_schema_t4, paper_t3a, paper_t3b, paper_t4, paper_table1};
 pub use random::{generate_random, RandomConfig};

@@ -20,9 +20,11 @@ use anoncmp_core::prelude::{
     BreachProbability, Discernibility, DistinctSensitiveCount, EqClassSize, GeneralizationLoss,
     IyengarUtility, Precision, Property, SensitiveValueCount,
 };
-use anoncmp_datagen::census::{generate, CensusConfig};
-use anoncmp_datagen::healthcare::{generate_hospital, HospitalConfig};
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset, Value};
+use anoncmp_datagen::census::{census_schema, generate, CensusConfig, CensusRows};
+use anoncmp_datagen::healthcare::{
+    generate_hospital, hospital_schema, HospitalConfig, HospitalRows,
+};
+use anoncmp_microdata::prelude::{AnonymizedTable, ChunkStore, ChunkedCodec, Dataset, Value};
 use serde::Serialize;
 
 use crate::fingerprint::Fingerprinter;
@@ -125,6 +127,61 @@ impl DatasetSpec {
                 format!("hospital(rows={rows}, seed={seed})")
             }
             DatasetSpec::Inline { label, .. } => label.clone(),
+        }
+    }
+
+    /// The declared row count, without materializing anything. This is
+    /// what admission control should consult: it is exact for synthetic
+    /// specs and O(1) for inline ones.
+    pub fn rows(&self) -> usize {
+        match self {
+            DatasetSpec::Census { rows, .. } | DatasetSpec::Hospital { rows, .. } => *rows,
+            DatasetSpec::Inline { dataset, .. } => dataset.len(),
+        }
+    }
+
+    /// Builds an out-of-core chunked codec for the spec without ever
+    /// materializing the full dataset: synthetic specs stream their rows
+    /// straight from the generator (peak memory O(chunk + classes)),
+    /// inline specs re-stream the rows they already hold.
+    pub fn chunked_codec(
+        &self,
+        chunk_rows: usize,
+        store: ChunkStore,
+    ) -> anoncmp_microdata::error::Result<ChunkedCodec> {
+        match self {
+            DatasetSpec::Census {
+                rows,
+                seed,
+                zip_pool,
+            } => {
+                let config = CensusConfig {
+                    rows: *rows,
+                    seed: *seed,
+                    zip_pool: *zip_pool,
+                };
+                ChunkedCodec::from_rows(
+                    census_schema(config.zip_pool),
+                    || CensusRows::new(&config),
+                    chunk_rows,
+                    store,
+                )
+            }
+            DatasetSpec::Hospital { rows, seed } => {
+                let config = HospitalConfig {
+                    rows: *rows,
+                    seed: *seed,
+                };
+                ChunkedCodec::from_rows(
+                    hospital_schema(),
+                    || HospitalRows::new(&config),
+                    chunk_rows,
+                    store,
+                )
+            }
+            DatasetSpec::Inline { dataset, .. } => {
+                ChunkedCodec::from_dataset_in(dataset, chunk_rows, store)
+            }
         }
     }
 
@@ -514,6 +571,60 @@ mod tests {
             .materialize(),
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn declared_rows_need_no_materialization() {
+        let census = DatasetSpec::Census {
+            rows: 1_000_000,
+            seed: 1,
+            zip_pool: 10,
+        };
+        assert_eq!(census.rows(), 1_000_000);
+        let hospital = DatasetSpec::Hospital { rows: 42, seed: 1 };
+        assert_eq!(hospital.rows(), 42);
+        let inline = DatasetSpec::inline(
+            "x",
+            DatasetSpec::Census {
+                rows: 30,
+                seed: 2,
+                zip_pool: 5,
+            }
+            .materialize(),
+        );
+        assert_eq!(inline.rows(), 30);
+    }
+
+    #[test]
+    fn chunked_codec_matches_materialized_codec() {
+        use anoncmp_microdata::prelude::GenCodec;
+        for spec in [
+            DatasetSpec::Census {
+                rows: 120,
+                seed: 5,
+                zip_pool: 10,
+            },
+            DatasetSpec::Hospital { rows: 90, seed: 3 },
+        ] {
+            let node: Vec<usize> = match &spec {
+                DatasetSpec::Census { .. } => vec![2, 2, 1, 1, 1, 0],
+                _ => vec![2, 2, 1, 1],
+            };
+            let expected = GenCodec::new(&spec.materialize())
+                .unwrap()
+                .partition(&node)
+                .unwrap();
+            let chunked = spec.chunked_codec(37, ChunkStore::Memory).unwrap();
+            assert_eq!(chunked.rows(), spec.rows());
+            let got = chunked.partition(&node).unwrap();
+            assert_eq!(got.sizes(), expected.sizes(), "{}", spec.label());
+            assert_eq!(
+                got.representatives(),
+                expected.representatives(),
+                "{}",
+                spec.label()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1172 @@
+//! Out-of-core chunked column store + streaming grouping.
+//!
+//! [`GenCodec`](crate::codec::GenCodec) materializes whole `Vec<u32>`
+//! columns, so its peak memory is O(rows · dims) and every bench stops
+//! where RAM does. This module restructures the encoded path around
+//! **fixed-size column chunks**: each quasi-identifier's raw codes live as
+//! a sequence of `chunk_rows`-sized `u32` blocks, either in memory or
+//! spilled to a simple on-disk column file (little-endian `u32`s, nothing
+//! else). Grouping streams those blocks: each chunk builds a *partial
+//! frequency set* — class sizes, representatives, and packed keys in
+//! within-chunk first-appearance order — which is merged into the global
+//! map chunk-by-chunk. Peak memory is O(chunk + classes), never O(rows),
+//! unless per-row class ids are explicitly requested.
+//!
+//! ## Bit-identity with the monolithic path
+//!
+//! The streaming pass is not an approximation — it produces the *same*
+//! [`NodePartition`] the in-memory path does, by construction:
+//!
+//! - **Dictionaries** are built from the per-column distinct-value summary
+//!   by the same ascending-raw-code interning loop `GenCodec::new` runs,
+//!   so codes and dictionary order match exactly.
+//! - **Packed keys** shift by the *global* dictionary sizes (not per-chunk
+//!   maxima), so equal rows hash equal regardless of which chunk holds
+//!   them (see [`packing_shifts`](crate::codec)).
+//! - **Class numbering** stays first-appearance: chunks merge in row
+//!   order, and each chunk's partial set is itself in first-appearance
+//!   order, so the k-th new key globally is assigned id k — exactly the
+//!   numbering [`EncodedView::sizes_and_reps`] produces.
+//!
+//! Proptests in `tests/chunked_equivalence.rs` pin this across chunk
+//! sizes, including sizes that do not divide the row count.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fs::{self, File};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::codec::{packing_shifts, NodePartition};
+use crate::dataset::{Dataset, DistinctValues};
+use crate::error::{Error, Result};
+use crate::hash::FxMap;
+use crate::kernels;
+use crate::schema::{Domain, Schema};
+use crate::value::{GenValue, Value};
+
+/// Where a [`ChunkedCodec`] keeps its column blocks.
+#[derive(Debug, Clone)]
+pub enum ChunkStore {
+    /// Blocks stay in memory (`Vec<Vec<u32>>` per column). Peak memory is
+    /// O(rows), but grouping still runs chunk-at-a-time — useful for
+    /// equivalence testing and mid-size data.
+    Memory,
+    /// Blocks spill to one raw little-endian `u32` file per column inside
+    /// this directory (created if absent). Peak memory is O(chunk +
+    /// classes). The caller owns the directory's lifecycle; nothing is
+    /// deleted on drop.
+    Disk(PathBuf),
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> Error {
+    Error::Io(format!("{what}: {e}"))
+}
+
+/// A single column of `u32` codes stored as fixed-size blocks, in memory
+/// or in an on-disk column file.
+#[derive(Debug)]
+pub struct ChunkedColumn {
+    rows: usize,
+    chunk_rows: usize,
+    storage: Storage,
+}
+
+#[derive(Debug)]
+enum Storage {
+    Memory(Vec<Vec<u32>>),
+    Disk(PathBuf),
+}
+
+impl ChunkedColumn {
+    /// Total rows in the column.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows per block (the last block may be shorter).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of blocks.
+    pub fn chunk_count(&self) -> usize {
+        self.rows.div_ceil(self.chunk_rows)
+    }
+
+    fn chunk_len(&self, chunk: usize) -> usize {
+        let start = chunk * self.chunk_rows;
+        self.chunk_rows.min(self.rows - start)
+    }
+
+    /// A sequential chunk-at-a-time reader, starting at the first block.
+    pub fn cursor(&self) -> ChunkCursor<'_> {
+        ChunkCursor {
+            column: self,
+            next_chunk: 0,
+            file: None,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// A random-access single-row reader (used to re-key one
+    /// representative per class during coarsening).
+    pub fn reader(&self) -> ColumnReader<'_> {
+        ColumnReader {
+            column: self,
+            file: None,
+        }
+    }
+
+    fn open(&self, path: &PathBuf) -> Result<File> {
+        File::open(path).map_err(|e| io_err(&format!("open {}", path.display()), &e))
+    }
+}
+
+/// Sequential block reader over a [`ChunkedColumn`].
+#[derive(Debug)]
+pub struct ChunkCursor<'a> {
+    column: &'a ChunkedColumn,
+    next_chunk: usize,
+    file: Option<File>,
+    bytes: Vec<u8>,
+}
+
+impl ChunkCursor<'_> {
+    /// Reads the next block into `buf` (cleared first) and returns its row
+    /// count; 0 when the column is exhausted.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on spill-file read failures.
+    pub fn next_into(&mut self, buf: &mut Vec<u32>) -> Result<usize> {
+        buf.clear();
+        if self.next_chunk >= self.column.chunk_count() {
+            return Ok(0);
+        }
+        let len = self.column.chunk_len(self.next_chunk);
+        match &self.column.storage {
+            Storage::Memory(chunks) => buf.extend_from_slice(&chunks[self.next_chunk]),
+            Storage::Disk(path) => {
+                if self.file.is_none() {
+                    self.file = Some(self.column.open(path)?);
+                }
+                let file = self.file.as_mut().expect("opened above");
+                self.bytes.resize(len * 4, 0);
+                file.read_exact(&mut self.bytes)
+                    .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
+                buf.extend(
+                    self.bytes
+                        .chunks_exact(4)
+                        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+                );
+            }
+        }
+        self.next_chunk += 1;
+        Ok(len)
+    }
+}
+
+/// Random-access single-row reader over a [`ChunkedColumn`].
+#[derive(Debug)]
+pub struct ColumnReader<'a> {
+    column: &'a ChunkedColumn,
+    file: Option<File>,
+}
+
+impl ColumnReader<'_> {
+    /// The code stored at `row`.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on spill-file read failures; `row` must be in range.
+    pub fn get(&mut self, row: usize) -> Result<u32> {
+        assert!(row < self.column.rows, "row {row} out of range");
+        match &self.column.storage {
+            Storage::Memory(chunks) => {
+                Ok(chunks[row / self.column.chunk_rows][row % self.column.chunk_rows])
+            }
+            Storage::Disk(path) => {
+                if self.file.is_none() {
+                    self.file = Some(self.column.open(path)?);
+                }
+                let file = self.file.as_mut().expect("opened above");
+                file.seek(SeekFrom::Start(row as u64 * 4))
+                    .map_err(|e| io_err(&format!("seek {}", path.display()), &e))?;
+                let mut b = [0u8; 4];
+                file.read_exact(&mut b)
+                    .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
+                Ok(u32::from_le_bytes(b))
+            }
+        }
+    }
+}
+
+/// Incremental writer that produces a [`ChunkedColumn`] one code at a
+/// time, flushing fixed-size blocks as they fill.
+#[derive(Debug)]
+struct ColumnWriter {
+    chunk_rows: usize,
+    rows: usize,
+    dest: WriterDest,
+}
+
+#[derive(Debug)]
+enum WriterDest {
+    Memory {
+        done: Vec<Vec<u32>>,
+        current: Vec<u32>,
+    },
+    Disk {
+        writer: BufWriter<File>,
+        path: PathBuf,
+    },
+}
+
+impl ColumnWriter {
+    fn new(chunk_rows: usize, store: &ChunkStore, name: &str) -> Result<Self> {
+        let dest = match store {
+            ChunkStore::Memory => WriterDest::Memory {
+                done: Vec::new(),
+                current: Vec::with_capacity(chunk_rows),
+            },
+            ChunkStore::Disk(dir) => {
+                fs::create_dir_all(dir)
+                    .map_err(|e| io_err(&format!("create {}", dir.display()), &e))?;
+                let path = dir.join(format!("{name}.u32"));
+                let file = File::create(&path)
+                    .map_err(|e| io_err(&format!("create {}", path.display()), &e))?;
+                WriterDest::Disk {
+                    writer: BufWriter::new(file),
+                    path,
+                }
+            }
+        };
+        Ok(ColumnWriter {
+            chunk_rows,
+            rows: 0,
+            dest,
+        })
+    }
+
+    fn push(&mut self, code: u32) -> Result<()> {
+        match &mut self.dest {
+            WriterDest::Memory { done, current } => {
+                current.push(code);
+                if current.len() == self.chunk_rows {
+                    done.push(std::mem::replace(
+                        current,
+                        Vec::with_capacity(self.chunk_rows),
+                    ));
+                }
+            }
+            WriterDest::Disk { writer, path } => {
+                writer
+                    .write_all(&code.to_le_bytes())
+                    .map_err(|e| io_err(&format!("write {}", path.display()), &e))?;
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn finish(self) -> Result<ChunkedColumn> {
+        let storage = match self.dest {
+            WriterDest::Memory { mut done, current } => {
+                if !current.is_empty() {
+                    done.push(current);
+                }
+                Storage::Memory(done)
+            }
+            WriterDest::Disk { mut writer, path } => {
+                writer
+                    .flush()
+                    .map_err(|e| io_err(&format!("flush {}", path.display()), &e))?;
+                Storage::Disk(path)
+            }
+        };
+        Ok(ChunkedColumn {
+            rows: self.rows,
+            chunk_rows: self.chunk_rows,
+            storage,
+        })
+    }
+}
+
+/// One quasi-identifier dimension of a [`ChunkedCodec`]: raw codes as a
+/// chunked column plus the same per-level code maps / dictionaries
+/// [`GenCodec`](crate::codec::GenCodec) interns.
+#[derive(Debug)]
+struct ChunkedDim {
+    col: usize,
+    monotone: bool,
+    raw: ChunkedColumn,
+    levels: Vec<ChunkLevel>,
+}
+
+#[derive(Debug)]
+struct ChunkLevel {
+    code_map: Vec<u32>,
+    dict: Vec<GenValue>,
+}
+
+/// A non-quasi-identifier column (sensitive or insensitive), stored as
+/// raw codes into the column's distinct-value summary — what the
+/// sensitive-attribute property extractors stream.
+#[derive(Debug)]
+struct ChunkedExtra {
+    col: usize,
+    codes: ChunkedColumn,
+}
+
+/// The out-of-core counterpart of [`GenCodec`](crate::codec::GenCodec):
+/// per-dimension chunked raw-code columns plus interned per-level
+/// dictionaries, with a streaming grouping pass whose results are
+/// bit-identical to the monolithic path (see the module docs).
+///
+/// Built either [from a materialized dataset](ChunkedCodec::from_dataset)
+/// or [from a deterministic row stream](ChunkedCodec::from_rows) — the
+/// latter never holds more than one chunk of any column in memory.
+#[derive(Debug)]
+pub struct ChunkedCodec {
+    schema: Arc<Schema>,
+    rows: usize,
+    chunk_rows: usize,
+    on_disk: bool,
+    distinct: Vec<DistinctValues>,
+    dims: Vec<ChunkedDim>,
+    extras: Vec<ChunkedExtra>,
+}
+
+enum DistinctSet {
+    Ints(BTreeSet<i64>),
+    Cats(BTreeSet<u32>),
+}
+
+impl ChunkedCodec {
+    /// Builds an in-memory chunked codec over a materialized dataset.
+    ///
+    /// # Errors
+    /// As [`ChunkedCodec::from_rows`].
+    pub fn from_dataset(dataset: &Arc<Dataset>, chunk_rows: usize) -> Result<Self> {
+        Self::from_dataset_in(dataset, chunk_rows, ChunkStore::Memory)
+    }
+
+    /// Builds a chunked codec over a materialized dataset with an explicit
+    /// backing store.
+    ///
+    /// # Errors
+    /// As [`ChunkedCodec::from_rows`].
+    pub fn from_dataset_in(
+        dataset: &Arc<Dataset>,
+        chunk_rows: usize,
+        store: ChunkStore,
+    ) -> Result<Self> {
+        let schema = dataset.schema().clone();
+        Self::from_rows(schema, || dataset.rows().iter().cloned(), chunk_rows, store)
+    }
+
+    /// Builds a chunked codec from a **deterministic** row stream, without
+    /// ever materializing the full table. `make_rows` is called twice and
+    /// must yield the identical sequence both times: pass 1 collects the
+    /// per-column distinct-value summaries (the same `BTreeSet` summaries
+    /// [`Dataset::new`] computes), pass 2 re-streams the rows assigning
+    /// dense codes and writing fixed-size blocks.
+    ///
+    /// Peak memory with a [`ChunkStore::Disk`] store is O(chunk + distinct
+    /// values); row data never accumulates.
+    ///
+    /// # Errors
+    /// `chunk_rows` must be ≥ 1 ([`Error::InvalidDataset`]); rows are
+    /// validated against the schema exactly as [`Dataset::new`] validates
+    /// them; a quasi-identifier without a hierarchy is
+    /// [`Error::MissingHierarchy`]; a non-deterministic stream (pass 2
+    /// yields a value or row count pass 1 never saw) is
+    /// [`Error::InvalidDataset`]; spill-file failures are [`Error::Io`].
+    pub fn from_rows<I>(
+        schema: Arc<Schema>,
+        make_rows: impl Fn() -> I,
+        chunk_rows: usize,
+        store: ChunkStore,
+    ) -> Result<Self>
+    where
+        I: Iterator<Item = Vec<Value>>,
+    {
+        if chunk_rows == 0 {
+            return Err(Error::InvalidDataset(
+                "chunk_rows must be at least 1".into(),
+            ));
+        }
+
+        // Pass 1: per-column distinct summaries + row count, validating
+        // every value against the schema as Dataset::new would.
+        let mut sets: Vec<DistinctSet> = schema
+            .attributes()
+            .iter()
+            .map(|a| match a.domain() {
+                Domain::Integer { .. } => DistinctSet::Ints(BTreeSet::new()),
+                Domain::Categorical { .. } => DistinctSet::Cats(BTreeSet::new()),
+            })
+            .collect();
+        let mut rows = 0usize;
+        for row in make_rows() {
+            if row.len() != schema.len() {
+                return Err(Error::ArityMismatch {
+                    expected: schema.len(),
+                    actual: row.len(),
+                });
+            }
+            for (col, v) in row.iter().enumerate() {
+                let attr = schema.attribute(col);
+                if !attr.domain().contains(v) {
+                    let kind_ok = matches!(
+                        (attr.domain(), v),
+                        (Domain::Integer { .. }, Value::Int(_))
+                            | (Domain::Categorical { .. }, Value::Cat(_))
+                    );
+                    if kind_ok {
+                        return Err(Error::ValueOutOfDomain {
+                            attribute: attr.name().to_owned(),
+                            value: attr.render(v),
+                        });
+                    }
+                    return Err(Error::KindMismatch {
+                        attribute: attr.name().to_owned(),
+                        detail: format!("value {v:?} does not match the attribute domain kind"),
+                    });
+                }
+                match (&mut sets[col], v) {
+                    (DistinctSet::Ints(s), Value::Int(x)) => {
+                        s.insert(*x);
+                    }
+                    (DistinctSet::Cats(s), Value::Cat(c)) => {
+                        s.insert(*c);
+                    }
+                    _ => unreachable!("domain kind checked above"),
+                }
+            }
+            rows += 1;
+        }
+        let distinct: Vec<DistinctValues> = sets
+            .into_iter()
+            .map(|s| match s {
+                DistinctSet::Ints(s) => DistinctValues::Integers(s.into_iter().collect()),
+                DistinctSet::Cats(s) => DistinctValues::Categories(s.into_iter().collect()),
+            })
+            .collect();
+
+        // Pass 2: re-stream, assigning dense raw codes (index into the
+        // sorted distinct values — identical to GenCodec's assignment) and
+        // writing fixed-size blocks.
+        let mut writers: Vec<ColumnWriter> = (0..schema.len())
+            .map(|col| ColumnWriter::new(chunk_rows, &store, &format!("col{col}")))
+            .collect::<Result<_>>()?;
+        let mut seen = 0usize;
+        for row in make_rows() {
+            if seen == rows || row.len() != schema.len() {
+                return Err(Error::InvalidDataset(
+                    "row stream changed between passes — the row factory must be deterministic"
+                        .into(),
+                ));
+            }
+            for (col, v) in row.iter().enumerate() {
+                let code = distinct[col].code_of(v).ok_or_else(|| {
+                    Error::InvalidDataset(
+                        "row stream changed between passes — the row factory must be deterministic"
+                            .into(),
+                    )
+                })?;
+                writers[col].push(code)?;
+            }
+            seen += 1;
+        }
+        if seen != rows {
+            return Err(Error::InvalidDataset(
+                "row stream changed between passes — the row factory must be deterministic".into(),
+            ));
+        }
+
+        // Per-level dictionaries over the distinct values — the identical
+        // interning loop GenCodec::new runs, so codes and dictionary order
+        // match the monolithic path exactly.
+        let mut dims = Vec::with_capacity(schema.quasi_identifiers().len());
+        let mut extras = Vec::new();
+        let mut columns: Vec<Option<ChunkedColumn>> = writers
+            .into_iter()
+            .map(ColumnWriter::finish)
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .map(Some)
+            .collect();
+        for &col in schema.quasi_identifiers() {
+            let attr = schema.attribute(col);
+            let hierarchy = attr
+                .hierarchy()
+                .ok_or_else(|| Error::MissingHierarchy(attr.name().to_owned()))?;
+            let raw_values = distinct[col].values();
+            let mut levels = Vec::with_capacity(hierarchy.max_level() + 1);
+            for level in 0..=hierarchy.max_level() {
+                let mut dict: Vec<GenValue> = Vec::new();
+                let mut intern: HashMap<GenValue, u32> = HashMap::new();
+                let mut code_map = Vec::with_capacity(raw_values.len());
+                for value in &raw_values {
+                    let gv = hierarchy.generalize(value, level)?;
+                    let next = dict.len() as u32;
+                    let code = *intern.entry(gv).or_insert(next);
+                    if code == next {
+                        dict.push(gv);
+                    }
+                    code_map.push(code);
+                }
+                levels.push(ChunkLevel { code_map, dict });
+            }
+            let monotone = levels.windows(2).all(|w| {
+                let (finer, coarser) = (&w[0], &w[1]);
+                let mut parent: Vec<Option<u32>> = vec![None; finer.dict.len()];
+                finer
+                    .code_map
+                    .iter()
+                    .zip(&coarser.code_map)
+                    .all(|(&f, &c)| match parent[f as usize] {
+                        Some(seen) => seen == c,
+                        None => {
+                            parent[f as usize] = Some(c);
+                            true
+                        }
+                    })
+            });
+            dims.push(ChunkedDim {
+                col,
+                monotone,
+                raw: columns[col].take().expect("each column consumed once"),
+                levels,
+            });
+        }
+        for (col, slot) in columns.iter_mut().enumerate() {
+            if let Some(codes) = slot.take() {
+                extras.push(ChunkedExtra { col, codes });
+            }
+        }
+
+        Ok(ChunkedCodec {
+            schema,
+            rows,
+            chunk_rows,
+            on_disk: matches!(store, ChunkStore::Disk(_)),
+            distinct,
+            dims,
+            extras,
+        })
+    }
+
+    /// The schema this codec encodes.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows per block.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Whether the column blocks live in spill files rather than memory.
+    pub fn is_on_disk(&self) -> bool {
+        self.on_disk
+    }
+
+    /// Number of quasi-identifier columns (lattice dimensions).
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Maximum generalization level of dimension `dim`.
+    pub fn max_level(&self, dim: usize) -> usize {
+        self.dims[dim].levels.len() - 1
+    }
+
+    /// The schema column index dimension `dim` encodes.
+    pub fn column_of(&self, dim: usize) -> usize {
+        self.dims[dim].col
+    }
+
+    /// Whether dimension `dim` satisfies the class-merge invariant.
+    pub fn is_monotone(&self, dim: usize) -> bool {
+        self.dims[dim].monotone
+    }
+
+    /// Whether every dimension satisfies the class-merge invariant.
+    pub fn monotone(&self) -> bool {
+        self.dims.iter().all(|d| d.monotone)
+    }
+
+    /// Number of distinct generalized values of dimension `dim` at
+    /// `level` — `O(1)`, no scan.
+    pub fn distinct_at(&self, dim: usize, level: usize) -> usize {
+        self.dims[dim].levels[level].dict.len()
+    }
+
+    /// The interned dictionary of dimension `dim` at `level`.
+    pub fn dict(&self, dim: usize, level: usize) -> &[GenValue] {
+        &self.dims[dim].levels[level].dict
+    }
+
+    /// The distinct-value summary of schema column `col` (same summary
+    /// [`Dataset::distinct`] holds).
+    pub fn distinct(&self, col: usize) -> &DistinctValues {
+        &self.distinct[col]
+    }
+
+    /// Validates a full-dimensional level vector, exactly as
+    /// [`GenCodec::validate`](crate::codec::GenCodec::validate).
+    ///
+    /// # Errors
+    /// [`Error::ArityMismatch`] / [`Error::LevelOutOfRange`].
+    pub fn validate(&self, levels: &[usize]) -> Result<()> {
+        if levels.len() != self.dims.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.dims.len(),
+                actual: levels.len(),
+            });
+        }
+        for (dim, &level) in levels.iter().enumerate() {
+            let max = self.max_level(dim);
+            if level > max {
+                let attr = self.schema.attribute(self.dims[dim].col);
+                return Err(Error::LevelOutOfRange {
+                    attribute: attr.name().to_owned(),
+                    level,
+                    max,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams the generalized codes of one node chunk-at-a-time:
+    /// `f(row_base, len, bufs)` where `bufs[d][0..len]` holds dimension
+    /// `d`'s codes at `levels[d]` for rows `row_base..row_base + len`.
+    /// Raw→level re-keying runs through the branch-free
+    /// [`gather_u32`](crate::kernels::gather_u32) kernel.
+    fn stream_node<F>(&self, levels: &[usize], mut f: F) -> Result<()>
+    where
+        F: FnMut(usize, usize, &[Vec<u32>]) -> Result<()>,
+    {
+        if self.dims.is_empty() {
+            // No quasi-identifiers: synthesize empty-column chunks so the
+            // grouping pass still sees every row (all rows share the empty
+            // signature, matching EncodedView's no-column special case).
+            let empty: Vec<Vec<u32>> = Vec::new();
+            let mut row_base = 0;
+            while row_base < self.rows {
+                let len = self.chunk_rows.min(self.rows - row_base);
+                f(row_base, len, &empty)?;
+                row_base += len;
+            }
+            return Ok(());
+        }
+        let mut cursors: Vec<ChunkCursor<'_>> = self.dims.iter().map(|d| d.raw.cursor()).collect();
+        let mut raw_buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+        let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); self.dims.len()];
+        let mut row_base = 0usize;
+        loop {
+            let mut len = 0usize;
+            for (d, cursor) in cursors.iter_mut().enumerate() {
+                let n = cursor.next_into(&mut raw_buf)?;
+                if d == 0 {
+                    len = n;
+                } else {
+                    debug_assert_eq!(n, len, "columns must chunk identically");
+                }
+                let code_map = &self.dims[d].levels[levels[d]].code_map;
+                bufs[d].clear();
+                bufs[d].resize(n, 0);
+                kernels::gather_u32(&mut bufs[d], &raw_buf, code_map);
+            }
+            if len == 0 {
+                return Ok(());
+            }
+            f(row_base, len, &bufs)?;
+            row_base += len;
+        }
+    }
+
+    /// The streaming grouping pass: merges per-chunk partial frequency
+    /// sets into global `(sizes, reps)`, calling `emit` once per chunk
+    /// with that chunk's rows' **global** class ids (empty use of `emit`
+    /// keeps the pass O(chunk + classes)).
+    fn stream_partition(
+        &self,
+        levels: &[usize],
+        mut emit: impl FnMut(&[u32]),
+    ) -> Result<(Vec<u32>, Vec<u32>)> {
+        self.validate(levels)?;
+        let dict_sizes: Vec<u32> = (0..self.dims())
+            .map(|d| self.distinct_at(d, levels[d]) as u32)
+            .collect();
+        let mut sizes: Vec<u32> = Vec::new();
+        let mut reps: Vec<u32> = Vec::new();
+        match packing_shifts(&dict_sizes) {
+            Some(shifts) => {
+                let mut global: FxMap<u64, u32> = FxMap::default();
+                global.reserve(1024.min(self.rows));
+                // Chunk-local partial frequency set, reused across chunks.
+                let mut local: FxMap<u64, u32> = FxMap::default();
+                let mut local_keys: Vec<u64> = Vec::new();
+                let mut local_sizes: Vec<u32> = Vec::new();
+                let mut local_reps: Vec<u32> = Vec::new();
+                let mut local_ids: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+                let mut local_to_global: Vec<u32> = Vec::new();
+                self.stream_node(levels, |row_base, len, bufs| {
+                    local.clear();
+                    local_keys.clear();
+                    local_sizes.clear();
+                    local_reps.clear();
+                    local_ids.clear();
+                    for r in 0..len {
+                        let mut key = 0u64;
+                        for (buf, &shift) in bufs.iter().zip(&shifts) {
+                            key |= u64::from(buf[r]) << shift;
+                        }
+                        let next = local_sizes.len() as u32;
+                        let lc = *local.entry(key).or_insert(next);
+                        if lc == next {
+                            local_keys.push(key);
+                            local_sizes.push(0);
+                            local_reps.push((row_base + r) as u32);
+                        }
+                        local_sizes[lc as usize] += 1;
+                        local_ids.push(lc);
+                    }
+                    // Merge in local first-appearance order: chunks arrive
+                    // in row order, so global numbering stays
+                    // first-appearance over the whole table.
+                    local_to_global.clear();
+                    for lc in 0..local_sizes.len() {
+                        let next = sizes.len() as u32;
+                        let g = *global.entry(local_keys[lc]).or_insert(next);
+                        if g == next {
+                            sizes.push(0);
+                            reps.push(local_reps[lc]);
+                        }
+                        sizes[g as usize] += local_sizes[lc];
+                        local_to_global.push(g);
+                    }
+                    for id in local_ids.iter_mut() {
+                        *id = local_to_global[*id as usize];
+                    }
+                    emit(&local_ids);
+                    Ok(())
+                })?;
+            }
+            None => {
+                // Wide fallback: keys are the code tuples themselves. The
+                // chunk-local map borrows a flat per-chunk buffer; only
+                // first-appearance keys are copied out for the global map.
+                let cols = self.dims();
+                let mut global: FxMap<Vec<u32>, u32> = FxMap::default();
+                let mut local_ids: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+                self.stream_node(levels, |row_base, len, bufs| {
+                    let mut flat: Vec<u32> = Vec::with_capacity(len * cols);
+                    for r in 0..len {
+                        for buf in bufs {
+                            flat.push(buf[r]);
+                        }
+                    }
+                    let mut local: FxMap<&[u32], u32> = FxMap::default();
+                    let mut local_keys: Vec<&[u32]> = Vec::new();
+                    let mut local_sizes: Vec<u32> = Vec::new();
+                    let mut local_reps: Vec<u32> = Vec::new();
+                    local_ids.clear();
+                    for (r, key) in flat.chunks_exact(cols).enumerate() {
+                        let next = local_sizes.len() as u32;
+                        let lc = *local.entry(key).or_insert(next);
+                        if lc == next {
+                            local_keys.push(key);
+                            local_sizes.push(0);
+                            local_reps.push((row_base + r) as u32);
+                        }
+                        local_sizes[lc as usize] += 1;
+                        local_ids.push(lc);
+                    }
+                    let mut local_to_global: Vec<u32> = Vec::with_capacity(local_sizes.len());
+                    for lc in 0..local_sizes.len() {
+                        let next = sizes.len() as u32;
+                        let g = match global.get(local_keys[lc]) {
+                            Some(&g) => g,
+                            None => {
+                                global.insert(local_keys[lc].to_vec(), next);
+                                sizes.push(0);
+                                reps.push(local_reps[lc]);
+                                next
+                            }
+                        };
+                        sizes[g as usize] += local_sizes[lc];
+                        local_to_global.push(g);
+                    }
+                    for id in local_ids.iter_mut() {
+                        *id = local_to_global[*id as usize];
+                    }
+                    emit(&local_ids);
+                    Ok(())
+                })?;
+            }
+        }
+        Ok((sizes, reps))
+    }
+
+    /// Groups the node `levels` by streaming the chunked columns — class
+    /// sizes plus one representative row per class, in first-appearance
+    /// order, bit-identical to
+    /// [`GenCodec::partition`](crate::codec::GenCodec::partition). Peak
+    /// memory is O(chunk + classes); per-row class ids are never held.
+    ///
+    /// # Errors
+    /// As [`ChunkedCodec::validate`]; propagates spill-file I/O errors.
+    pub fn partition(&self, levels: &[usize]) -> Result<NodePartition> {
+        let (sizes, reps) = self.stream_partition(levels, |_| {})?;
+        Ok(NodePartition::from_parts(levels.to_vec(), sizes, reps))
+    }
+
+    /// The class id of every row under `levels` (first-appearance
+    /// numbering, identical to [`EncodedView::class_ids`]). This is the
+    /// one chunked entry point that materializes O(rows) state — property
+    /// extractors that need per-row ids opt into it explicitly.
+    ///
+    /// # Errors
+    /// As [`ChunkedCodec::validate`]; propagates spill-file I/O errors.
+    pub fn class_ids(&self, levels: &[usize]) -> Result<Vec<u32>> {
+        let mut ids: Vec<u32> = Vec::with_capacity(self.rows);
+        self.stream_partition(levels, |chunk_ids| ids.extend_from_slice(chunk_ids))?;
+        Ok(ids)
+    }
+
+    /// Derives a coarser node's partition from `parent` by re-keying one
+    /// representative per parent class — O(#classes · dims) random reads
+    /// instead of a full streaming pass, exactly mirroring
+    /// [`GenCodec::coarsen`](crate::codec::GenCodec::coarsen) (same
+    /// validation, same first-appearance merge, bit-identical result).
+    ///
+    /// # Errors
+    /// As [`GenCodec::coarsen`](crate::codec::GenCodec::coarsen); also
+    /// propagates spill-file I/O errors.
+    pub fn coarsen(&self, parent: &NodePartition, levels: &[usize]) -> Result<NodePartition> {
+        self.validate(levels)?;
+        for (dim, (&pl, &cl)) in parent.levels().iter().zip(levels).enumerate() {
+            if cl < pl {
+                return Err(Error::InvalidHierarchy(format!(
+                    "coarsen requires levels ≥ the parent's, but dimension {dim} steps {pl} → {cl}"
+                )));
+            }
+            if cl > pl && !self.is_monotone(dim) {
+                return Err(Error::InvalidHierarchy(format!(
+                    "dimension {dim} violates the class-merge invariant (non-nested ladder); \
+                     use partition() instead"
+                )));
+            }
+        }
+        let dict_sizes: Vec<u32> = (0..self.dims())
+            .map(|d| self.distinct_at(d, levels[d]) as u32)
+            .collect();
+        let packed = packing_shifts(&dict_sizes);
+        let mut readers: Vec<ColumnReader<'_>> = self.dims.iter().map(|d| d.raw.reader()).collect();
+        let mut key_buf: Vec<u32> = Vec::with_capacity(self.dims());
+
+        let mut sizes: Vec<u32> = Vec::new();
+        let mut reps: Vec<u32> = Vec::new();
+        let mut index: FxMap<u64, u32> = FxMap::default();
+        let mut wide: FxMap<Vec<u32>, u32> = FxMap::default();
+        for (class, &rep) in parent.representatives().iter().enumerate() {
+            key_buf.clear();
+            for (d, reader) in readers.iter_mut().enumerate() {
+                let raw = reader.get(rep as usize)?;
+                key_buf.push(self.dims[d].levels[levels[d]].code_map[raw as usize]);
+            }
+            let merged = match &packed {
+                Some(shifts) => {
+                    let key = key_buf
+                        .iter()
+                        .zip(shifts)
+                        .fold(0u64, |key, (&code, &shift)| {
+                            key | (u64::from(code) << shift)
+                        });
+                    let next = sizes.len() as u32;
+                    *index.entry(key).or_insert(next)
+                }
+                None => {
+                    let next = sizes.len() as u32;
+                    *wide.entry(key_buf.clone()).or_insert(next)
+                }
+            };
+            if merged as usize == sizes.len() {
+                sizes.push(0);
+                reps.push(rep);
+            }
+            sizes[merged as usize] += parent.sizes()[class];
+        }
+        Ok(NodePartition::from_parts(levels.to_vec(), sizes, reps))
+    }
+
+    /// Streams dimension `dim`'s generalized codes at `level`
+    /// chunk-at-a-time: `f(row_base, codes)`. Used by the chunked loss /
+    /// precision kernels.
+    ///
+    /// # Errors
+    /// Propagates spill-file I/O errors and `f`'s errors.
+    pub fn for_each_level_chunk(
+        &self,
+        dim: usize,
+        level: usize,
+        mut f: impl FnMut(usize, &[u32]) -> Result<()>,
+    ) -> Result<()> {
+        let code_map = &self.dims[dim].levels[level].code_map;
+        let mut cursor = self.dims[dim].raw.cursor();
+        let mut raw_buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+        let mut buf: Vec<u32> = Vec::new();
+        let mut row_base = 0usize;
+        loop {
+            let n = cursor.next_into(&mut raw_buf)?;
+            if n == 0 {
+                return Ok(());
+            }
+            buf.clear();
+            buf.resize(n, 0);
+            kernels::gather_u32(&mut buf, &raw_buf, code_map);
+            f(row_base, &buf)?;
+            row_base += n;
+        }
+    }
+
+    /// Streams schema column `col`'s **raw** codes (indices into
+    /// [`ChunkedCodec::distinct`]`(col)`) chunk-at-a-time: `f(row_base,
+    /// codes)`. Works for every column — quasi-identifier or not; the
+    /// sensitive-attribute extractors stream their column through this.
+    ///
+    /// # Errors
+    /// Propagates spill-file I/O errors and `f`'s errors.
+    pub fn for_each_raw_chunk(
+        &self,
+        col: usize,
+        mut f: impl FnMut(usize, &[u32]) -> Result<()>,
+    ) -> Result<()> {
+        let column = self
+            .dims
+            .iter()
+            .find(|d| d.col == col)
+            .map(|d| &d.raw)
+            .or_else(|| self.extras.iter().find(|e| e.col == col).map(|e| &e.codes))
+            .unwrap_or_else(|| panic!("column {col} out of range"));
+        let mut cursor = column.cursor();
+        let mut buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+        let mut row_base = 0usize;
+        loop {
+            let n = cursor.next_into(&mut buf)?;
+            if n == 0 {
+                return Ok(());
+            }
+            f(row_base, &buf)?;
+            row_base += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::GenCodec;
+    use crate::intervals::IntervalLadder;
+    use crate::lattice::Lattice;
+    use crate::schema::{Attribute, Role};
+    use crate::taxonomy::Taxonomy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::from_taxonomy(
+                "city",
+                Role::QuasiIdentifier,
+                Taxonomy::flat(["a", "b", "c"]).unwrap(),
+            ),
+            Attribute::integer("age", Role::QuasiIdentifier, 0, 100)
+                .with_hierarchy(IntervalLadder::uniform(0, &[10, 20]).unwrap().into())
+                .unwrap(),
+            Attribute::categorical("d", Role::Sensitive, ["s1", "s2"]),
+        ])
+        .unwrap()
+    }
+
+    fn dataset() -> Arc<Dataset> {
+        Dataset::new(
+            schema(),
+            vec![
+                vec![Value::Cat(0), Value::Int(15), Value::Cat(0)],
+                vec![Value::Cat(1), Value::Int(25), Value::Cat(1)],
+                vec![Value::Cat(0), Value::Int(18), Value::Cat(1)],
+                vec![Value::Cat(2), Value::Int(33), Value::Cat(0)],
+                vec![Value::Cat(0), Value::Int(15), Value::Cat(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("anoncmp-chunked-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn stores(tag: &str) -> Vec<ChunkStore> {
+        vec![ChunkStore::Memory, ChunkStore::Disk(temp_dir(tag))]
+    }
+
+    fn cleanup(store: &ChunkStore) {
+        if let ChunkStore::Disk(dir) = store {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn partitions_match_monolithic_on_every_node_and_chunk_size() {
+        let ds = dataset();
+        let codec = GenCodec::new(&ds).unwrap();
+        let lattice = Lattice::new(ds.schema().clone()).unwrap();
+        for store in stores("part") {
+            for chunk_rows in [1, 2, 3, 5, 7] {
+                let chunked =
+                    ChunkedCodec::from_dataset_in(&ds, chunk_rows, store.clone()).unwrap();
+                for levels in lattice.iter_all() {
+                    let mono = codec.partition(&levels).unwrap();
+                    let chnk = chunked.partition(&levels).unwrap();
+                    assert_eq!(mono.sizes(), chnk.sizes(), "sizes at {levels:?}");
+                    assert_eq!(
+                        mono.representatives(),
+                        chnk.representatives(),
+                        "reps at {levels:?}"
+                    );
+                    let mono_ids = mono.class_ids(&codec).unwrap();
+                    let chnk_ids = chunked.class_ids(&levels).unwrap();
+                    assert_eq!(mono_ids, &chnk_ids[..], "ids at {levels:?}");
+                }
+            }
+            cleanup(&store);
+        }
+    }
+
+    #[test]
+    fn coarsen_matches_monolithic() {
+        let ds = dataset();
+        let codec = GenCodec::new(&ds).unwrap();
+        for store in stores("coarsen") {
+            let chunked = ChunkedCodec::from_dataset_in(&ds, 2, store.clone()).unwrap();
+            let parent_m = codec.partition(&[0, 0]).unwrap();
+            let parent_c = chunked.partition(&[0, 0]).unwrap();
+            for levels in [[1, 0], [0, 1], [1, 1], [1, 2]] {
+                let mono = codec.coarsen(&parent_m, &levels).unwrap();
+                let chnk = chunked.coarsen(&parent_c, &levels).unwrap();
+                assert_eq!(mono.sizes(), chnk.sizes(), "sizes at {levels:?}");
+                assert_eq!(mono.representatives(), chnk.representatives());
+            }
+            cleanup(&store);
+        }
+    }
+
+    #[test]
+    fn streaming_build_matches_dataset_build() {
+        let ds = dataset();
+        let rows: Vec<Vec<Value>> = ds.rows().to_vec();
+        for store in stores("stream") {
+            let streamed =
+                ChunkedCodec::from_rows(schema(), || rows.iter().cloned(), 2, store.clone())
+                    .unwrap();
+            let from_ds = ChunkedCodec::from_dataset(&ds, 2).unwrap();
+            assert_eq!(streamed.rows(), from_ds.rows());
+            for dim in 0..from_ds.dims() {
+                for level in 0..=from_ds.max_level(dim) {
+                    assert_eq!(streamed.dict(dim, level), from_ds.dict(dim, level));
+                }
+            }
+            let a = streamed.partition(&[1, 1]).unwrap();
+            let b = from_ds.partition(&[1, 1]).unwrap();
+            assert_eq!(a.sizes(), b.sizes());
+            assert_eq!(a.representatives(), b.representatives());
+            cleanup(&store);
+        }
+    }
+
+    #[test]
+    fn disk_and_memory_columns_agree() {
+        let dir = temp_dir("col");
+        let store = ChunkStore::Disk(dir.clone());
+        let codes: Vec<u32> = (0..23).map(|i| i * 3 % 11).collect();
+        let mut mem = ColumnWriter::new(4, &ChunkStore::Memory, "m").unwrap();
+        let mut dsk = ColumnWriter::new(4, &store, "d").unwrap();
+        for &c in &codes {
+            mem.push(c).unwrap();
+            dsk.push(c).unwrap();
+        }
+        let mem = mem.finish().unwrap();
+        let dsk = dsk.finish().unwrap();
+        assert_eq!(mem.chunk_count(), 6);
+        assert_eq!(dsk.chunk_count(), 6);
+        let (mut mc, mut dc) = (mem.cursor(), dsk.cursor());
+        let (mut mb, mut db) = (Vec::new(), Vec::new());
+        let mut seen: Vec<u32> = Vec::new();
+        loop {
+            let n = mc.next_into(&mut mb).unwrap();
+            let m = dc.next_into(&mut db).unwrap();
+            assert_eq!(n, m);
+            assert_eq!(mb, db);
+            if n == 0 {
+                break;
+            }
+            seen.extend_from_slice(&mb);
+        }
+        assert_eq!(seen, codes);
+        let mut reader = dsk.reader();
+        for (row, &c) in codes.iter().enumerate() {
+            assert_eq!(reader.get(row).unwrap(), c);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_chunk_rows_is_rejected() {
+        let ds = dataset();
+        assert!(matches!(
+            ChunkedCodec::from_dataset(&ds, 0),
+            Err(Error::InvalidDataset(_))
+        ));
+    }
+
+    #[test]
+    fn nondeterministic_stream_is_rejected() {
+        use std::cell::Cell;
+        let calls = Cell::new(0);
+        let err = ChunkedCodec::from_rows(
+            schema(),
+            || {
+                let pass = calls.get();
+                calls.set(pass + 1);
+                // Second pass yields a value the first never produced.
+                let age = if pass == 0 { 15 } else { 16 };
+                std::iter::once(vec![Value::Cat(0), Value::Int(age), Value::Cat(0)])
+            },
+            2,
+            ChunkStore::Memory,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidDataset(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_chunks_degenerate_to_one_block() {
+        let ds = dataset();
+        let chunked = ChunkedCodec::from_dataset(&ds, 1_000_000).unwrap();
+        let codec = GenCodec::new(&ds).unwrap();
+        let a = chunked.partition(&[1, 1]).unwrap();
+        let b = codec.partition(&[1, 1]).unwrap();
+        assert_eq!(a.sizes(), b.sizes());
+    }
+}

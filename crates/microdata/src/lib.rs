@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod anonymized;
+pub mod chunked;
 pub mod codec;
 pub mod csv;
 pub mod dataset;
@@ -53,6 +54,7 @@ pub mod error;
 mod hash;
 pub mod hierarchy;
 pub mod intervals;
+pub mod kernels;
 pub mod lattice;
 pub mod loss;
 pub mod schema;
@@ -63,6 +65,7 @@ pub mod value;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::anonymized::{AnonymizedTable, EquivalenceClasses};
+    pub use crate::chunked::{ChunkStore, ChunkedCodec, ChunkedColumn};
     pub use crate::codec::{EncodedView, GenCodec, NodePartition};
     pub use crate::dataset::{Dataset, DatasetBuilder, DistinctValues};
     pub use crate::error::{Error, Result};
@@ -70,8 +73,9 @@ pub mod prelude {
     pub use crate::intervals::{IntervalLadder, IntervalLevel};
     pub use crate::lattice::{Lattice, LevelVector};
     pub use crate::loss::{
-        discernibility_vector, discernibility_vector_encoded, precision_vector,
-        precision_vector_encoded, CellLossCache, ColumnSet, CoverageBasis, LossKind, LossMetric,
+        discernibility_vector, discernibility_vector_chunked, discernibility_vector_encoded,
+        precision_vector, precision_vector_chunked, precision_vector_encoded, CellLossCache,
+        ColumnSet, CoverageBasis, LossKind, LossMetric,
     };
     pub use crate::schema::{Attribute, Domain, Role, Schema};
     pub use crate::stats::{render_profile, subset_profile, uniqueness_profile, SubsetProfile};

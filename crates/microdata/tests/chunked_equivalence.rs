@@ -1,0 +1,134 @@
+//! Property-based equivalence between the chunked (out-of-core) codec and
+//! the monolithic in-memory codec: on arbitrary datasets, hierarchies,
+//! lattice nodes, and chunk sizes — including size 1, sizes that do not
+//! divide the row count, and sizes larger than it — partitions, class
+//! ids, coarsening, and the loss kernels must match bit for bit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use anoncmp_microdata::loss::LossMetric;
+use anoncmp_microdata::prelude::*;
+
+fn small_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Attribute::integer("age", Role::QuasiIdentifier, 0, 99)
+            .with_hierarchy(IntervalLadder::uniform(0, &[10, 30]).unwrap().into())
+            .unwrap(),
+        Attribute::from_taxonomy(
+            "city",
+            Role::QuasiIdentifier,
+            Taxonomy::masking(&["aa", "ab", "ba", "bb"], &[1]).unwrap(),
+        ),
+        Attribute::categorical("d", Role::Sensitive, ["x", "y", "z"]),
+    ])
+    .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(
+        (0i64..100, 0u32..4, 0u32..3)
+            .prop_map(|(a, c, d)| vec![Value::Int(a), Value::Cat(c), Value::Cat(d)]),
+        1..40,
+    )
+}
+
+/// The ISSUE's chunk-size gauntlet: degenerate (1), non-dividing (7),
+/// oversized block (4096), and one past the row count.
+fn chunk_sizes(rows: usize) -> [usize; 4] {
+    [1, 7, 4096, rows + 1]
+}
+
+proptest! {
+    #[test]
+    fn chunked_partitions_match_monolithic(
+        rows in arb_rows(),
+        l0 in 0usize..4,
+        l1 in 0usize..3,
+    ) {
+        let schema = small_schema();
+        let ds = Dataset::new(schema, rows).expect("rows are in-domain");
+        let codec = GenCodec::new(&ds).expect("every QI has a hierarchy");
+        let expected = codec.partition(&[l0, l1]).expect("valid levels");
+        let expected_ids = expected.class_ids(&codec).expect("ids");
+        for chunk_rows in chunk_sizes(ds.len()) {
+            let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
+            let got = chunked.partition(&[l0, l1]).expect("valid levels");
+            prop_assert_eq!(got.sizes(), expected.sizes(), "sizes @ chunk_rows={}", chunk_rows);
+            prop_assert_eq!(
+                got.representatives(),
+                expected.representatives(),
+                "reps @ chunk_rows={}",
+                chunk_rows
+            );
+            let got_ids = chunked.class_ids(&[l0, l1]).expect("ids");
+            prop_assert_eq!(got_ids.as_slice(), expected_ids, "ids @ chunk_rows={}", chunk_rows);
+        }
+    }
+
+    #[test]
+    fn chunked_coarsen_matches_monolithic(
+        rows in arb_rows(),
+        pl0 in 0usize..3,
+        pl1 in 0usize..2,
+        d0 in 0usize..2,
+        d1 in 0usize..2,
+    ) {
+        let schema = small_schema();
+        let ds = Dataset::new(schema, rows).expect("rows are in-domain");
+        let codec = GenCodec::new(&ds).expect("codec");
+        let child = [pl0 + d0, pl1 + d1];
+        let expected_parent = codec.partition(&[pl0, pl1]).expect("parent");
+        let expected = codec.coarsen(&expected_parent, &child).expect("coarsen");
+        for chunk_rows in chunk_sizes(ds.len()) {
+            let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
+            let parent = chunked.partition(&[pl0, pl1]).expect("parent");
+            let got = chunked.coarsen(&parent, &child).expect("coarsen");
+            prop_assert_eq!(got.sizes(), expected.sizes(), "sizes @ chunk_rows={}", chunk_rows);
+            prop_assert_eq!(
+                got.representatives(),
+                expected.representatives(),
+                "reps @ chunk_rows={}",
+                chunk_rows
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_loss_kernels_match_encoded(
+        rows in arb_rows(),
+        l0 in 0usize..4,
+        l1 in 0usize..3,
+    ) {
+        let schema = small_schema();
+        let ds = Dataset::new(schema, rows).expect("rows are in-domain");
+        let codec = GenCodec::new(&ds).expect("codec");
+        let levels = [l0, l1];
+        let partition = codec.partition(&levels).expect("partition");
+        for chunk_rows in chunk_sizes(ds.len()) {
+            let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
+            let chunked_partition = chunked.partition(&levels).expect("partition");
+            for metric in [LossMetric::classic(), LossMetric::paper_ratio()] {
+                let a = metric.loss_vector_encoded(&codec, &levels).expect("encoded");
+                let b = metric.loss_vector_chunked(&chunked, &levels).expect("chunked");
+                prop_assert_eq!(bits(&a), bits(&b), "loss @ chunk_rows={}", chunk_rows);
+                let ua = metric.utility_vector_encoded(&codec, &levels).expect("encoded");
+                let ub = metric.utility_vector_chunked(&chunked, &levels).expect("chunked");
+                prop_assert_eq!(bits(&ua), bits(&ub), "utility @ chunk_rows={}", chunk_rows);
+            }
+            let pa = precision_vector_encoded(&codec, &levels).expect("encoded");
+            let pb = precision_vector_chunked(&chunked, &levels).expect("chunked");
+            prop_assert_eq!(bits(&pa), bits(&pb), "precision @ chunk_rows={}", chunk_rows);
+            let da = discernibility_vector_encoded(&codec, &partition).expect("encoded");
+            let db =
+                discernibility_vector_chunked(&chunked, &chunked_partition).expect("chunked");
+            prop_assert_eq!(bits(&da), bits(&db), "discernibility @ chunk_rows={}", chunk_rows);
+        }
+    }
+}
+
+/// Bit-level view for equality stricter than `==` (distinguishes ±0.0).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

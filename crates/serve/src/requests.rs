@@ -8,8 +8,41 @@
 //! *before* any dataset is synthesized, so a malicious or confused client
 //! cannot make the daemon burn minutes of CPU on one request.
 
+use std::fmt;
+
 use anoncmp_core::wire::{CompareRequest, SweepRequest, WireDataset};
 use anoncmp_engine::prelude::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
+
+/// Why planning refused a request before any work began.
+///
+/// The two variants map onto distinct HTTP statuses: an over-cap dataset
+/// is the client's payload being too large (413, retryable with a smaller
+/// request), while everything else is a malformed request (400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The declared dataset exceeds the server's row cap. Admission
+    /// consults only the spec's declared row count
+    /// ([`DatasetSpec::rows`]) — nothing is synthesized or materialized
+    /// for a request that will be refused.
+    TooLarge(String),
+    /// Anything else wrong with the request.
+    Invalid(String),
+}
+
+impl PlanError {
+    /// The human-readable refusal reason.
+    pub fn message(&self) -> &str {
+        match self {
+            PlanError::TooLarge(m) | PlanError::Invalid(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
 
 /// Hard caps applied to every request, keeping worst-case work bounded.
 #[derive(Debug, Clone, Copy)]
@@ -79,20 +112,8 @@ pub fn property_by_name(name: &str) -> Result<PropertySpec, String> {
         .ok_or_else(|| format!("unknown property {name:?}"))
 }
 
-fn dataset_spec(dataset: WireDataset, limits: &RequestLimits) -> Result<DatasetSpec, String> {
-    let rows = match dataset {
-        WireDataset::Census { rows, .. } | WireDataset::Hospital { rows, .. } => rows,
-    };
-    if rows == 0 {
-        return Err("dataset: \"rows\" must be at least 1".into());
-    }
-    if rows > limits.max_rows {
-        return Err(format!(
-            "dataset: {rows} rows exceeds the server limit of {} — split the request",
-            limits.max_rows
-        ));
-    }
-    Ok(match dataset {
+fn dataset_spec(dataset: WireDataset, limits: &RequestLimits) -> Result<DatasetSpec, PlanError> {
+    let spec = match dataset {
         WireDataset::Census {
             rows,
             seed,
@@ -103,7 +124,23 @@ fn dataset_spec(dataset: WireDataset, limits: &RequestLimits) -> Result<DatasetS
             zip_pool,
         },
         WireDataset::Hospital { rows, seed } => DatasetSpec::Hospital { rows, seed },
-    })
+    };
+    // Admission control reads the spec's declared row count — the same
+    // count the chunked codec streams against — so no rows are ever
+    // generated for a request that gets refused here.
+    let rows = spec.rows();
+    if rows == 0 {
+        return Err(PlanError::Invalid(
+            "dataset: \"rows\" must be at least 1".into(),
+        ));
+    }
+    if rows > limits.max_rows {
+        return Err(PlanError::TooLarge(format!(
+            "dataset: {rows} rows exceeds the server limit of {} — split the request",
+            limits.max_rows
+        )));
+    }
+    Ok(spec)
 }
 
 fn algorithms(names: &[String]) -> Result<Vec<AlgorithmSpec>, String> {
@@ -131,16 +168,19 @@ pub struct ComparePlan {
 }
 
 /// Validates and expands a compare request.
-pub fn plan_compare(req: &CompareRequest, limits: &RequestLimits) -> Result<ComparePlan, String> {
+pub fn plan_compare(
+    req: &CompareRequest,
+    limits: &RequestLimits,
+) -> Result<ComparePlan, PlanError> {
     if req.k > limits.max_k {
-        return Err(format!(
+        return Err(PlanError::Invalid(format!(
             "\"k\" exceeds the server limit of {}",
             limits.max_k
-        ));
+        )));
     }
     let dataset = dataset_spec(req.dataset, limits)?;
-    let algorithms = algorithms(&req.algorithms)?;
-    let properties = properties(&req.properties)?;
+    let algorithms = algorithms(&req.algorithms).map_err(PlanError::Invalid)?;
+    let properties = properties(&req.properties).map_err(PlanError::Invalid)?;
     let jobs = algorithms
         .into_iter()
         .map(|algorithm| EvalJob {
@@ -177,23 +217,23 @@ impl SweepPlan {
 }
 
 /// Validates and expands a sweep request.
-pub fn plan_sweep(req: &SweepRequest, limits: &RequestLimits) -> Result<SweepPlan, String> {
+pub fn plan_sweep(req: &SweepRequest, limits: &RequestLimits) -> Result<SweepPlan, PlanError> {
     if req.ks.len() > limits.max_ks {
-        return Err(format!(
+        return Err(PlanError::Invalid(format!(
             "\"ks\" has {} entries; the server limit is {}",
             req.ks.len(),
             limits.max_ks
-        ));
+        )));
     }
     if let Some(&k) = req.ks.iter().find(|&&k| k > limits.max_k) {
-        return Err(format!(
+        return Err(PlanError::Invalid(format!(
             "k={k} exceeds the server limit of {}",
             limits.max_k
-        ));
+        )));
     }
     let dataset = dataset_spec(req.dataset, limits)?;
-    let algorithms = algorithms(&req.algorithms)?;
-    let properties = properties(&req.properties)?;
+    let algorithms = algorithms(&req.algorithms).map_err(PlanError::Invalid)?;
+    let properties = properties(&req.properties).map_err(PlanError::Invalid)?;
     let batches = req
         .ks
         .iter()
@@ -281,7 +321,12 @@ mod tests {
             properties: vec![],
             budget_ms: None,
         };
-        assert!(plan_compare(&req, &limits).unwrap_err().contains("rows"));
+        let err = plan_compare(&req, &limits).unwrap_err();
+        assert!(
+            matches!(err, PlanError::TooLarge(_)),
+            "over-cap rows must be a 413-class refusal, got {err:?}"
+        );
+        assert!(err.message().contains("rows"));
 
         let sweep = SweepRequest {
             dataset: WireDataset::Hospital { rows: 10, seed: 1 },
@@ -291,13 +336,17 @@ mod tests {
             properties: vec![],
             budget_ms: None,
         };
-        assert!(plan_sweep(&sweep, &limits).unwrap_err().contains("ks"));
+        let err = plan_sweep(&sweep, &limits).unwrap_err();
+        assert!(matches!(err, PlanError::Invalid(_)));
+        assert!(err.message().contains("ks"));
 
         let big_k = SweepRequest {
             ks: vec![2, 999],
             ..sweep.clone()
         };
-        assert!(plan_sweep(&big_k, &limits).unwrap_err().contains("k=999"));
+        let err = plan_sweep(&big_k, &limits).unwrap_err();
+        assert!(matches!(err, PlanError::Invalid(_)));
+        assert!(err.message().contains("k=999"));
     }
 
     #[test]
@@ -333,6 +382,6 @@ mod tests {
             budget_ms: None,
         };
         let err = plan_compare(&req, &RequestLimits::default()).unwrap_err();
-        assert!(err.contains("magic"), "{err}");
+        assert!(err.message().contains("magic"), "{err}");
     }
 }

@@ -41,7 +41,7 @@ use serde::Serialize;
 
 use crate::admission::Admission;
 use crate::http::{self, ChunkedWriter, HttpLimits, ReadError, Request};
-use crate::requests::{plan_compare, plan_sweep, RequestLimits};
+use crate::requests::{plan_compare, plan_sweep, PlanError, RequestLimits};
 use crate::shutdown::ShutdownFlag;
 
 /// Server construction settings.
@@ -510,8 +510,7 @@ fn serve_jsonl_line(inner: &Arc<Inner>, line: &str, writer: &mut impl Write) -> 
         Some("compare") => match CompareRequest::from_value(&value)
             .map_err(|m| ErrorBody::new(ErrorCode::BadRequest, m))
             .and_then(|request| {
-                plan_compare(&request, &inner.limits)
-                    .map_err(|m| ErrorBody::new(ErrorCode::BadRequest, m))?;
+                plan_compare(&request, &inner.limits).map_err(plan_error_body)?;
                 Ok(request)
             }) {
             Ok(request) => {
@@ -568,7 +567,7 @@ fn decode_compare(inner: &Arc<Inner>, body: &[u8]) -> Result<CompareRequest, Err
         CompareRequest::from_value(&value).map_err(|m| ErrorBody::new(ErrorCode::BadRequest, m))?;
     // Full validation up front: a request that will be rejected must be
     // rejected before the 200 status line is committed.
-    plan_compare(&request, &inner.limits).map_err(|m| ErrorBody::new(ErrorCode::BadRequest, m))?;
+    plan_compare(&request, &inner.limits).map_err(plan_error_body)?;
     Ok(request)
 }
 
@@ -586,7 +585,16 @@ fn decode_sweep(inner: &Arc<Inner>, body: &[u8]) -> Result<SweepRequest, ErrorBo
 fn decode_sweep_request(inner: &Arc<Inner>, request: &SweepRequest) -> Result<(), ErrorBody> {
     plan_sweep(request, &inner.limits)
         .map(|_| ())
-        .map_err(|m| ErrorBody::new(ErrorCode::BadRequest, m))
+        .map_err(plan_error_body)
+}
+
+/// Maps a planning refusal onto the wire error model: an over-cap dataset
+/// is a 413 (the client should shrink and retry), anything else a 400.
+fn plan_error_body(error: PlanError) -> ErrorBody {
+    match error {
+        PlanError::TooLarge(m) => ErrorBody::new(ErrorCode::PayloadTooLarge, m),
+        PlanError::Invalid(m) => ErrorBody::new(ErrorCode::BadRequest, m),
+    }
 }
 
 /// Runs a (pre-validated) compare request. Returns the canonical record

@@ -110,13 +110,17 @@ fn request_caps_reject_absurd_work() {
         ..ServeConfig::default()
     });
     let addr = server.addr();
+    // Over-cap datasets are a clean 413 (shrink and retry), not a generic
+    // 400: admission reads the declared row count without synthesizing
+    // anything.
     let too_many_rows = client::post(
         addr,
         "/compare",
         r#"{"dataset":{"kind":"census","rows":5000,"seed":1,"zip_pool":5},"k":2}"#,
     )
     .expect("transport ok");
-    assert_eq!(too_many_rows.status, 400);
+    assert_eq!(too_many_rows.status, 413, "{}", too_many_rows.text());
+    assert!(too_many_rows.text().contains("payload_too_large"));
     assert!(too_many_rows.text().contains("rows"));
 
     let too_big_k = client::post(
