@@ -1,8 +1,9 @@
 //! Emits `BENCH_baseline.json`: machine-readable wall-clock baselines for
 //! the `algorithms`, `grouping`, `lattice_encoded`, `property_extraction`,
 //! and `comparator_matrix` bench groups, plus the out-of-core chunked
-//! groups at 1M/10M rows with a `scaling` section and the process peak
-//! RSS.
+//! groups at 1M/10M rows with a `scaling` section, a `parallel_scaling`
+//! thread sweep (phases timed per thread count, outputs digested for
+//! bit-identity), and per-entry peak RSS.
 //!
 //! Criterion's HTML-free vendored harness prints per-run numbers but keeps
 //! no history; this binary records a single JSON snapshot that CI and the
@@ -22,8 +23,12 @@
 //!   the default 1M/10M ladder.
 //! * `--max-rows N` — drop every bench group whose row count exceeds `N`
 //!   (applies to the in-memory and chunked groups alike).
-//! * `--assert-peak-rss-mb N` — exit non-zero if the process peak RSS
-//!   exceeded `N` MiB, so CI can pin the out-of-core memory envelope.
+//! * `--chunk-threads N` — chunk worker threads for the main chunked
+//!   rows (default 1, so the history stays comparable; the
+//!   `parallel_scaling` section sweeps its own thread ladder).
+//! * `--assert-peak-rss-mb N` — exit non-zero if the peak RSS of any
+//!   bench group exceeded `N` MiB, so CI can pin the out-of-core memory
+//!   envelope.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,6 +36,7 @@ use std::time::Instant;
 use anoncmp_anonymize::prelude::*;
 use anoncmp_core::prelude::*;
 use anoncmp_datagen::census::{census_schema, generate, CensusConfig, CensusRows};
+use anoncmp_microdata::loss::LossMetric;
 use anoncmp_microdata::prelude::*;
 use serde::Serialize;
 
@@ -55,6 +61,10 @@ struct BenchEntry {
     iters: usize,
     mean_ms: f64,
     min_ms: f64,
+    /// Peak resident set (VmHWM) over this entry's timed runs alone, in
+    /// MiB: the counter is reset via `/proc/self/clear_refs` before the
+    /// first iteration. `None` off Linux.
+    peak_rss_mb: Option<f64>,
 }
 
 /// How the chunked kernels scale from the smaller to the larger streamed
@@ -66,6 +76,39 @@ struct Scaling {
     rows_large: usize,
     partition_ratio: f64,
     extraction_ratio: f64,
+}
+
+/// One thread count's wall-clock for the three chunked phases.
+#[derive(Serialize)]
+struct PhaseTiming {
+    threads: usize,
+    /// Streaming encode+flush (`from_rows_parallel`), one shot.
+    build_ms: f64,
+    /// Per-node grouping (`partition`), min over the iterations.
+    partition_ms: f64,
+    /// All nine chunked property extractions, min over the iterations.
+    extraction_ms: f64,
+    /// FNV-1a digest of the class-id vector and every extracted
+    /// property vector's bits — must agree across all thread counts.
+    digest: String,
+}
+
+/// How the chunked pipeline scales with intra-node worker threads at a
+/// fixed row count. Speedups are `threads=1` min-time divided by the
+/// best multi-threaded min-time; on a single-core runner (see `cores`)
+/// they hover near 1.0 and CI skips its speedup gate.
+#[derive(Serialize)]
+struct ParallelScaling {
+    rows: usize,
+    /// `std::thread::available_parallelism` on the measuring host —
+    /// consumers must not expect speedups beyond this.
+    cores: usize,
+    phases: Vec<PhaseTiming>,
+    partition_speedup: f64,
+    extraction_speedup: f64,
+    /// True iff every thread count produced byte-identical class ids
+    /// and property vectors (the deterministic-merge contract).
+    bit_identical: bool,
 }
 
 /// The whole baseline file.
@@ -88,8 +131,11 @@ struct Baseline {
     /// Chunked-kernel scaling between the two streamed sizes, when both
     /// ran.
     scaling: Option<Scaling>,
-    /// Peak resident set of this process (VmHWM), in MiB. `None` off
-    /// Linux.
+    /// Thread-scaling sweep of the chunked pipeline at the smallest
+    /// streamed size, when any chunked group ran.
+    parallel_scaling: Option<ParallelScaling>,
+    /// The worst per-entry peak RSS (plus the final read), in MiB —
+    /// the number `--assert-peak-rss-mb` gates. `None` off Linux.
     peak_rss_mb: Option<f64>,
     benches: Vec<BenchEntry>,
 }
@@ -109,8 +155,11 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
 }
 
 fn entry(group: &str, name: &str, rows: usize, iters: usize, f: impl FnMut()) -> BenchEntry {
+    reset_peak_rss();
     let (mean_ms, min_ms) = time_ms(iters, f);
-    eprintln!("{group}/{name} rows={rows}: mean {mean_ms:.3} ms, min {min_ms:.3} ms");
+    let peak_rss_mb = peak_rss_mb();
+    let rss = peak_rss_mb.map_or(String::new(), |r| format!(", peak {r:.0} MiB"));
+    eprintln!("{group}/{name} rows={rows}: mean {mean_ms:.3} ms, min {min_ms:.3} ms{rss}");
     BenchEntry {
         group: group.into(),
         name: name.into(),
@@ -118,6 +167,7 @@ fn entry(group: &str, name: &str, rows: usize, iters: usize, f: impl FnMut()) ->
         iters,
         mean_ms,
         min_ms,
+        peak_rss_mb,
     }
 }
 
@@ -260,8 +310,11 @@ fn property_extraction_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
 
 /// The out-of-core groups: rows stream from the generator into fixed-size
 /// column chunks (no `Dataset`, no `Vec<Vec<Value>>`), then per-node
-/// grouping and property extraction run over the chunked view.
-fn chunked_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
+/// grouping and property extraction run over the chunked view. The three
+/// phases — build, partition, extraction — are timed as separate rows;
+/// the extraction row reuses a pre-computed partition so it measures only
+/// the property kernels.
+fn chunked_benches(out: &mut Vec<BenchEntry>, sizes: &[usize], chunk_threads: usize) {
     let props = extraction_properties();
     for &rows in sizes {
         let config = census_config(rows);
@@ -270,23 +323,25 @@ fn chunked_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
         let mut built: Option<ChunkedCodec> = None;
         out.push(entry("lattice_encoded", "chunked_build", rows, 1, || {
             built = Some(
-                ChunkedCodec::from_rows(
+                ChunkedCodec::from_rows_parallel(
                     census_schema(config.zip_pool),
                     || CensusRows::new(&config),
                     CHUNK_ROWS,
                     ChunkStore::Memory,
+                    chunk_threads,
                 )
                 .expect("streaming build"),
             );
         }));
         let codec = built.expect("built in the timed closure");
+        codec.set_threads(chunk_threads);
 
         out.push(entry("lattice_encoded", "chunked", rows, iters, || {
             let p = codec.partition(&NODE).expect("valid node");
             std::hint::black_box(p.min_class_size());
         }));
+        let partition = codec.partition(&NODE).expect("valid node");
         out.push(entry("property_extraction", "chunked", rows, iters, || {
-            let partition = codec.partition(&NODE).expect("valid node");
             for p in &props {
                 std::hint::black_box(
                     p.extract_chunked(&codec, &partition)
@@ -294,6 +349,118 @@ fn chunked_benches(out: &mut Vec<BenchEntry>, sizes: &[usize]) {
                 );
             }
         }));
+    }
+}
+
+/// All nine built-in properties with chunked kernels — the set the
+/// `parallel_scaling` sweep extracts.
+fn all_chunked_properties() -> Vec<Box<dyn Property>> {
+    vec![
+        Box::new(EqClassSize),
+        Box::new(BreachProbability),
+        Box::new(SensitiveValueCount::default()),
+        Box::new(DistinctSensitiveCount::default()),
+        Box::new(TClosenessDistance::default()),
+        Box::new(IyengarUtility::with_metric(LossMetric::classic())),
+        Box::new(GeneralizationLoss::classic()),
+        Box::new(Precision),
+        Box::new(Discernibility),
+    ]
+}
+
+/// FNV-1a 64-bit, folded over `bytes`.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Sweeps the chunked pipeline over a thread ladder at one row count,
+/// timing each phase and digesting the outputs so bit-identity across
+/// thread counts is recorded, not assumed.
+fn parallel_scaling(rows: usize) -> ParallelScaling {
+    let config = census_config(rows);
+    let props = all_chunked_properties();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let iters = if rows > 2_000_000 { 2 } else { 3 };
+
+    let mut phases = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut built: Option<ChunkedCodec> = None;
+        let (_, build_ms) = time_ms(1, || {
+            built = Some(
+                ChunkedCodec::from_rows_parallel(
+                    census_schema(config.zip_pool),
+                    || CensusRows::new(&config),
+                    CHUNK_ROWS,
+                    ChunkStore::Memory,
+                    threads,
+                )
+                .expect("streaming build"),
+            );
+        });
+        let codec = built.expect("built in the timed closure");
+        codec.set_threads(threads);
+
+        let (_, partition_ms) = time_ms(iters, || {
+            let p = codec.partition(&NODE).expect("valid node");
+            std::hint::black_box(p.min_class_size());
+        });
+        let partition = codec.partition(&NODE).expect("valid node");
+        let (_, extraction_ms) = time_ms(iters, || {
+            for p in &props {
+                std::hint::black_box(
+                    p.extract_chunked(&codec, &partition)
+                        .expect("built-ins have chunked kernels"),
+                );
+            }
+        });
+
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let ids = codec.class_ids(&NODE).expect("valid node");
+        for id in &ids {
+            fnv1a(&mut hash, &id.to_le_bytes());
+        }
+        for p in &props {
+            let v = p
+                .extract_chunked(&codec, &partition)
+                .expect("built-ins have chunked kernels");
+            fnv1a(&mut hash, v.name().as_bytes());
+            for x in v.iter() {
+                fnv1a(&mut hash, &x.to_bits().to_le_bytes());
+            }
+        }
+
+        eprintln!(
+            "parallel_scaling rows={rows} threads={threads}: build {build_ms:.0} ms, \
+             partition {partition_ms:.0} ms, extraction {extraction_ms:.0} ms, \
+             digest {hash:016x}"
+        );
+        phases.push(PhaseTiming {
+            threads,
+            build_ms,
+            partition_ms,
+            extraction_ms,
+            digest: format!("{hash:016x}"),
+        });
+    }
+
+    let base = &phases[0];
+    let best = |f: fn(&PhaseTiming) -> f64| {
+        phases[1..]
+            .iter()
+            .map(f)
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE)
+    };
+    ParallelScaling {
+        rows,
+        cores,
+        partition_speedup: base.partition_ms / best(|p| p.partition_ms),
+        extraction_speedup: base.extraction_ms / best(|p| p.extraction_ms),
+        bit_identical: phases.iter().all(|p| p.digest == base.digest),
+        phases,
     }
 }
 
@@ -328,10 +495,19 @@ fn peak_rss_mb() -> Option<f64> {
     Some(kb / 1024.0)
 }
 
+/// Resets the VmHWM counter (writing `5` to `/proc/self/clear_refs`), so
+/// the next [`peak_rss_mb`] read covers only the work since this call.
+/// Best-effort: a failure (non-Linux, locked-down procfs) just leaves the
+/// per-entry numbers as lifetime peaks.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 struct Cli {
     path: String,
     rows_override: Option<usize>,
     max_rows: Option<usize>,
+    chunk_threads: usize,
     assert_peak_rss_mb: Option<f64>,
 }
 
@@ -340,6 +516,7 @@ fn parse_cli() -> Cli {
         path: "BENCH_baseline.json".into(),
         rows_override: None,
         max_rows: None,
+        chunk_threads: 1,
         assert_peak_rss_mb: None,
     };
     let mut args = std::env::args().skip(1);
@@ -352,6 +529,7 @@ fn parse_cli() -> Cli {
         match arg.as_str() {
             "--rows" => cli.rows_override = Some(numeric("--rows") as usize),
             "--max-rows" => cli.max_rows = Some(numeric("--max-rows") as usize),
+            "--chunk-threads" => cli.chunk_threads = numeric("--chunk-threads") as usize,
             "--assert-peak-rss-mb" => {
                 cli.assert_peak_rss_mb = Some(numeric("--assert-peak-rss-mb"));
             }
@@ -385,7 +563,11 @@ fn main() {
     lattice_benches(&mut benches, &in_memory_sizes);
     property_extraction_benches(&mut benches, &in_memory_sizes);
     comparator_matrix_benches(&mut benches);
-    chunked_benches(&mut benches, &chunked_sizes);
+    chunked_benches(&mut benches, &chunked_sizes, cli.chunk_threads);
+    let parallel = chunked_sizes
+        .iter()
+        .min()
+        .map(|&rows| parallel_scaling(rows));
 
     // Speedups are quoted at the largest in-memory size that actually ran
     // (50k unless `--max-rows` filtered it); 0.0 means "not measured".
@@ -433,7 +615,17 @@ fn main() {
         ),
         matrix_speedup_m32: ratio(Some(scalar_total), Some(matrix_total)),
         scaling: scaling_of(&benches, &chunked_sizes),
-        peak_rss_mb: peak_rss_mb(),
+        parallel_scaling: parallel,
+        // Per-entry resets wiped the process-lifetime VmHWM, so the
+        // gated number is the worst window: max over entries plus a
+        // final read covering everything since the last reset.
+        peak_rss_mb: benches
+            .iter()
+            .filter_map(|b| b.peak_rss_mb)
+            .chain(peak_rss_mb())
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.max(r)))
+            }),
         benches,
     };
     eprintln!(
@@ -451,6 +643,16 @@ fn main() {
             scaling.rows_large,
             scaling.partition_ratio,
             scaling.extraction_ratio
+        );
+    }
+    if let Some(ps) = &baseline.parallel_scaling {
+        eprintln!(
+            "parallel scaling at {} rows on {} core(s): partition {:.2}x, extraction {:.2}x, bit-identical: {}",
+            ps.rows, ps.cores, ps.partition_speedup, ps.extraction_speedup, ps.bit_identical
+        );
+        assert!(
+            ps.bit_identical,
+            "thread counts disagreed on class ids or property vectors — determinism bug"
         );
     }
     if let Some(rss) = baseline.peak_rss_mb {

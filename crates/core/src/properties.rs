@@ -11,6 +11,7 @@ use anoncmp_microdata::loss::{
     discernibility_vector, discernibility_vector_chunked, discernibility_vector_encoded,
     precision_vector, precision_vector_chunked, precision_vector_encoded, LossMetric,
 };
+use anoncmp_microdata::parallel as chunk_parallel;
 use anoncmp_microdata::prelude::{
     AnonymizedTable, ChunkedCodec, Dataset, GenCodec, NodePartition, Value,
 };
@@ -89,14 +90,29 @@ fn chunked_sensitive_counts(
     ids: &[u32],
     col: usize,
 ) -> std::collections::HashMap<(u32, u32), usize> {
+    // Workers tally per-chunk partial counts; merging integer tallies is
+    // key-wise commutative, so the folded map is deterministic at every
+    // thread count (and the reduce runs in chunk order regardless).
     let mut counts: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
     codec
-        .for_each_raw_chunk(col, |base, codes| {
-            for (i, &code) in codes.iter().enumerate() {
-                *counts.entry((ids[base + i], code)).or_insert(0) += 1;
-            }
-            Ok(())
-        })
+        .map_raw_chunks(
+            col,
+            || (),
+            |(), base, codes| {
+                let mut partial: std::collections::HashMap<(u32, u32), usize> =
+                    std::collections::HashMap::new();
+                for (i, &code) in codes.iter().enumerate() {
+                    *partial.entry((ids[base + i], code)).or_insert(0) += 1;
+                }
+                Ok(partial)
+            },
+            |_, partial| {
+                for (key, n) in partial {
+                    *counts.entry(key).or_insert(0) += n;
+                }
+                Ok(())
+            },
+        )
         .expect("chunked column streams");
     counts
 }
@@ -154,10 +170,12 @@ impl Property for EqClassSize {
     ) -> Option<PropertyVector> {
         let ids = chunked_class_ids(codec, partition);
         let class_sizes = partition.sizes();
-        let sizes: Vec<usize> = ids
-            .iter()
-            .map(|&c| class_sizes[c as usize] as usize)
-            .collect();
+        let mut sizes: Vec<usize> = vec![0; ids.len()];
+        chunk_parallel::fill_spans(&mut sizes, codec.threads(), |base, span| {
+            for (i, s) in span.iter_mut().enumerate() {
+                *s = class_sizes[ids[base + i] as usize] as usize;
+            }
+        });
         Some(PropertyVector::from_usizes(self.name(), &sizes))
     }
 }
@@ -203,10 +221,12 @@ impl Property for BreachProbability {
     ) -> Option<PropertyVector> {
         let ids = chunked_class_ids(codec, partition);
         let sizes = partition.sizes();
-        let v: Vec<f64> = ids
-            .iter()
-            .map(|&c| -(1.0 / sizes[c as usize] as f64))
-            .collect();
+        let mut v: Vec<f64> = vec![0.0; ids.len()];
+        chunk_parallel::fill_spans(&mut v, codec.threads(), |base, span| {
+            for (i, p) in span.iter_mut().enumerate() {
+                *p = -(1.0 / sizes[ids[base + i] as usize] as f64);
+            }
+        });
         Some(PropertyVector::new(self.name(), v))
     }
 }
@@ -303,15 +323,21 @@ impl Property for SensitiveValueCount {
         let counts = chunked_sensitive_counts(codec, ids, col);
         let mut v: Vec<usize> = Vec::with_capacity(codec.rows());
         codec
-            .for_each_raw_chunk(col, |base, codes| {
-                v.extend(
-                    codes
+            .map_raw_chunks(
+                col,
+                || (),
+                |(), base, codes| {
+                    Ok(codes
                         .iter()
                         .enumerate()
-                        .map(|(i, &code)| counts[&(ids[base + i], code)]),
-                );
-                Ok(())
-            })
+                        .map(|(i, &code)| counts[&(ids[base + i], code)])
+                        .collect::<Vec<usize>>())
+                },
+                |_, chunk_counts| {
+                    v.extend_from_slice(&chunk_counts);
+                    Ok(())
+                },
+            )
             .expect("chunked column streams");
         Some(PropertyVector::from_usizes(self.name(), &v))
     }
@@ -387,7 +413,12 @@ impl Property for DistinctSensitiveCount {
         for &(class, _) in counts.keys() {
             distinct[class as usize] += 1;
         }
-        let v: Vec<usize> = ids.iter().map(|&c| distinct[c as usize]).collect();
+        let mut v: Vec<usize> = vec![0; ids.len()];
+        chunk_parallel::fill_spans(&mut v, codec.threads(), |base, span| {
+            for (i, d) in span.iter_mut().enumerate() {
+                *d = distinct[ids[base + i] as usize];
+            }
+        });
         Some(PropertyVector::from_usizes(self.name(), &v))
     }
 }
@@ -499,39 +530,63 @@ impl Property for TClosenessDistance {
         // Global distribution over sensitive codes, in row-stream
         // first-appearance order. The code ↔ value bijection preserves the
         // materialized path's ordering, so the TV sum accumulates in the
-        // same order and the distances match bit-for-bit.
+        // same order and the distances match bit-for-bit. Parallel chunks
+        // tally chunk-local first-appearance lists; merging them in chunk
+        // order reproduces the global first-appearance order, and the
+        // tallies are exact integers in f64, so the sums are too.
         let mut global: Vec<(u32, f64)> = Vec::new();
         codec
-            .for_each_raw_chunk(col, |_, codes| {
-                for &code in codes {
-                    match global.iter_mut().find(|(g, _)| *g == code) {
-                        Some((_, c)) => *c += 1.0,
-                        None => global.push((code, 1.0)),
+            .map_raw_chunks(
+                col,
+                || (),
+                |(), _, codes| {
+                    let mut partial: Vec<(u32, f64)> = Vec::new();
+                    for &code in codes {
+                        match partial.iter_mut().find(|(g, _)| *g == code) {
+                            Some((_, c)) => *c += 1.0,
+                            None => partial.push((code, 1.0)),
+                        }
                     }
-                }
-                Ok(())
-            })
+                    Ok(partial)
+                },
+                |_, partial| {
+                    for (code, count) in partial {
+                        match global.iter_mut().find(|(g, _)| *g == code) {
+                            Some((_, c)) => *c += count,
+                            None => global.push((code, count)),
+                        }
+                    }
+                    Ok(())
+                },
+            )
             .expect("chunked column streams");
         for (_, c) in &mut global {
             *c /= n;
         }
         let ids = chunked_class_ids(codec, partition);
         let counts = chunked_sensitive_counts(codec, ids, col);
-        let per_class: Vec<f64> = partition
-            .sizes()
-            .iter()
-            .enumerate()
-            .map(|(class, &size)| {
-                let m = size as f64;
+        let sizes = partition.sizes();
+        // Per-class TV distances are independent; the within-class sum
+        // runs over `global` in its fixed order either way.
+        let mut per_class: Vec<f64> = vec![0.0; sizes.len()];
+        chunk_parallel::fill_spans(&mut per_class, codec.threads(), |base, span| {
+            for (i, out) in span.iter_mut().enumerate() {
+                let class = base + i;
+                let m = sizes[class] as f64;
                 let mut tv = 0.0;
                 for &(code, gp) in &global {
                     let local = counts.get(&(class as u32, code)).copied().unwrap_or(0) as f64 / m;
                     tv += (local - gp).abs();
                 }
-                tv / 2.0
-            })
-            .collect();
-        let v: Vec<f64> = ids.iter().map(|&c| -per_class[c as usize]).collect();
+                *out = tv / 2.0;
+            }
+        });
+        let mut v: Vec<f64> = vec![0.0; ids.len()];
+        chunk_parallel::fill_spans(&mut v, codec.threads(), |base, span| {
+            for (i, out) in span.iter_mut().enumerate() {
+                *out = -per_class[ids[base + i] as usize];
+            }
+        });
         Some(PropertyVector::new(self.name(), v))
     }
 }

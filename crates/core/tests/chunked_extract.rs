@@ -1,8 +1,9 @@
 //! Property-based equivalence for the chunked extraction path: on
-//! arbitrary tables, lattice nodes, and chunk sizes (degenerate,
-//! non-dividing, oversized), `Property::extract_chunked` must reproduce
-//! the materialized `Property::extract` bit for bit for all nine built-in
-//! properties.
+//! arbitrary tables, lattice nodes, chunk sizes (degenerate,
+//! non-dividing, oversized), and worker thread counts {1, 2, 8},
+//! `Property::extract_chunked` must reproduce the materialized
+//! `Property::extract` bit for bit for all nine built-in properties.
+//! Thread count must never be observable in any extracted vector.
 
 use std::sync::Arc;
 
@@ -65,25 +66,29 @@ proptest! {
         let table = lattice.apply(&ds, &[l0, l1], "t").expect("valid levels");
         for chunk_rows in [1, 7, 4096, ds.len() + 1] {
             let codec = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
-            let partition = codec.partition(&[l0, l1]).expect("valid levels");
-            for p in all_properties() {
-                let from_table = p.extract(&table);
-                let from_chunks = p
-                    .extract_chunked(&codec, &partition)
-                    .expect("built-ins have chunked kernels");
-                prop_assert_eq!(from_table.name(), from_chunks.name(), "{}", p.name());
-                prop_assert_eq!(from_table.len(), from_chunks.len(), "{}", p.name());
-                // Bit-level equality, stricter than `==` (distinguishes ±0.0).
-                for (a, b) in from_table.iter().zip(from_chunks.iter()) {
-                    prop_assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "{} @ chunk_rows={}: {} vs {}",
-                        p.name(),
-                        chunk_rows,
-                        a,
-                        b
-                    );
+            for threads in [1usize, 2, 8] {
+                codec.set_threads(threads);
+                let partition = codec.partition(&[l0, l1]).expect("valid levels");
+                for p in all_properties() {
+                    let from_table = p.extract(&table);
+                    let from_chunks = p
+                        .extract_chunked(&codec, &partition)
+                        .expect("built-ins have chunked kernels");
+                    prop_assert_eq!(from_table.name(), from_chunks.name(), "{}", p.name());
+                    prop_assert_eq!(from_table.len(), from_chunks.len(), "{}", p.name());
+                    // Bit-level equality, stricter than `==` (distinguishes ±0.0).
+                    for (a, b) in from_table.iter().zip(from_chunks.iter()) {
+                        prop_assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} @ chunk_rows={} threads={}: {} vs {}",
+                            p.name(),
+                            chunk_rows,
+                            threads,
+                            a,
+                            b
+                        );
+                    }
                 }
             }
         }

@@ -149,7 +149,24 @@ impl DatasetSpec {
         chunk_rows: usize,
         store: ChunkStore,
     ) -> anoncmp_microdata::error::Result<ChunkedCodec> {
-        match self {
+        self.chunked_codec_with_threads(chunk_rows, store, 1)
+    }
+
+    /// [`DatasetSpec::chunked_codec`] with an explicit intra-node thread
+    /// budget: the build itself (dictionary collection and encode+flush)
+    /// runs on up to `threads` workers, and the returned codec carries the
+    /// budget for its later partition / extraction passes. Results are
+    /// bit-identical at every thread count; `0` means one per CPU. The
+    /// engine resolves the budget via
+    /// [`Engine::chunked_codec_for`](crate::engine::Engine::chunked_codec_for)
+    /// so job-level and chunk-level parallelism share the cores.
+    pub fn chunked_codec_with_threads(
+        &self,
+        chunk_rows: usize,
+        store: ChunkStore,
+        threads: usize,
+    ) -> anoncmp_microdata::error::Result<ChunkedCodec> {
+        let codec = match self {
             DatasetSpec::Census {
                 rows,
                 seed,
@@ -160,11 +177,12 @@ impl DatasetSpec {
                     seed: *seed,
                     zip_pool: *zip_pool,
                 };
-                ChunkedCodec::from_rows(
+                ChunkedCodec::from_rows_parallel(
                     census_schema(config.zip_pool),
                     || CensusRows::new(&config),
                     chunk_rows,
                     store,
+                    threads,
                 )
             }
             DatasetSpec::Hospital { rows, seed } => {
@@ -172,17 +190,20 @@ impl DatasetSpec {
                     rows: *rows,
                     seed: *seed,
                 };
-                ChunkedCodec::from_rows(
+                ChunkedCodec::from_rows_parallel(
                     hospital_schema(),
                     || HospitalRows::new(&config),
                     chunk_rows,
                     store,
+                    threads,
                 )
             }
             DatasetSpec::Inline { dataset, .. } => {
                 ChunkedCodec::from_dataset_in(dataset, chunk_rows, store)
             }
-        }
+        }?;
+        codec.set_threads(threads);
+        Ok(codec)
     }
 
     /// Synthesizes (or unwraps) the dataset. Deterministic in the spec.

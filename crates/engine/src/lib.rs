@@ -69,6 +69,7 @@ pub mod engine;
 pub mod fingerprint;
 pub mod job;
 pub mod journal;
+pub mod pool;
 pub mod record;
 
 pub use crate::cache::{CacheStats, LruCache, MemoCache};
@@ -78,6 +79,7 @@ pub use crate::engine::{
 };
 pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
 pub use crate::journal::{Journal, Replay};
+pub use crate::pool::ScopedPool;
 pub use crate::record::{
     AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
 };
@@ -91,6 +93,7 @@ pub mod prelude {
     };
     pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
     pub use crate::journal::{Journal, Replay};
+    pub use crate::pool::ScopedPool;
     pub use crate::record::{
         AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
     };

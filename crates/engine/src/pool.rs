@@ -1,0 +1,114 @@
+//! Core-budget arithmetic for nested parallelism.
+//!
+//! The engine runs two layers of parallelism at once: the sweep's worker
+//! pool executes `--jobs N` jobs concurrently, and inside one job the
+//! chunked pipeline (`anoncmp_microdata::chunked`) can fan a node's chunk
+//! work out over intra-node threads. Giving each layer a full
+//! machine's worth of threads oversubscribes the cores N-fold — at 10M
+//! rows with `--jobs 8` that is 64 runnable threads thrashing 8 cores.
+//!
+//! [`ScopedPool`] owns the split: the machine's cores are divided by the
+//! job-level worker count, and each concurrently running job gets the
+//! quotient (at least 1) as its intra-node chunk-thread budget. An
+//! explicit `--chunk-threads` overrides the quotient when the operator
+//! knows better (e.g. a serve deployment that admits one big sweep at a
+//! time). Thread budgets never change results — the chunked pipeline is
+//! bit-identical at every thread count (see DESIGN.md "Threading
+//! model") — so the split is purely a scheduling concern.
+
+/// Splits a core budget between job-level workers and per-job intra-node
+/// chunk threads.
+///
+/// ```
+/// use anoncmp_engine::pool::ScopedPool;
+///
+/// // 8 cores, 8 concurrent jobs: each job streams chunks sequentially.
+/// assert_eq!(ScopedPool::with_cores(8, 8, 0).chunk_threads(), 1);
+/// // 8 cores, 2 concurrent jobs: each job gets 4 chunk threads.
+/// assert_eq!(ScopedPool::with_cores(8, 2, 0).chunk_threads(), 4);
+/// // Explicit override wins.
+/// assert_eq!(ScopedPool::with_cores(8, 8, 3).chunk_threads(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopedPool {
+    cores: usize,
+    jobs: usize,
+    chunk_threads: usize,
+}
+
+impl ScopedPool {
+    /// A pool over the machine's available cores with `jobs` job-level
+    /// workers and an optional explicit `chunk_threads` override (`0` =
+    /// auto split). `jobs == 0` also means one per core.
+    pub fn new(jobs: usize, chunk_threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ScopedPool::with_cores(cores, jobs, chunk_threads)
+    }
+
+    /// A pool over an explicit core count — the deterministic seam the
+    /// unit tests and docs use.
+    pub fn with_cores(cores: usize, jobs: usize, chunk_threads: usize) -> Self {
+        let cores = cores.max(1);
+        ScopedPool {
+            cores,
+            jobs: if jobs == 0 { cores } else { jobs },
+            chunk_threads,
+        }
+    }
+
+    /// The job-level worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The core budget being split.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Intra-node chunk threads each concurrently running job may use
+    /// without oversubscribing: the explicit override if one was set,
+    /// otherwise `max(1, cores / jobs)`.
+    pub fn chunk_threads(&self) -> usize {
+        match self.chunk_threads {
+            0 => (self.cores / self.jobs.max(1)).max(1),
+            n => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_split_divides_cores_by_jobs() {
+        assert_eq!(ScopedPool::with_cores(16, 4, 0).chunk_threads(), 4);
+        assert_eq!(ScopedPool::with_cores(16, 16, 0).chunk_threads(), 1);
+        assert_eq!(ScopedPool::with_cores(16, 32, 0).chunk_threads(), 1);
+        assert_eq!(ScopedPool::with_cores(1, 1, 0).chunk_threads(), 1);
+    }
+
+    #[test]
+    fn zero_jobs_means_one_per_core() {
+        let pool = ScopedPool::with_cores(8, 0, 0);
+        assert_eq!(pool.jobs(), 8);
+        assert_eq!(pool.chunk_threads(), 1);
+    }
+
+    #[test]
+    fn explicit_override_beats_the_quotient() {
+        assert_eq!(ScopedPool::with_cores(4, 4, 8).chunk_threads(), 8);
+        assert_eq!(ScopedPool::with_cores(4, 1, 2).chunk_threads(), 2);
+    }
+
+    #[test]
+    fn degenerate_cores_clamp_to_one() {
+        let pool = ScopedPool::with_cores(0, 0, 0);
+        assert_eq!(pool.cores(), 1);
+        assert_eq!(pool.jobs(), 1);
+        assert_eq!(pool.chunk_threads(), 1);
+    }
+}

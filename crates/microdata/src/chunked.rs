@@ -35,6 +35,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fs::{self, File};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::codec::{packing_shifts, NodePartition};
@@ -42,8 +43,16 @@ use crate::dataset::{Dataset, DistinctValues};
 use crate::error::{Error, Result};
 use crate::hash::FxMap;
 use crate::kernels;
+use crate::parallel::{
+    self, process_chunks_ordered, process_stream_ordered, Queue, PREFETCH_DEPTH,
+};
 use crate::schema::{Domain, Schema};
 use crate::value::{GenValue, Value};
+
+/// Classes re-keyed per parallel [`ChunkedCodec::coarsen`] work item —
+/// large enough to amortize the per-batch key vectors, small enough that
+/// short lattices still fan out.
+const COARSEN_BATCH: usize = 4096;
 
 /// Where a [`ChunkedCodec`] keeps its column blocks.
 #[derive(Debug, Clone)]
@@ -102,10 +111,20 @@ impl ChunkedColumn {
     /// A sequential chunk-at-a-time reader, starting at the first block.
     pub fn cursor(&self) -> ChunkCursor<'_> {
         ChunkCursor {
-            column: self,
+            reader: self.chunk_reader(),
             next_chunk: 0,
+        }
+    }
+
+    /// A random-access block reader. Each reader owns one file handle and
+    /// one byte buffer for its whole lifetime — parallel workers hold one
+    /// reader per column and recycle both across every chunk they read.
+    pub fn chunk_reader(&self) -> ChunkReader<'_> {
+        ChunkReader {
+            column: self,
             file: None,
             bytes: Vec::new(),
+            alloc_events: 0,
         }
     }
 
@@ -123,35 +142,47 @@ impl ChunkedColumn {
     }
 }
 
-/// Sequential block reader over a [`ChunkedColumn`].
+/// Random-access block reader over a [`ChunkedColumn`] with a reusable
+/// byte buffer and one lazily opened file handle. One `read_into` call
+/// allocates only if the buffer must grow — which happens at most once,
+/// on the first full-size block — so steady-state reads are
+/// allocation-free; [`ChunkReader::alloc_events`] counts growth events
+/// and a regression test pins the count.
 #[derive(Debug)]
-pub struct ChunkCursor<'a> {
+pub struct ChunkReader<'a> {
     column: &'a ChunkedColumn,
-    next_chunk: usize,
     file: Option<File>,
     bytes: Vec<u8>,
+    alloc_events: usize,
 }
 
-impl ChunkCursor<'_> {
-    /// Reads the next block into `buf` (cleared first) and returns its row
-    /// count; 0 when the column is exhausted.
+impl ChunkReader<'_> {
+    /// Reads block `chunk` into `buf` (cleared first) and returns its row
+    /// count; 0 when `chunk` is past the last block.
     ///
     /// # Errors
     /// [`Error::Io`] on spill-file read failures.
-    pub fn next_into(&mut self, buf: &mut Vec<u32>) -> Result<usize> {
+    pub fn read_into(&mut self, chunk: usize, buf: &mut Vec<u32>) -> Result<usize> {
         buf.clear();
-        if self.next_chunk >= self.column.chunk_count() {
+        if chunk >= self.column.chunk_count() {
             return Ok(0);
         }
-        let len = self.column.chunk_len(self.next_chunk);
+        let len = self.column.chunk_len(chunk);
         match &self.column.storage {
-            Storage::Memory(chunks) => buf.extend_from_slice(&chunks[self.next_chunk]),
+            Storage::Memory(chunks) => buf.extend_from_slice(&chunks[chunk]),
             Storage::Disk(path) => {
                 if self.file.is_none() {
                     self.file = Some(self.column.open(path)?);
                 }
                 let file = self.file.as_mut().expect("opened above");
+                if self.bytes.capacity() < len * 4 {
+                    self.alloc_events += 1;
+                }
                 self.bytes.resize(len * 4, 0);
+                file.seek(SeekFrom::Start(
+                    chunk as u64 * self.column.chunk_rows as u64 * 4,
+                ))
+                .map_err(|e| io_err(&format!("seek {}", path.display()), &e))?;
                 file.read_exact(&mut self.bytes)
                     .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
                 buf.extend(
@@ -161,8 +192,41 @@ impl ChunkCursor<'_> {
                 );
             }
         }
-        self.next_chunk += 1;
         Ok(len)
+    }
+
+    /// Byte-buffer growth events since creation. After the first
+    /// full-size block this stays flat; the buffer-reuse test pins it.
+    pub fn alloc_events(&self) -> usize {
+        self.alloc_events
+    }
+}
+
+/// Sequential block reader over a [`ChunkedColumn`] — a [`ChunkReader`]
+/// that advances one block per call.
+#[derive(Debug)]
+pub struct ChunkCursor<'a> {
+    reader: ChunkReader<'a>,
+    next_chunk: usize,
+}
+
+impl ChunkCursor<'_> {
+    /// Reads the next block into `buf` (cleared first) and returns its row
+    /// count; 0 when the column is exhausted.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on spill-file read failures.
+    pub fn next_into(&mut self, buf: &mut Vec<u32>) -> Result<usize> {
+        let n = self.reader.read_into(self.next_chunk, buf)?;
+        if n > 0 {
+            self.next_chunk += 1;
+        }
+        Ok(n)
+    }
+
+    /// Byte-buffer growth events of the underlying reader.
+    pub fn alloc_events(&self) -> usize {
+        self.reader.alloc_events()
     }
 }
 
@@ -268,6 +332,15 @@ impl ColumnWriter {
         Ok(())
     }
 
+    /// Appends a run of codes — the bulk entry point of the pipelined
+    /// builder's in-order writer stage.
+    fn push_chunk(&mut self, codes: &[u32]) -> Result<()> {
+        for &code in codes {
+            self.push(code)?;
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Result<ChunkedColumn> {
         let storage = match self.dest {
             WriterDest::Memory { mut done, current } => {
@@ -331,6 +404,11 @@ pub struct ChunkedCodec {
     rows: usize,
     chunk_rows: usize,
     on_disk: bool,
+    /// Intra-node thread budget (0 = one per available CPU). Every
+    /// chunked pass — partition, coarsen, class ids, the extraction and
+    /// loss kernels — consults this; results are bit-identical at every
+    /// setting (the merges run in chunk order on the calling thread).
+    threads: AtomicUsize,
     distinct: Vec<DistinctValues>,
     dims: Vec<ChunkedDim>,
     extras: Vec<ChunkedExtra>,
@@ -390,60 +468,81 @@ impl ChunkedCodec {
     where
         I: Iterator<Item = Vec<Value>>,
     {
+        Self::from_rows_parallel(schema, make_rows, chunk_rows, store, 1)
+    }
+
+    /// [`ChunkedCodec::from_rows`] with an explicit build thread budget
+    /// (`0` = one per available CPU). Both passes become chunk-granular
+    /// pipelines: the caller's thread buffers rows into fixed-size work
+    /// items, workers validate (pass 1) or encode (pass 2) them, and
+    /// results — distinct-set unions, block writes — are merged back on
+    /// the caller's thread strictly in item order. Dictionaries, column
+    /// files, and any validation error are therefore identical to the
+    /// sequential build at every thread count. The returned codec keeps
+    /// `threads` as its intra-node budget ([`ChunkedCodec::set_threads`]).
+    ///
+    /// # Errors
+    /// As [`ChunkedCodec::from_rows`].
+    pub fn from_rows_parallel<I>(
+        schema: Arc<Schema>,
+        make_rows: impl Fn() -> I,
+        chunk_rows: usize,
+        store: ChunkStore,
+        threads: usize,
+    ) -> Result<Self>
+    where
+        I: Iterator<Item = Vec<Value>>,
+    {
         if chunk_rows == 0 {
             return Err(Error::InvalidDataset(
                 "chunk_rows must be at least 1".into(),
             ));
         }
+        let build_threads = parallel::resolve_threads(threads);
+        // Work-item granularity: one column block, capped so the bounded
+        // pipeline window never buffers more than a few MiB of row data
+        // even when chunk_rows is huge.
+        let item_rows = chunk_rows.clamp(1, 8192);
 
         // Pass 1: per-column distinct summaries + row count, validating
-        // every value against the schema as Dataset::new would.
-        let mut sets: Vec<DistinctSet> = schema
-            .attributes()
-            .iter()
-            .map(|a| match a.domain() {
-                Domain::Integer { .. } => DistinctSet::Ints(BTreeSet::new()),
-                Domain::Categorical { .. } => DistinctSet::Cats(BTreeSet::new()),
-            })
-            .collect();
+        // every value against the schema as Dataset::new would. Workers
+        // build per-item partial summaries; the in-order merge unions
+        // them, so the summaries (sets) and the first validation error
+        // (first failing row in stream order) match the sequential pass.
+        let mut sets: Vec<DistinctSet> = Self::empty_sets(&schema);
         let mut rows = 0usize;
-        for row in make_rows() {
-            if row.len() != schema.len() {
-                return Err(Error::ArityMismatch {
-                    expected: schema.len(),
-                    actual: row.len(),
-                });
-            }
-            for (col, v) in row.iter().enumerate() {
-                let attr = schema.attribute(col);
-                if !attr.domain().contains(v) {
-                    let kind_ok = matches!(
-                        (attr.domain(), v),
-                        (Domain::Integer { .. }, Value::Int(_))
-                            | (Domain::Categorical { .. }, Value::Cat(_))
-                    );
-                    if kind_ok {
-                        return Err(Error::ValueOutOfDomain {
-                            attribute: attr.name().to_owned(),
-                            value: attr.render(v),
-                        });
+        {
+            let mut iter = make_rows();
+            process_stream_ordered(
+                build_threads,
+                || {
+                    let chunk: Vec<Vec<Value>> = iter.by_ref().take(item_rows).collect();
+                    if chunk.is_empty() {
+                        Ok(None)
+                    } else {
+                        rows += chunk.len();
+                        Ok(Some(chunk))
                     }
-                    return Err(Error::KindMismatch {
-                        attribute: attr.name().to_owned(),
-                        detail: format!("value {v:?} does not match the attribute domain kind"),
-                    });
-                }
-                match (&mut sets[col], v) {
-                    (DistinctSet::Ints(s), Value::Int(x)) => {
-                        s.insert(*x);
+                },
+                || (),
+                |_, _, chunk: Vec<Vec<Value>>| {
+                    let mut local = Self::empty_sets(&schema);
+                    for row in &chunk {
+                        Self::collect_row(&schema, &mut local, row)?;
                     }
-                    (DistinctSet::Cats(s), Value::Cat(c)) => {
-                        s.insert(*c);
+                    Ok(local)
+                },
+                |_, local| {
+                    for (global, partial) in sets.iter_mut().zip(local) {
+                        match (global, partial) {
+                            (DistinctSet::Ints(g), DistinctSet::Ints(p)) => g.extend(p),
+                            (DistinctSet::Cats(g), DistinctSet::Cats(p)) => g.extend(p),
+                            _ => unreachable!("set kinds are fixed by the schema"),
+                        }
                     }
-                    _ => unreachable!("domain kind checked above"),
-                }
-            }
-            rows += 1;
+                    Ok(())
+                },
+            )?;
         }
         let distinct: Vec<DistinctValues> = sets
             .into_iter()
@@ -455,33 +554,57 @@ impl ChunkedCodec {
 
         // Pass 2: re-stream, assigning dense raw codes (index into the
         // sorted distinct values — identical to GenCodec's assignment) and
-        // writing fixed-size blocks.
+        // writing fixed-size blocks. Workers encode whole items; the
+        // in-order merge appends each item's per-column codes to the
+        // writers, so the column files are byte-identical to the
+        // sequential build.
         let mut writers: Vec<ColumnWriter> = (0..schema.len())
             .map(|col| ColumnWriter::new(chunk_rows, &store, &format!("col{col}")))
             .collect::<Result<_>>()?;
         let mut seen = 0usize;
-        for row in make_rows() {
-            if seen == rows || row.len() != schema.len() {
-                return Err(Error::InvalidDataset(
-                    "row stream changed between passes — the row factory must be deterministic"
-                        .into(),
-                ));
-            }
-            for (col, v) in row.iter().enumerate() {
-                let code = distinct[col].code_of(v).ok_or_else(|| {
-                    Error::InvalidDataset(
-                        "row stream changed between passes — the row factory must be deterministic"
-                            .into(),
-                    )
-                })?;
-                writers[col].push(code)?;
-            }
-            seen += 1;
+        {
+            let mut iter = make_rows();
+            process_stream_ordered(
+                build_threads,
+                || {
+                    let chunk: Vec<Vec<Value>> = iter.by_ref().take(item_rows).collect();
+                    if chunk.is_empty() {
+                        return Ok(None);
+                    }
+                    if seen + chunk.len() > rows {
+                        return Err(Self::nondeterministic_stream());
+                    }
+                    seen += chunk.len();
+                    Ok(Some(chunk))
+                },
+                || (),
+                |_, _, chunk: Vec<Vec<Value>>| {
+                    let mut cols: Vec<Vec<u32>> = (0..schema.len())
+                        .map(|_| Vec::with_capacity(chunk.len()))
+                        .collect();
+                    for row in &chunk {
+                        if row.len() != schema.len() {
+                            return Err(Self::nondeterministic_stream());
+                        }
+                        for (col, v) in row.iter().enumerate() {
+                            let code = distinct[col]
+                                .code_of(v)
+                                .ok_or_else(Self::nondeterministic_stream)?;
+                            cols[col].push(code);
+                        }
+                    }
+                    Ok(cols)
+                },
+                |_, cols: Vec<Vec<u32>>| {
+                    for (writer, codes) in writers.iter_mut().zip(&cols) {
+                        writer.push_chunk(codes)?;
+                    }
+                    Ok(())
+                },
+            )?;
         }
         if seen != rows {
-            return Err(Error::InvalidDataset(
-                "row stream changed between passes — the row factory must be deterministic".into(),
-            ));
+            return Err(Self::nondeterministic_stream());
         }
 
         // Per-level dictionaries over the distinct values — the identical
@@ -551,10 +674,86 @@ impl ChunkedCodec {
             rows,
             chunk_rows,
             on_disk: matches!(store, ChunkStore::Disk(_)),
+            threads: AtomicUsize::new(threads),
             distinct,
             dims,
             extras,
         })
+    }
+
+    fn empty_sets(schema: &Schema) -> Vec<DistinctSet> {
+        schema
+            .attributes()
+            .iter()
+            .map(|a| match a.domain() {
+                Domain::Integer { .. } => DistinctSet::Ints(BTreeSet::new()),
+                Domain::Categorical { .. } => DistinctSet::Cats(BTreeSet::new()),
+            })
+            .collect()
+    }
+
+    /// Validates one row against `schema` (exactly as [`Dataset::new`]
+    /// does) and folds its values into the distinct-set summaries.
+    fn collect_row(schema: &Schema, sets: &mut [DistinctSet], row: &[Value]) -> Result<()> {
+        if row.len() != schema.len() {
+            return Err(Error::ArityMismatch {
+                expected: schema.len(),
+                actual: row.len(),
+            });
+        }
+        for (col, v) in row.iter().enumerate() {
+            let attr = schema.attribute(col);
+            if !attr.domain().contains(v) {
+                let kind_ok = matches!(
+                    (attr.domain(), v),
+                    (Domain::Integer { .. }, Value::Int(_))
+                        | (Domain::Categorical { .. }, Value::Cat(_))
+                );
+                if kind_ok {
+                    return Err(Error::ValueOutOfDomain {
+                        attribute: attr.name().to_owned(),
+                        value: attr.render(v),
+                    });
+                }
+                return Err(Error::KindMismatch {
+                    attribute: attr.name().to_owned(),
+                    detail: format!("value {v:?} does not match the attribute domain kind"),
+                });
+            }
+            match (&mut sets[col], v) {
+                (DistinctSet::Ints(s), Value::Int(x)) => {
+                    s.insert(*x);
+                }
+                (DistinctSet::Cats(s), Value::Cat(c)) => {
+                    s.insert(*c);
+                }
+                _ => unreachable!("domain kind checked above"),
+            }
+        }
+        Ok(())
+    }
+
+    fn nondeterministic_stream() -> Error {
+        Error::InvalidDataset(
+            "row stream changed between passes — the row factory must be deterministic".into(),
+        )
+    }
+
+    /// Sets the intra-node thread budget (`0` = one per available CPU).
+    /// Takes `&self` so a shared codec can be tuned after construction;
+    /// results are bit-identical at every setting.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads, Ordering::Relaxed);
+    }
+
+    /// The resolved intra-node thread budget (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        parallel::resolve_threads(self.threads.load(Ordering::Relaxed))
+    }
+
+    /// Number of fixed-size blocks every column is stored as.
+    pub fn chunk_count(&self) -> usize {
+        self.rows.div_ceil(self.chunk_rows)
     }
 
     /// The schema this codec encodes.
@@ -645,11 +844,99 @@ impl ChunkedCodec {
         Ok(())
     }
 
+    /// Streams the raw blocks of `columns` strictly in chunk order,
+    /// calling `f(chunk, row_base, len, &raws)` with `raws[i]` holding
+    /// column `i`'s codes. For on-disk stores the blocks are read ahead
+    /// on a **dedicated I/O thread** through a bounded double buffer
+    /// ([`PREFETCH_DEPTH`] blocks deep), so decode/group compute overlaps
+    /// the reads; consumption order — and therefore every downstream
+    /// merge — is unchanged.
+    fn stream_blocks<F>(&self, columns: &[&ChunkedColumn], mut f: F) -> Result<()>
+    where
+        F: FnMut(usize, usize, usize, &[Vec<u32>]) -> Result<()>,
+    {
+        let chunk_count = self.chunk_count();
+        if columns.is_empty() || chunk_count == 0 {
+            return Ok(());
+        }
+        if !self.on_disk {
+            let mut readers: Vec<ChunkReader<'_>> =
+                columns.iter().map(|c| c.chunk_reader()).collect();
+            let mut raws: Vec<Vec<u32>> = vec![Vec::new(); columns.len()];
+            for chunk in 0..chunk_count {
+                let mut len = 0usize;
+                for (i, reader) in readers.iter_mut().enumerate() {
+                    len = reader.read_into(chunk, &mut raws[i])?;
+                }
+                f(chunk, chunk * self.chunk_rows, len, &raws)?;
+            }
+            return Ok(());
+        }
+        // Disk: one prefetching I/O thread, buffers recycled through a
+        // bounded queue. At most PREFETCH_DEPTH + 2 block sets ever exist
+        // (the reader only allocates when the recycle queue is empty, at
+        // which point the others are in `filled` or the consumer's hands),
+        // so a recycle queue of that capacity can never block the
+        // consumer's give-back push.
+        let filled: Queue<(usize, Result<Vec<Vec<u32>>>)> = Queue::bounded(PREFETCH_DEPTH);
+        let recycled: Queue<Vec<Vec<u32>>> = Queue::bounded(PREFETCH_DEPTH + 2);
+        let mut outcome: Result<()> = Ok(());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut readers: Vec<ChunkReader<'_>> =
+                    columns.iter().map(|c| c.chunk_reader()).collect();
+                for chunk in 0..chunk_count {
+                    let mut raws = recycled
+                        .try_pop()
+                        .unwrap_or_else(|| vec![Vec::new(); columns.len()]);
+                    let mut read: Result<()> = Ok(());
+                    for (i, reader) in readers.iter_mut().enumerate() {
+                        if let Err(e) = reader.read_into(chunk, &mut raws[i]) {
+                            read = Err(e);
+                            break;
+                        }
+                    }
+                    let failed = read.is_err();
+                    let delivered = match read {
+                        Ok(()) => filled.push((chunk, Ok(raws))),
+                        Err(e) => filled.push((chunk, Err(e))),
+                    };
+                    if failed || !delivered {
+                        break;
+                    }
+                }
+                filled.close();
+            });
+            for _ in 0..chunk_count {
+                let Some((chunk, read)) = filled.pop() else {
+                    break;
+                };
+                match read {
+                    Ok(raws) => {
+                        let len = raws[0].len();
+                        if let Err(e) = f(chunk, chunk * self.chunk_rows, len, &raws) {
+                            outcome = Err(e);
+                        }
+                        recycled.push(raws);
+                    }
+                    Err(e) => outcome = Err(e),
+                }
+                if outcome.is_err() {
+                    break;
+                }
+            }
+            filled.close();
+            recycled.close();
+        });
+        outcome
+    }
+
     /// Streams the generalized codes of one node chunk-at-a-time:
     /// `f(row_base, len, bufs)` where `bufs[d][0..len]` holds dimension
     /// `d`'s codes at `levels[d]` for rows `row_base..row_base + len`.
     /// Raw→level re-keying runs through the branch-free
-    /// [`gather_u32`](crate::kernels::gather_u32) kernel.
+    /// [`gather_u32`](crate::kernels::gather_u32) kernel; on-disk blocks
+    /// are prefetched (see [`ChunkedCodec::stream_blocks`]).
     fn stream_node<F>(&self, levels: &[usize], mut f: F) -> Result<()>
     where
         F: FnMut(usize, usize, &[Vec<u32>]) -> Result<()>,
@@ -667,30 +954,17 @@ impl ChunkedCodec {
             }
             return Ok(());
         }
-        let mut cursors: Vec<ChunkCursor<'_>> = self.dims.iter().map(|d| d.raw.cursor()).collect();
-        let mut raw_buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
+        let columns: Vec<&ChunkedColumn> = self.dims.iter().map(|d| &d.raw).collect();
         let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); self.dims.len()];
-        let mut row_base = 0usize;
-        loop {
-            let mut len = 0usize;
-            for (d, cursor) in cursors.iter_mut().enumerate() {
-                let n = cursor.next_into(&mut raw_buf)?;
-                if d == 0 {
-                    len = n;
-                } else {
-                    debug_assert_eq!(n, len, "columns must chunk identically");
-                }
+        self.stream_blocks(&columns, |_, row_base, len, raws| {
+            for (d, raw) in raws.iter().enumerate() {
                 let code_map = &self.dims[d].levels[levels[d]].code_map;
                 bufs[d].clear();
-                bufs[d].resize(n, 0);
-                kernels::gather_u32(&mut bufs[d], &raw_buf, code_map);
+                bufs[d].resize(len, 0);
+                kernels::gather_u32(&mut bufs[d], raw, code_map);
             }
-            if len == 0 {
-                return Ok(());
-            }
-            f(row_base, len, &bufs)?;
-            row_base += len;
-        }
+            f(row_base, len, &bufs)
+        })
     }
 
     /// The streaming grouping pass: merges per-chunk partial frequency
@@ -703,6 +977,10 @@ impl ChunkedCodec {
         mut emit: impl FnMut(&[u32]),
     ) -> Result<(Vec<u32>, Vec<u32>)> {
         self.validate(levels)?;
+        let threads = self.threads().min(self.chunk_count());
+        if threads > 1 && !self.dims.is_empty() {
+            return self.stream_partition_parallel(levels, threads, emit);
+        }
         let dict_sizes: Vec<u32> = (0..self.dims())
             .map(|d| self.distinct_at(d, levels[d]) as u32)
             .collect();
@@ -817,6 +1095,178 @@ impl ChunkedCodec {
         Ok((sizes, reps))
     }
 
+    /// Parallel arm of [`ChunkedCodec::stream_partition`]: workers build
+    /// per-chunk **partial frequency sets** (first-appearance keys, sizes,
+    /// representatives, and within-chunk local ids) with worker-local
+    /// readers and buffers; the caller's thread folds the partials into
+    /// the global map **strictly in chunk-index order**, running the same
+    /// first-appearance merge the sequential pass runs. The k-th new key
+    /// globally is therefore assigned id k regardless of which worker
+    /// hashed it first — class numbering, sizes, and representatives are
+    /// bit-identical to the sequential path at every thread count.
+    fn stream_partition_parallel(
+        &self,
+        levels: &[usize],
+        threads: usize,
+        mut emit: impl FnMut(&[u32]),
+    ) -> Result<(Vec<u32>, Vec<u32>)> {
+        enum PartialKeys {
+            Packed(Vec<u64>),
+            Wide(Vec<Vec<u32>>),
+        }
+        struct Partial {
+            keys: PartialKeys,
+            sizes: Vec<u32>,
+            reps: Vec<u32>,
+            ids: Vec<u32>,
+        }
+        struct Scratch<'a> {
+            readers: Vec<ChunkReader<'a>>,
+            raw: Vec<u32>,
+            codes: Vec<Vec<u32>>,
+        }
+
+        let dims = self.dims();
+        let dict_sizes: Vec<u32> = (0..dims)
+            .map(|d| self.distinct_at(d, levels[d]) as u32)
+            .collect();
+        let shifts = packing_shifts(&dict_sizes);
+
+        let map = |scratch: &mut Scratch<'_>, chunk: usize| -> Result<Partial> {
+            let row_base = chunk * self.chunk_rows;
+            let mut len = 0usize;
+            let Scratch {
+                readers,
+                raw,
+                codes,
+            } = scratch;
+            for (d, (reader, codes)) in readers.iter_mut().zip(codes.iter_mut()).enumerate() {
+                len = reader.read_into(chunk, raw)?;
+                let code_map = &self.dims[d].levels[levels[d]].code_map;
+                codes.clear();
+                codes.resize(len, 0);
+                kernels::gather_u32(codes, raw, code_map);
+            }
+            let mut local_sizes: Vec<u32> = Vec::new();
+            let mut local_reps: Vec<u32> = Vec::new();
+            let mut local_ids: Vec<u32> = Vec::with_capacity(len);
+            let keys = match &shifts {
+                Some(shifts) => {
+                    let mut local: FxMap<u64, u32> = FxMap::default();
+                    let mut local_keys: Vec<u64> = Vec::new();
+                    for r in 0..len {
+                        let mut key = 0u64;
+                        for (buf, &shift) in codes.iter().zip(shifts) {
+                            key |= u64::from(buf[r]) << shift;
+                        }
+                        let next = local_sizes.len() as u32;
+                        let lc = *local.entry(key).or_insert(next);
+                        if lc == next {
+                            local_keys.push(key);
+                            local_sizes.push(0);
+                            local_reps.push((row_base + r) as u32);
+                        }
+                        local_sizes[lc as usize] += 1;
+                        local_ids.push(lc);
+                    }
+                    PartialKeys::Packed(local_keys)
+                }
+                None => {
+                    let mut local: FxMap<Vec<u32>, u32> = FxMap::default();
+                    let mut local_keys: Vec<Vec<u32>> = Vec::new();
+                    let mut key_buf: Vec<u32> = Vec::with_capacity(dims);
+                    for r in 0..len {
+                        key_buf.clear();
+                        for buf in codes.iter() {
+                            key_buf.push(buf[r]);
+                        }
+                        let next = local_sizes.len() as u32;
+                        let lc = match local.get(key_buf.as_slice()) {
+                            Some(&lc) => lc,
+                            None => {
+                                local.insert(key_buf.clone(), next);
+                                local_keys.push(key_buf.clone());
+                                local_sizes.push(0);
+                                local_reps.push((row_base + r) as u32);
+                                next
+                            }
+                        };
+                        local_sizes[lc as usize] += 1;
+                        local_ids.push(lc);
+                    }
+                    PartialKeys::Wide(local_keys)
+                }
+            };
+            Ok(Partial {
+                keys,
+                sizes: local_sizes,
+                reps: local_reps,
+                ids: local_ids,
+            })
+        };
+
+        let mut sizes: Vec<u32> = Vec::new();
+        let mut reps: Vec<u32> = Vec::new();
+        let mut global_packed: FxMap<u64, u32> = FxMap::default();
+        if shifts.is_some() {
+            global_packed.reserve(1024.min(self.rows));
+        }
+        let mut global_wide: FxMap<Vec<u32>, u32> = FxMap::default();
+        let mut local_to_global: Vec<u32> = Vec::new();
+        process_chunks_ordered(
+            self.chunk_count(),
+            threads,
+            || Scratch {
+                readers: self.dims.iter().map(|d| d.raw.chunk_reader()).collect(),
+                raw: Vec::with_capacity(self.chunk_rows),
+                codes: vec![Vec::new(); dims],
+            },
+            map,
+            |_, mut partial: Partial| {
+                // Merge in local first-appearance order: partials arrive
+                // in chunk order, so global numbering stays
+                // first-appearance over the whole table.
+                local_to_global.clear();
+                match partial.keys {
+                    PartialKeys::Packed(keys) => {
+                        for (lc, key) in keys.into_iter().enumerate() {
+                            let next = sizes.len() as u32;
+                            let g = *global_packed.entry(key).or_insert(next);
+                            if g == next {
+                                sizes.push(0);
+                                reps.push(partial.reps[lc]);
+                            }
+                            sizes[g as usize] += partial.sizes[lc];
+                            local_to_global.push(g);
+                        }
+                    }
+                    PartialKeys::Wide(keys) => {
+                        for (lc, key) in keys.into_iter().enumerate() {
+                            let next = sizes.len() as u32;
+                            let g = match global_wide.get(key.as_slice()) {
+                                Some(&g) => g,
+                                None => {
+                                    global_wide.insert(key, next);
+                                    sizes.push(0);
+                                    reps.push(partial.reps[lc]);
+                                    next
+                                }
+                            };
+                            sizes[g as usize] += partial.sizes[lc];
+                            local_to_global.push(g);
+                        }
+                    }
+                }
+                for id in partial.ids.iter_mut() {
+                    *id = local_to_global[*id as usize];
+                }
+                emit(&partial.ids);
+                Ok(())
+            },
+        )?;
+        Ok((sizes, reps))
+    }
+
     /// Groups the node `levels` by streaming the chunked columns — class
     /// sizes plus one representative row per class, in first-appearance
     /// order, bit-identical to
@@ -871,41 +1321,75 @@ impl ChunkedCodec {
             .map(|d| self.distinct_at(d, levels[d]) as u32)
             .collect();
         let packed = packing_shifts(&dict_sizes);
-        let mut readers: Vec<ColumnReader<'_>> = self.dims.iter().map(|d| d.raw.reader()).collect();
-        let mut key_buf: Vec<u32> = Vec::with_capacity(self.dims());
+
+        // Re-keying representatives is embarrassingly parallel: workers
+        // compute key batches (their own random-access readers), the
+        // caller's thread merges batches strictly in class order — the
+        // same first-appearance sequence as the sequential loop.
+        let class_count = parent.representatives().len();
+        let batch_count = class_count.div_ceil(COARSEN_BATCH);
+        let threads = self.threads().min(batch_count);
 
         let mut sizes: Vec<u32> = Vec::new();
         let mut reps: Vec<u32> = Vec::new();
         let mut index: FxMap<u64, u32> = FxMap::default();
         let mut wide: FxMap<Vec<u32>, u32> = FxMap::default();
-        for (class, &rep) in parent.representatives().iter().enumerate() {
-            key_buf.clear();
-            for (d, reader) in readers.iter_mut().enumerate() {
-                let raw = reader.get(rep as usize)?;
-                key_buf.push(self.dims[d].levels[levels[d]].code_map[raw as usize]);
-            }
-            let merged = match &packed {
-                Some(shifts) => {
-                    let key = key_buf
-                        .iter()
-                        .zip(shifts)
-                        .fold(0u64, |key, (&code, &shift)| {
-                            key | (u64::from(code) << shift)
-                        });
-                    let next = sizes.len() as u32;
-                    *index.entry(key).or_insert(next)
+        process_chunks_ordered(
+            batch_count,
+            threads,
+            || {
+                let readers: Vec<ColumnReader<'_>> =
+                    self.dims.iter().map(|d| d.raw.reader()).collect();
+                (readers, Vec::<u32>::with_capacity(self.dims()))
+            },
+            |(readers, key_buf), batch| {
+                let lo = batch * COARSEN_BATCH;
+                let hi = (lo + COARSEN_BATCH).min(class_count);
+                let mut packed_keys: Vec<u64> = Vec::new();
+                let mut wide_keys: Vec<Vec<u32>> = Vec::new();
+                for &rep in &parent.representatives()[lo..hi] {
+                    key_buf.clear();
+                    for (d, reader) in readers.iter_mut().enumerate() {
+                        let raw = reader.get(rep as usize)?;
+                        key_buf.push(self.dims[d].levels[levels[d]].code_map[raw as usize]);
+                    }
+                    match &packed {
+                        Some(shifts) => packed_keys.push(
+                            key_buf
+                                .iter()
+                                .zip(shifts)
+                                .fold(0u64, |key, (&code, &shift)| {
+                                    key | (u64::from(code) << shift)
+                                }),
+                        ),
+                        None => wide_keys.push(key_buf.clone()),
+                    }
                 }
-                None => {
-                    let next = sizes.len() as u32;
-                    *wide.entry(key_buf.clone()).or_insert(next)
+                Ok((packed_keys, wide_keys))
+            },
+            |batch, (packed_keys, wide_keys)| {
+                let lo = batch * COARSEN_BATCH;
+                for offset in 0..packed_keys.len().max(wide_keys.len()) {
+                    let class = lo + offset;
+                    let merged = match &packed {
+                        Some(_) => {
+                            let next = sizes.len() as u32;
+                            *index.entry(packed_keys[offset]).or_insert(next)
+                        }
+                        None => {
+                            let next = sizes.len() as u32;
+                            *wide.entry(wide_keys[offset].clone()).or_insert(next)
+                        }
+                    };
+                    if merged as usize == sizes.len() {
+                        sizes.push(0);
+                        reps.push(parent.representatives()[class]);
+                    }
+                    sizes[merged as usize] += parent.sizes()[class];
                 }
-            };
-            if merged as usize == sizes.len() {
-                sizes.push(0);
-                reps.push(rep);
-            }
-            sizes[merged as usize] += parent.sizes()[class];
-        }
+                Ok(())
+            },
+        )?;
         Ok(NodePartition::from_parts(levels.to_vec(), sizes, reps))
     }
 
@@ -922,21 +1406,13 @@ impl ChunkedCodec {
         mut f: impl FnMut(usize, &[u32]) -> Result<()>,
     ) -> Result<()> {
         let code_map = &self.dims[dim].levels[level].code_map;
-        let mut cursor = self.dims[dim].raw.cursor();
-        let mut raw_buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
         let mut buf: Vec<u32> = Vec::new();
-        let mut row_base = 0usize;
-        loop {
-            let n = cursor.next_into(&mut raw_buf)?;
-            if n == 0 {
-                return Ok(());
-            }
+        self.stream_blocks(&[&self.dims[dim].raw], |_, row_base, len, raws| {
             buf.clear();
-            buf.resize(n, 0);
-            kernels::gather_u32(&mut buf, &raw_buf, code_map);
-            f(row_base, &buf)?;
-            row_base += n;
-        }
+            buf.resize(len, 0);
+            kernels::gather_u32(&mut buf, &raws[0], code_map);
+            f(row_base, &buf)
+        })
     }
 
     /// Streams schema column `col`'s **raw** codes (indices into
@@ -951,25 +1427,173 @@ impl ChunkedCodec {
         col: usize,
         mut f: impl FnMut(usize, &[u32]) -> Result<()>,
     ) -> Result<()> {
-        let column = self
-            .dims
+        self.stream_blocks(&[self.raw_column(col)], |_, row_base, _, raws| {
+            f(row_base, &raws[0])
+        })
+    }
+
+    /// The backing raw-code column of schema column `col` (dimension or
+    /// extra). Panics if the column is out of range.
+    fn raw_column(&self, col: usize) -> &ChunkedColumn {
+        self.dims
             .iter()
             .find(|d| d.col == col)
             .map(|d| &d.raw)
             .or_else(|| self.extras.iter().find(|e| e.col == col).map(|e| &e.codes))
-            .unwrap_or_else(|| panic!("column {col} out of range"));
-        let mut cursor = column.cursor();
-        let mut buf: Vec<u32> = Vec::with_capacity(self.chunk_rows);
-        let mut row_base = 0usize;
-        loop {
-            let n = cursor.next_into(&mut buf)?;
-            if n == 0 {
-                return Ok(());
-            }
-            f(row_base, &buf)?;
-            row_base += n;
-        }
+            .unwrap_or_else(|| panic!("column {col} out of range"))
     }
+
+    /// Maps schema column `col`'s raw-code chunks through `map` on up to
+    /// [`ChunkedCodec::threads`] workers (each with its own reader, open
+    /// file handle, and reused buffer) and folds the per-chunk partials
+    /// through `reduce` on the caller's thread **strictly in chunk
+    /// order** — the parallel counterpart of
+    /// [`ChunkedCodec::for_each_raw_chunk`] for consumers that build
+    /// per-chunk accumulators (sensitive-value counts, distribution
+    /// tallies). `map` receives `(scratch, row_base, codes)`.
+    ///
+    /// # Errors
+    /// Propagates spill-file I/O errors and the first `map`/`reduce`
+    /// error in chunk order.
+    pub fn map_raw_chunks<S, T: Send>(
+        &self,
+        col: usize,
+        make_scratch: impl Fn() -> S + Sync,
+        map: impl Fn(&mut S, usize, &[u32]) -> Result<T> + Sync,
+        mut reduce: impl FnMut(usize, T) -> Result<()>,
+    ) -> Result<()> {
+        let column = self.raw_column(col);
+        let threads = self.threads().min(self.chunk_count());
+        if threads <= 1 {
+            let mut scratch = make_scratch();
+            return self.stream_blocks(&[column], |chunk, row_base, _, raws| {
+                let partial = map(&mut scratch, row_base, &raws[0])?;
+                reduce(chunk, partial)
+            });
+        }
+        process_chunks_ordered(
+            self.chunk_count(),
+            threads,
+            || (column.chunk_reader(), Vec::<u32>::new(), make_scratch()),
+            |(reader, buf, scratch), chunk| {
+                reader.read_into(chunk, buf)?;
+                map(scratch, chunk * self.chunk_rows, buf)
+            },
+            reduce,
+        )
+    }
+
+    /// Per-row accumulation of per-code term tables over several columns:
+    /// for every row, adds `spec.terms[code(row)]` for each spec **in spec
+    /// order** into `out` (which callers pass zero-filled). This is the
+    /// engine behind the chunked loss / precision kernels.
+    ///
+    /// Sequentially the columns stream one after another
+    /// (column-outer); in parallel each chunk computes all of its specs'
+    /// contributions locally (chunk-outer) and the finished spans are
+    /// copied into place. Both orders add each row's terms in spec order
+    /// starting from zero, so the per-element f64 operation sequence —
+    /// and therefore the result — is bit-identical.
+    ///
+    /// # Errors
+    /// Propagates spill-file I/O errors.
+    pub fn scatter_term_columns(&self, specs: &[TermColumn], out: &mut [f64]) -> Result<()> {
+        let threads = self.threads().min(self.chunk_count());
+        if threads <= 1 || specs.is_empty() {
+            for spec in specs {
+                match spec {
+                    TermColumn::Level { dim, level, terms } => {
+                        self.for_each_level_chunk(*dim, *level, |base, codes| {
+                            kernels::gather_add_f64(
+                                &mut out[base..base + codes.len()],
+                                codes,
+                                terms,
+                            );
+                            Ok(())
+                        })?;
+                    }
+                    TermColumn::Raw { col, terms } => {
+                        self.for_each_raw_chunk(*col, |base, codes| {
+                            kernels::gather_add_f64(
+                                &mut out[base..base + codes.len()],
+                                codes,
+                                terms,
+                            );
+                            Ok(())
+                        })?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let columns: Vec<&ChunkedColumn> = specs
+            .iter()
+            .map(|spec| match spec {
+                TermColumn::Level { dim, .. } => &self.dims[*dim].raw,
+                TermColumn::Raw { col, .. } => self.raw_column(*col),
+            })
+            .collect();
+        process_chunks_ordered(
+            self.chunk_count(),
+            threads,
+            || {
+                let readers: Vec<ChunkReader<'_>> =
+                    columns.iter().map(|c| c.chunk_reader()).collect();
+                (readers, Vec::<u32>::new(), Vec::<u32>::new())
+            },
+            |(readers, raw, codes), chunk| {
+                let mut acc: Vec<f64> = Vec::new();
+                for (s, spec) in specs.iter().enumerate() {
+                    let len = readers[s].read_into(chunk, raw)?;
+                    if acc.is_empty() {
+                        acc.resize(len, 0.0);
+                    }
+                    match spec {
+                        TermColumn::Level { dim, level, terms } => {
+                            let code_map = &self.dims[*dim].levels[*level].code_map;
+                            codes.clear();
+                            codes.resize(len, 0);
+                            kernels::gather_u32(codes, raw, code_map);
+                            kernels::gather_add_f64(&mut acc, codes, terms);
+                        }
+                        TermColumn::Raw { terms, .. } => {
+                            kernels::gather_add_f64(&mut acc, raw, terms);
+                        }
+                    }
+                }
+                Ok(acc)
+            },
+            |chunk, acc| {
+                let base = chunk * self.chunk_rows;
+                out[base..base + acc.len()].copy_from_slice(&acc);
+                Ok(())
+            },
+        )
+    }
+}
+
+/// One column's per-code term table for
+/// [`ChunkedCodec::scatter_term_columns`]: which codes to stream and the
+/// per-code f64 contribution of each.
+pub enum TermColumn {
+    /// Dimension `dim`'s generalized codes at `level`; `terms` is indexed
+    /// by the level's dictionary codes.
+    Level {
+        /// Codec dimension index.
+        dim: usize,
+        /// Generalization level within the dimension.
+        level: usize,
+        /// Per-dictionary-code contribution.
+        terms: Vec<f64>,
+    },
+    /// Schema column `col`'s raw codes; `terms` is indexed by the
+    /// column's distinct-value codes.
+    Raw {
+        /// Schema column index.
+        col: usize,
+        /// Per-distinct-value contribution.
+        terms: Vec<f64>,
+    },
 }
 
 #[cfg(test)]
@@ -1168,5 +1792,53 @@ mod tests {
         let a = chunked.partition(&[1, 1]).unwrap();
         let b = codec.partition(&[1, 1]).unwrap();
         assert_eq!(a.sizes(), b.sizes());
+    }
+
+    #[test]
+    fn disk_reader_reuses_one_buffer_across_all_chunks() {
+        let dir = temp_dir("alloc");
+        let store = ChunkStore::Disk(dir.clone());
+        let mut writer = ColumnWriter::new(8, &store, "a").unwrap();
+        for i in 0..100u32 {
+            writer.push(i).unwrap();
+        }
+        let column = writer.finish().unwrap();
+        let mut reader = column.chunk_reader();
+        let mut buf = Vec::new();
+        // Two full passes over all 13 blocks: the byte buffer grows once,
+        // on the first full-size block, and every later read — including
+        // the short tail block — reuses it.
+        for _ in 0..2 {
+            for chunk in 0..column.chunk_count() {
+                reader.read_into(chunk, &mut buf).unwrap();
+            }
+        }
+        assert_eq!(reader.alloc_events(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_partition_and_coarsen_match_sequential() {
+        let ds = dataset();
+        for store in stores("par") {
+            let chunked = ChunkedCodec::from_dataset_in(&ds, 2, store.clone()).unwrap();
+            chunked.set_threads(1);
+            let seq = chunked.partition(&[1, 1]).unwrap();
+            let seq_ids = chunked.class_ids(&[1, 1]).unwrap();
+            let parent_seq = chunked.partition(&[0, 0]).unwrap();
+            let coarsened_seq = chunked.coarsen(&parent_seq, &[1, 1]).unwrap();
+            for threads in [2, 8] {
+                chunked.set_threads(threads);
+                let par = chunked.partition(&[1, 1]).unwrap();
+                assert_eq!(par.sizes(), seq.sizes(), "sizes @ threads={threads}");
+                assert_eq!(par.representatives(), seq.representatives());
+                assert_eq!(chunked.class_ids(&[1, 1]).unwrap(), seq_ids);
+                let parent = chunked.partition(&[0, 0]).unwrap();
+                let coarsened = chunked.coarsen(&parent, &[1, 1]).unwrap();
+                assert_eq!(coarsened.sizes(), coarsened_seq.sizes());
+                assert_eq!(coarsened.representatives(), coarsened_seq.representatives());
+            }
+            cleanup(&store);
+        }
     }
 }

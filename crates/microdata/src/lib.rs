@@ -57,6 +57,7 @@ pub mod intervals;
 pub mod kernels;
 pub mod lattice;
 pub mod loss;
+pub mod parallel;
 pub mod schema;
 pub mod stats;
 pub mod taxonomy;

@@ -25,11 +25,12 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use crate::anonymized::AnonymizedTable;
-use crate::chunked::ChunkedCodec;
+use crate::chunked::{ChunkedCodec, TermColumn};
 use crate::codec::{GenCodec, NodePartition};
 use crate::dataset::{Dataset, DistinctValues};
 use crate::error::Result;
 use crate::kernels;
+use crate::parallel;
 use crate::schema::{Domain, Schema};
 use crate::value::GenValue;
 
@@ -419,45 +420,36 @@ impl LossMetric {
         for dim in 0..codec.dims() {
             dim_of[codec.column_of(dim)] = Some(dim);
         }
-        let mut losses = vec![0.0f64; codec.rows()];
-        for &c in &cols {
-            match dim_of[c] {
+        let specs: Vec<TermColumn> = cols
+            .iter()
+            .map(|&c| match dim_of[c] {
                 Some(dim) => {
                     let level = levels[dim];
-                    let terms: Vec<f64> = codec
-                        .dict(dim, level)
-                        .iter()
-                        .map(|gv| self.cell_loss_parts(&schema, codec.distinct(c), c, gv))
-                        .collect();
-                    codec.for_each_level_chunk(dim, level, |base, codes| {
-                        kernels::gather_add_f64(
-                            &mut losses[base..base + codes.len()],
-                            codes,
-                            &terms,
-                        );
-                        Ok(())
-                    })?;
+                    TermColumn::Level {
+                        dim,
+                        level,
+                        terms: codec
+                            .dict(dim, level)
+                            .iter()
+                            .map(|gv| self.cell_loss_parts(&schema, codec.distinct(c), c, gv))
+                            .collect(),
+                    }
                 }
-                None => {
-                    let terms: Vec<f64> = codec
+                None => TermColumn::Raw {
+                    col: c,
+                    terms: codec
                         .distinct(c)
                         .values()
                         .iter()
                         .map(|v| {
                             self.cell_loss_parts(&schema, codec.distinct(c), c, &GenValue::raw(*v))
                         })
-                        .collect();
-                    codec.for_each_raw_chunk(c, |base, codes| {
-                        kernels::gather_add_f64(
-                            &mut losses[base..base + codes.len()],
-                            codes,
-                            &terms,
-                        );
-                        Ok(())
-                    })?;
-                }
-            }
-        }
+                        .collect(),
+                },
+            })
+            .collect();
+        let mut losses = vec![0.0f64; codec.rows()];
+        codec.scatter_term_columns(&specs, &mut losses)?;
         Ok(losses)
     }
 
@@ -599,7 +591,11 @@ pub fn discernibility_vector_chunked(
     let ids = partition.class_ids_chunked(codec)?;
     let penalties: Vec<f64> = partition.sizes().iter().map(|&s| f64::from(s)).collect();
     let mut out = vec![0.0f64; ids.len()];
-    kernels::gather_f64(&mut out, ids, &penalties);
+    // A pure per-row gather: disjoint spans fill concurrently with no
+    // ordering concerns (see `parallel::fill_spans`).
+    parallel::fill_spans(&mut out, codec.threads(), |base, span| {
+        kernels::gather_f64(span, &ids[base..base + span.len()], &penalties);
+    });
     Ok(out)
 }
 
@@ -668,38 +664,46 @@ pub fn precision_vector_chunked(codec: &ChunkedCodec, levels: &[usize]) -> Resul
     for dim in 0..codec.dims() {
         dim_of[codec.column_of(dim)] = Some(dim);
     }
+    let specs: Vec<TermColumn> = cols
+        .iter()
+        .map(|&(c, max)| {
+            let h = schema.attribute(c).hierarchy().expect("filtered above");
+            match dim_of[c] {
+                Some(dim) => {
+                    let level = levels[dim];
+                    TermColumn::Level {
+                        dim,
+                        level,
+                        terms: codec
+                            .dict(dim, level)
+                            .iter()
+                            .map(|gv| h.level_of(gv).unwrap_or(max) as f64 / max as f64)
+                            .collect(),
+                    }
+                }
+                None => TermColumn::Raw {
+                    col: c,
+                    terms: codec
+                        .distinct(c)
+                        .values()
+                        .iter()
+                        .map(|v| h.level_of(&GenValue::raw(*v)).unwrap_or(max) as f64 / max as f64)
+                        .collect(),
+                },
+            }
+        })
+        .collect();
     let mut acc = vec![0.0f64; codec.rows()];
-    for &(c, max) in &cols {
-        let h = schema.attribute(c).hierarchy().expect("filtered above");
-        match dim_of[c] {
-            Some(dim) => {
-                let level = levels[dim];
-                let terms: Vec<f64> = codec
-                    .dict(dim, level)
-                    .iter()
-                    .map(|gv| h.level_of(gv).unwrap_or(max) as f64 / max as f64)
-                    .collect();
-                codec.for_each_level_chunk(dim, level, |base, codes| {
-                    kernels::gather_add_f64(&mut acc[base..base + codes.len()], codes, &terms);
-                    Ok(())
-                })?;
-            }
-            None => {
-                let terms: Vec<f64> = codec
-                    .distinct(c)
-                    .values()
-                    .iter()
-                    .map(|v| h.level_of(&GenValue::raw(*v)).unwrap_or(max) as f64 / max as f64)
-                    .collect();
-                codec.for_each_raw_chunk(c, |base, codes| {
-                    kernels::gather_add_f64(&mut acc[base..base + codes.len()], codes, &terms);
-                    Ok(())
-                })?;
-            }
-        }
-    }
+    codec.scatter_term_columns(&specs, &mut acc)?;
     let d = cols.len() as f64;
-    Ok(acc.into_iter().map(|a| 1.0 - a / d).collect())
+    let threads = codec.threads();
+    let mut out = acc;
+    parallel::fill_spans(&mut out, threads, |_, span| {
+        for a in span.iter_mut() {
+            *a = 1.0 - *a / d;
+        }
+    });
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! Property-based equivalence between the chunked (out-of-core) codec and
 //! the monolithic in-memory codec: on arbitrary datasets, hierarchies,
-//! lattice nodes, and chunk sizes — including size 1, sizes that do not
-//! divide the row count, and sizes larger than it — partitions, class
-//! ids, coarsening, and the loss kernels must match bit for bit.
+//! lattice nodes, chunk sizes — including size 1, sizes that do not
+//! divide the row count, and sizes larger than it — and worker thread
+//! counts {1, 2, 8}, partitions, class ids, coarsening, and the loss
+//! kernels must match bit for bit. Thread count must never be observable
+//! in any output.
 
 use std::sync::Arc;
 
@@ -40,6 +42,10 @@ fn chunk_sizes(rows: usize) -> [usize; 4] {
     [1, 7, 4096, rows + 1]
 }
 
+/// The thread gauntlet: sequential, minimal parallelism, and more
+/// workers than this container has cores (oversubscribed).
+const THREADS: [usize; 3] = [1, 2, 8];
+
 proptest! {
     #[test]
     fn chunked_partitions_match_monolithic(
@@ -54,16 +60,32 @@ proptest! {
         let expected_ids = expected.class_ids(&codec).expect("ids");
         for chunk_rows in chunk_sizes(ds.len()) {
             let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
-            let got = chunked.partition(&[l0, l1]).expect("valid levels");
-            prop_assert_eq!(got.sizes(), expected.sizes(), "sizes @ chunk_rows={}", chunk_rows);
-            prop_assert_eq!(
-                got.representatives(),
-                expected.representatives(),
-                "reps @ chunk_rows={}",
-                chunk_rows
-            );
-            let got_ids = chunked.class_ids(&[l0, l1]).expect("ids");
-            prop_assert_eq!(got_ids.as_slice(), expected_ids, "ids @ chunk_rows={}", chunk_rows);
+            for threads in THREADS {
+                chunked.set_threads(threads);
+                let got = chunked.partition(&[l0, l1]).expect("valid levels");
+                prop_assert_eq!(
+                    got.sizes(),
+                    expected.sizes(),
+                    "sizes @ chunk_rows={} threads={}",
+                    chunk_rows,
+                    threads
+                );
+                prop_assert_eq!(
+                    got.representatives(),
+                    expected.representatives(),
+                    "reps @ chunk_rows={} threads={}",
+                    chunk_rows,
+                    threads
+                );
+                let got_ids = chunked.class_ids(&[l0, l1]).expect("ids");
+                prop_assert_eq!(
+                    got_ids.as_slice(),
+                    expected_ids,
+                    "ids @ chunk_rows={} threads={}",
+                    chunk_rows,
+                    threads
+                );
+            }
         }
     }
 
@@ -83,15 +105,25 @@ proptest! {
         let expected = codec.coarsen(&expected_parent, &child).expect("coarsen");
         for chunk_rows in chunk_sizes(ds.len()) {
             let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
-            let parent = chunked.partition(&[pl0, pl1]).expect("parent");
-            let got = chunked.coarsen(&parent, &child).expect("coarsen");
-            prop_assert_eq!(got.sizes(), expected.sizes(), "sizes @ chunk_rows={}", chunk_rows);
-            prop_assert_eq!(
-                got.representatives(),
-                expected.representatives(),
-                "reps @ chunk_rows={}",
-                chunk_rows
-            );
+            for threads in THREADS {
+                chunked.set_threads(threads);
+                let parent = chunked.partition(&[pl0, pl1]).expect("parent");
+                let got = chunked.coarsen(&parent, &child).expect("coarsen");
+                prop_assert_eq!(
+                    got.sizes(),
+                    expected.sizes(),
+                    "sizes @ chunk_rows={} threads={}",
+                    chunk_rows,
+                    threads
+                );
+                prop_assert_eq!(
+                    got.representatives(),
+                    expected.representatives(),
+                    "reps @ chunk_rows={} threads={}",
+                    chunk_rows,
+                    threads
+                );
+            }
         }
     }
 
@@ -108,23 +140,92 @@ proptest! {
         let partition = codec.partition(&levels).expect("partition");
         for chunk_rows in chunk_sizes(ds.len()) {
             let chunked = ChunkedCodec::from_dataset(&ds, chunk_rows).expect("chunked build");
-            let chunked_partition = chunked.partition(&levels).expect("partition");
-            for metric in [LossMetric::classic(), LossMetric::paper_ratio()] {
-                let a = metric.loss_vector_encoded(&codec, &levels).expect("encoded");
-                let b = metric.loss_vector_chunked(&chunked, &levels).expect("chunked");
-                prop_assert_eq!(bits(&a), bits(&b), "loss @ chunk_rows={}", chunk_rows);
-                let ua = metric.utility_vector_encoded(&codec, &levels).expect("encoded");
-                let ub = metric.utility_vector_chunked(&chunked, &levels).expect("chunked");
-                prop_assert_eq!(bits(&ua), bits(&ub), "utility @ chunk_rows={}", chunk_rows);
+            for threads in THREADS {
+                chunked.set_threads(threads);
+                let tag = (chunk_rows, threads);
+                let chunked_partition = chunked.partition(&levels).expect("partition");
+                for metric in [LossMetric::classic(), LossMetric::paper_ratio()] {
+                    let a = metric.loss_vector_encoded(&codec, &levels).expect("encoded");
+                    let b = metric.loss_vector_chunked(&chunked, &levels).expect("chunked");
+                    prop_assert_eq!(bits(&a), bits(&b), "loss @ {:?}", tag);
+                    let ua = metric.utility_vector_encoded(&codec, &levels).expect("encoded");
+                    let ub = metric.utility_vector_chunked(&chunked, &levels).expect("chunked");
+                    prop_assert_eq!(bits(&ua), bits(&ub), "utility @ {:?}", tag);
+                }
+                let pa = precision_vector_encoded(&codec, &levels).expect("encoded");
+                let pb = precision_vector_chunked(&chunked, &levels).expect("chunked");
+                prop_assert_eq!(bits(&pa), bits(&pb), "precision @ {:?}", tag);
+                let da = discernibility_vector_encoded(&codec, &partition).expect("encoded");
+                let db =
+                    discernibility_vector_chunked(&chunked, &chunked_partition).expect("chunked");
+                prop_assert_eq!(bits(&da), bits(&db), "discernibility @ {:?}", tag);
             }
-            let pa = precision_vector_encoded(&codec, &levels).expect("encoded");
-            let pb = precision_vector_chunked(&chunked, &levels).expect("chunked");
-            prop_assert_eq!(bits(&pa), bits(&pb), "precision @ chunk_rows={}", chunk_rows);
-            let da = discernibility_vector_encoded(&codec, &partition).expect("encoded");
-            let db =
-                discernibility_vector_chunked(&chunked, &chunked_partition).expect("chunked");
-            prop_assert_eq!(bits(&da), bits(&db), "discernibility @ chunk_rows={}", chunk_rows);
         }
+    }
+
+    /// The parallel streaming build must produce a codec indistinguishable
+    /// from the sequential one: same class ids, same losses, regardless of
+    /// build thread count or backing store.
+    #[test]
+    fn parallel_build_matches_sequential(
+        rows in arb_rows(),
+        l0 in 0usize..4,
+        l1 in 0usize..3,
+    ) {
+        let schema = small_schema();
+        let ds = Dataset::new(schema.clone(), rows).expect("rows are in-domain");
+        let levels = [l0, l1];
+        let sequential = ChunkedCodec::from_dataset(&ds, 7).expect("sequential build");
+        let expected_ids = sequential.class_ids(&levels).expect("ids");
+        let expected_loss = LossMetric::classic()
+            .loss_vector_chunked(&sequential, &levels)
+            .expect("loss");
+        for threads in THREADS {
+            let built = ChunkedCodec::from_rows_parallel(
+                schema.clone(),
+                || ds.rows().iter().cloned(),
+                7,
+                ChunkStore::Memory,
+                threads,
+            )
+            .expect("parallel build");
+            built.set_threads(1);
+            let ids = built.class_ids(&levels).expect("ids");
+            prop_assert_eq!(&ids, &expected_ids, "ids @ build threads={}", threads);
+            let loss = LossMetric::classic()
+                .loss_vector_chunked(&built, &levels)
+                .expect("loss");
+            prop_assert_eq!(bits(&loss), bits(&expected_loss), "loss @ build threads={}", threads);
+        }
+    }
+
+    /// The disk-backed store (prefetching I/O thread, reused read
+    /// buffers) must agree with the in-memory store at every thread
+    /// count.
+    #[test]
+    fn disk_store_matches_memory_store(
+        rows in arb_rows(),
+        l0 in 0usize..4,
+        l1 in 0usize..3,
+    ) {
+        let schema = small_schema();
+        let ds = Dataset::new(schema, rows).expect("rows are in-domain");
+        let levels = [l0, l1];
+        let in_memory = ChunkedCodec::from_dataset(&ds, 7).expect("memory build");
+        let expected_ids = in_memory.class_ids(&levels).expect("ids");
+        let dir = std::env::temp_dir().join(format!(
+            "anoncmp-eqv-{}-{}",
+            std::process::id(),
+            ds.len()
+        ));
+        let on_disk = ChunkedCodec::from_dataset_in(&ds, 7, ChunkStore::Disk(dir.clone()))
+            .expect("disk build");
+        for threads in THREADS {
+            on_disk.set_threads(threads);
+            let ids = on_disk.class_ids(&levels).expect("ids");
+            prop_assert_eq!(&ids, &expected_ids, "ids @ threads={}", threads);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

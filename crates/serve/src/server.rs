@@ -64,6 +64,9 @@ pub struct ServeConfig {
     pub response_capacity: usize,
     /// Worker threads *inside* the engine per sweep (`0` = one per CPU).
     pub engine_jobs: usize,
+    /// Intra-node chunk threads each running sweep job may use (`0` =
+    /// auto split against `engine_jobs`; never changes response bytes).
+    pub chunk_threads: usize,
     /// Root seed for the engine (fixed default keeps responses canonical
     /// across restarts).
     pub root_seed: u64,
@@ -85,6 +88,7 @@ impl Default for ServeConfig {
             vector_capacity: 1024,
             response_capacity: 256,
             engine_jobs: 0,
+            chunk_threads: 0,
             root_seed: EngineConfig::default().root_seed,
             limits: RequestLimits::default(),
             http: HttpLimits::default(),
@@ -137,6 +141,7 @@ impl Inner {
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             inflight: self.admission.inflight() as u64,
             threads: self.threads as u64,
+            chunk_threads: self.engine.chunk_threads() as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -225,6 +230,7 @@ pub fn serve(config: ServeConfig, shutdown: ShutdownFlag) -> io::Result<ServerHa
     };
     let engine = Engine::new(EngineConfig {
         jobs: config.engine_jobs,
+        chunk_threads: config.chunk_threads,
         root_seed: config.root_seed,
         release_capacity: config.release_capacity,
         vector_capacity: config.vector_capacity,

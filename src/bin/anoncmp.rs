@@ -88,6 +88,9 @@ serve options:
   --vector-cap N      vector-cache LRU capacity, 0 = unbounded (default 1024)
   --response-cap N    response-cache LRU capacity, 0 = unbounded (default 256)
   --engine-jobs N     engine workers per sweep (default: one per CPU)
+  --chunk-threads N   intra-job chunk worker threads (default: cores / jobs,
+                      so `--engine-jobs 8` never oversubscribes; also a
+                      `compare` option); never changes output bytes
   --max-rows N        largest synthesizable dataset per request (default 20000)";
 
 /// Parsed `--key value` options.
@@ -233,6 +236,7 @@ fn compare(opts: &Options) -> Result<(), String> {
     let max_sup = opts.usize_or("max-sup", dataset.len() / 20)?;
     let engine = Engine::global();
     engine.set_jobs(opts.usize_or("jobs", 0)?);
+    engine.set_chunk_threads(opts.usize_or("chunk-threads", 0)?);
 
     if let Some(seed) = opts.get("chaos-seed") {
         let seed: u64 = seed.parse().map_err(|e| format!("--chaos-seed: {e}"))?;
@@ -342,6 +346,7 @@ fn serve_daemon(opts: &Options) -> Result<(), String> {
         vector_capacity: opts.usize_or("vector-cap", 1024)?,
         response_capacity: opts.usize_or("response-cap", 256)?,
         engine_jobs: opts.usize_or("engine-jobs", 0)?,
+        chunk_threads: opts.usize_or("chunk-threads", 0)?,
         ..ServeConfig::default()
     };
     config.limits.max_rows = opts.usize_or("max-rows", config.limits.max_rows)?;
