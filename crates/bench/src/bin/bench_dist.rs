@@ -1,0 +1,223 @@
+//! Emits `BENCH_dist.json`: wall-clock and merge-cost numbers for the
+//! sharded multi-process sweep runner, at each requested worker count.
+//!
+//! Every run executes the same grid spec through `dist::run_supervisor`
+//! (this binary re-executes itself as the worker — the supervisor passes
+//! the shard assignment via `ANONCMP_DIST_*` environment variables), and
+//! the merged journal digests must match across worker counts: the
+//! digest gate is unconditional, the ≥1.8×-at-2-workers wall-clock gate
+//! is applied by CI only on runners with at least 4 cores (threads and
+//! processes cannot beat cores — the PR 7 convention).
+//!
+//! ```text
+//! cargo run -p anoncmp-bench --release --bin bench_dist               # writes ./BENCH_dist.json
+//! cargo run -p anoncmp-bench --release --bin bench_dist -- \
+//!     --rows 600 --shards 4 --workers 1,2,4 --out /tmp/dist.json
+//! ```
+//!
+//! Flags:
+//! * `--rows N` — census rows per grid point (default 400).
+//! * `--ks CSV` — k values of the sweep (default `2,5`).
+//! * `--shards N` — fingerprint-range shards (default 4).
+//! * `--workers CSV` — worker counts to run, in order (default `1,2`).
+//! * `--out PATH` — report path (default `BENCH_dist.json`).
+
+use std::path::PathBuf;
+
+use anoncmp_core::wire::WireDataset;
+use anoncmp_engine::dist::{self, DistConfig, GridSpec, WorkerCommand};
+use serde::Serialize;
+
+/// Jobs completed by one worker slot, aggregated over the shards it ran.
+#[derive(Serialize)]
+struct WorkerThroughput {
+    worker: usize,
+    shards: usize,
+    jobs: usize,
+    wall_ms: u64,
+    jobs_per_s: f64,
+}
+
+/// One supervisor run at a fixed worker count.
+#[derive(Serialize)]
+struct DistRun {
+    workers: usize,
+    wall_ms: u64,
+    merge_ms: u64,
+    merge_bytes: u64,
+    merged_records: usize,
+    restarts: u32,
+    digest: String,
+    per_worker: Vec<WorkerThroughput>,
+}
+
+/// The whole report (`BENCH_dist.json`).
+#[derive(Serialize)]
+struct Report {
+    rows: usize,
+    jobs: usize,
+    shards: usize,
+    cores: usize,
+    runs: Vec<DistRun>,
+    digests_match: bool,
+    /// Wall-clock ratio run(1 worker) / run(2 workers); 0.0 when either
+    /// count was not measured.
+    speedup_2w: f64,
+}
+
+struct Cli {
+    rows: usize,
+    ks: Vec<usize>,
+    shards: usize,
+    workers: Vec<usize>,
+    out: PathBuf,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        rows: 400,
+        ks: vec![2, 5],
+        shards: 4,
+        workers: vec![1, 2],
+        out: PathBuf::from("BENCH_dist.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--rows" => cli.rows = value().parse().expect("--rows"),
+            "--ks" => {
+                cli.ks = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--ks"))
+                    .collect()
+            }
+            "--shards" => cli.shards = value().parse().expect("--shards"),
+            "--workers" => {
+                cli.workers = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--workers"))
+                    .collect()
+            }
+            "--out" => cli.out = PathBuf::from(value()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(cli.shards > 0 && !cli.workers.is_empty());
+    cli
+}
+
+fn main() {
+    // Worker mode: the supervisor re-executes this binary with the shard
+    // assignment in the environment. Nothing else may run before this.
+    match dist::run_worker_from_env() {
+        Ok(Some(_)) => return,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("bench_dist worker: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let cli = parse_cli();
+    let spec = GridSpec {
+        dataset: WireDataset::Census {
+            rows: cli.rows,
+            seed: 7,
+            zip_pool: 25,
+        },
+        algorithms: Vec::new(), // the paper's standard suite
+        ks: cli.ks.clone(),
+        max_suppression: cli.rows / 20,
+        properties: Vec::new(), // eq-class-size
+        root_seed: 0xED5B_2009,
+        shards: cli.shards,
+        // One engine thread per worker process: the scaling axis under
+        // measurement is processes, not intra-process threads.
+        engine_jobs: 1,
+    };
+    let jobs = spec.jobs().expect("spec expands").len();
+    let worker = WorkerCommand::current_exe(Vec::new()).expect("current exe");
+
+    let mut runs = Vec::new();
+    for &workers in &cli.workers {
+        let dir = std::env::temp_dir().join(format!(
+            "anoncmp-bench-dist-w{workers}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = DistConfig::new(&dir, workers);
+        let report = dist::run_supervisor(&spec, &config, &worker).expect("supervised run");
+        let digest = dist::file_digest(&report.merged_path).expect("merged journal digest");
+
+        let mut per_worker: Vec<WorkerThroughput> = (0..workers)
+            .map(|worker| WorkerThroughput {
+                worker,
+                shards: 0,
+                jobs: 0,
+                wall_ms: 0,
+                jobs_per_s: 0.0,
+            })
+            .collect();
+        for shard in report.shards.iter().filter(|s| s.jobs > 0) {
+            let slot = &mut per_worker[shard.worker_slot];
+            slot.shards += 1;
+            slot.jobs += shard.jobs;
+            slot.wall_ms += shard.wall_ms;
+        }
+        for slot in &mut per_worker {
+            if slot.wall_ms > 0 {
+                slot.jobs_per_s = slot.jobs as f64 / (slot.wall_ms as f64 / 1000.0);
+            }
+        }
+        eprintln!(
+            "workers {workers}: {} ms wall, merge {} ms / {} bytes, digest {digest}",
+            report.wall_ms, report.merge.wall_ms, report.merge.bytes
+        );
+        runs.push(DistRun {
+            workers,
+            wall_ms: report.wall_ms,
+            merge_ms: report.merge.wall_ms,
+            merge_bytes: report.merge.bytes,
+            merged_records: report.merge.merged,
+            restarts: report.restarts,
+            digest,
+            per_worker,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let digests_match = runs.windows(2).all(|pair| pair[0].digest == pair[1].digest);
+    let wall_at = |workers: usize| {
+        runs.iter()
+            .find(|run| run.workers == workers)
+            .map(|run| run.wall_ms as f64)
+    };
+    let speedup_2w = match (wall_at(1), wall_at(2)) {
+        (Some(one), Some(two)) if two > 0.0 => one / two,
+        _ => 0.0,
+    };
+
+    let report = Report {
+        rows: cli.rows,
+        jobs,
+        shards: cli.shards,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+        digests_match,
+        speedup_2w,
+    };
+    std::fs::write(&cli.out, report.to_json() + "\n").expect("writable output path");
+    eprintln!(
+        "wrote {} ({} jobs, digests_match {digests_match}, speedup_2w {speedup_2w:.2})",
+        cli.out.display(),
+        jobs
+    );
+    assert!(
+        digests_match,
+        "merged journal digests differ across worker counts"
+    );
+}

@@ -363,6 +363,13 @@ pub struct ServerStats {
     pub response_entries: u64,
     /// Response batches evicted by the LRU bound.
     pub response_evictions: u64,
+    /// Transient job failures the engine retried since start.
+    pub engine_retries: u64,
+    /// Jobs the engine quarantined (retry budget exhausted) since start.
+    pub engine_quarantined: u64,
+    /// Records appended to the engine's checkpoint journal since start
+    /// (`0` when the server runs without a journal attached).
+    pub journal_appends: u64,
 }
 
 impl ServerStats {
@@ -394,6 +401,9 @@ impl ServerStats {
             response_misses: field("response_misses")?,
             response_entries: field("response_entries")?,
             response_evictions: field("response_evictions")?,
+            engine_retries: field("engine_retries")?,
+            engine_quarantined: field("engine_quarantined")?,
+            journal_appends: field("journal_appends")?,
         })
     }
 }
@@ -514,6 +524,9 @@ mod tests {
             response_misses: 2,
             response_entries: 2,
             response_evictions: 0,
+            engine_retries: 1,
+            engine_quarantined: 0,
+            journal_appends: 8,
         };
         let v = parse(&stats.to_json()).expect("valid json");
         assert_eq!(ServerStats::from_value(&v).unwrap(), stats);

@@ -47,6 +47,14 @@ pub struct ChaosConfig {
     /// and the journal goes dead — a deterministic stand-in for killing
     /// the process at a journaled midpoint.
     pub truncate_journal_after: Option<u64>,
+    /// Once this many journal appends have fsync'd, abort the whole
+    /// process (`std::process::abort`, i.e. SIGABRT with no cleanup — the
+    /// moral equivalent of `kill -9`). Unlike
+    /// [`truncate_journal_after`](Self::truncate_journal_after), which
+    /// models a torn write inside one engine, this models whole-worker
+    /// loss for the distributed supervisor: exactly N records survive on
+    /// disk and nothing else of the process does.
+    pub abort_after_appends: Option<u64>,
 }
 
 impl ChaosConfig {
@@ -60,6 +68,22 @@ impl ChaosConfig {
             stall: Duration::from_millis(200),
             faults_per_job: 1,
             truncate_journal_after: None,
+            abort_after_appends: None,
+        }
+    }
+
+    /// A pure worker-loss profile: no per-job faults, but the process
+    /// aborts once `appends` journal entries have fsync'd. Used by the
+    /// dist chaos drill to kill a worker at a deterministic midpoint.
+    pub fn abort_after(appends: u64) -> Self {
+        ChaosConfig {
+            seed: 0,
+            panic_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::ZERO,
+            faults_per_job: 0,
+            truncate_journal_after: None,
+            abort_after_appends: Some(appends),
         }
     }
 

@@ -57,7 +57,7 @@ use crate::cache::{CacheStats, MemoCache};
 use crate::chaos::{ChaosConfig, Fault, CHAOS_PANIC_MESSAGE};
 use crate::fingerprint::{derive_seed, fingerprint_release, hex_id, Fingerprinter};
 use crate::job::{DatasetSpec, EvalJob};
-use crate::journal::Journal;
+use crate::journal::{Journal, ShardMeta};
 use crate::pool::ScopedPool;
 use crate::record::{
     AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
@@ -451,6 +451,31 @@ impl Engine {
         Ok(summary)
     }
 
+    /// Like [`Engine::resume`], but for a per-shard journal bound to
+    /// `meta`: a missing journal is created fresh with the shard header,
+    /// an existing one must carry a matching header (a journal for a
+    /// different shard range is refused). This is the worker-side resume
+    /// path of the distributed runner — a respawned worker replays what
+    /// its predecessor already fsync'd and repeats none of it.
+    pub fn resume_sharded(
+        &self,
+        path: impl AsRef<Path>,
+        meta: ShardMeta,
+    ) -> io::Result<ResumeSummary> {
+        let (journal, replay) = Journal::open_resumable_sharded(path, meta)?;
+        *self.journal.lock() = Some(JournalState {
+            journal,
+            appends: replay.entries as u64,
+            dead: false,
+        });
+        let summary = ResumeSummary {
+            replayed: replay.completed.len(),
+            dropped: replay.dropped,
+        };
+        self.completed.lock().extend(replay.completed);
+        Ok(summary)
+    }
+
     /// Starts a fresh checkpoint journal at `path` (truncating any
     /// existing file). Subsequent sweeps append each completed job,
     /// fsync'd, so a later [`Engine::resume`] can pick up where a killed
@@ -469,6 +494,23 @@ impl Engine {
     pub fn detach_journal(&self) {
         *self.journal.lock() = None;
         self.completed.lock().clear();
+    }
+
+    /// Transient-failure retries performed over this engine's lifetime.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total.load(Ordering::Relaxed)
+    }
+
+    /// Jobs quarantined (retry budget exhausted) over this engine's
+    /// lifetime.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total.load(Ordering::Relaxed)
+    }
+
+    /// Record entries in the attached checkpoint journal — replayed plus
+    /// appended this process. `0` when no journal is attached.
+    pub fn journal_appends(&self) -> u64 {
+        self.journal.lock().as_ref().map_or(0, |s| s.appends)
     }
 
     /// Runs a sweep, returning outcomes in submission order.
@@ -679,7 +721,21 @@ impl Engine {
                 return;
             }
             match state.journal.append(job_fp, record) {
-                Ok(()) => state.appends += 1,
+                Ok(()) => {
+                    state.appends += 1;
+                    let abort_at = self
+                        .chaos
+                        .lock()
+                        .as_ref()
+                        .and_then(|c| c.abort_after_appends);
+                    if abort_at == Some(state.appends) {
+                        // Chaos: whole-worker loss. The append above has
+                        // fsync'd, so exactly `appends` records survive;
+                        // `abort` skips every destructor and exit handler,
+                        // the closest safe stand-in for `kill -9`.
+                        std::process::abort();
+                    }
+                }
                 Err(e) => {
                     // Checkpointing is best-effort: losing the journal
                     // must never abort the sweep. Say so once.

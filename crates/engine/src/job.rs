@@ -323,6 +323,26 @@ impl AlgorithmSpec {
         }
     }
 
+    /// Resolves a display name back to its spec. Mock/testing algorithms
+    /// are deliberately unresolvable: anything that builds grids from
+    /// external input (the serve daemon, dist grid specs) must not be
+    /// able to name them.
+    pub fn by_name(name: &str) -> Option<AlgorithmSpec> {
+        const PUBLIC: [AlgorithmSpec; 10] = [
+            AlgorithmSpec::Datafly,
+            AlgorithmSpec::Samarati,
+            AlgorithmSpec::Incognito,
+            AlgorithmSpec::Mondrian,
+            AlgorithmSpec::Greedy,
+            AlgorithmSpec::Genetic,
+            AlgorithmSpec::TopDown,
+            AlgorithmSpec::Clustering,
+            AlgorithmSpec::SubsetIncognito,
+            AlgorithmSpec::Optimal,
+        ];
+        PUBLIC.into_iter().find(|spec| spec.name() == name)
+    }
+
     /// Builds a runnable algorithm instance. `seed` is the engine-derived
     /// per-job seed; only stochastic algorithms consume it.
     pub fn instantiate(&self, seed: u64) -> Box<dyn Anonymizer> {
@@ -410,6 +430,21 @@ impl PropertySpec {
             PropertySpec::SensitiveValueCount => "sensitive-value-count",
             PropertySpec::DistinctSensitiveCount => "distinct-sensitive-count",
         }
+    }
+
+    /// Resolves a stable tag back to its spec.
+    pub fn by_tag(tag: &str) -> Option<PropertySpec> {
+        const ALL: [PropertySpec; 8] = [
+            PropertySpec::EqClassSize,
+            PropertySpec::BreachProbability,
+            PropertySpec::IyengarUtility,
+            PropertySpec::GeneralizationLoss,
+            PropertySpec::Precision,
+            PropertySpec::Discernibility,
+            PropertySpec::SensitiveValueCount,
+            PropertySpec::DistinctSensitiveCount,
+        ];
+        ALL.into_iter().find(|spec| spec.tag() == tag)
     }
 }
 

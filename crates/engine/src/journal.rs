@@ -47,6 +47,58 @@ use crate::record::EvalRecord;
 /// Journal format version (the `"v"` envelope field).
 const FORMAT_VERSION: u64 = 1;
 
+/// Shard metadata carried in the first line of a per-shard journal:
+///
+/// ```text
+/// {"v":1,"shard":{"index":0,"of":4,"lo":"0000000000000000","hi":"3fffffffffffffff"}}
+/// ```
+///
+/// The header binds the journal file to one shard of one shard plan, so a
+/// resuming worker (or a reassigned survivor) refuses a journal written
+/// for a different fingerprint range instead of silently mixing shards.
+/// The header is not a record entry: it does not count toward
+/// [`Replay::entries`] and carries no CRC of its own (it is regenerated,
+/// never trusted for record content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Which shard of the plan this journal belongs to.
+    pub index: usize,
+    /// Total shards in the plan.
+    pub of: usize,
+    /// Inclusive low end of the shard's job-fingerprint range.
+    pub lo: u64,
+    /// Inclusive high end of the shard's job-fingerprint range.
+    pub hi: u64,
+}
+
+impl ShardMeta {
+    /// Renders the header line (no trailing newline).
+    pub fn header_line(&self) -> String {
+        format!(
+            "{{\"v\":{FORMAT_VERSION},\"shard\":{{\"index\":{},\"of\":{},\"lo\":\"{}\",\"hi\":\"{}\"}}}}",
+            self.index,
+            self.of,
+            hex_id(self.lo),
+            hex_id(self.hi)
+        )
+    }
+}
+
+/// Decodes a shard header line, if that is what the line is.
+fn decode_shard_header(line: &str) -> Option<ShardMeta> {
+    let envelope = serde::json::parse(line)?;
+    if envelope.get("v")?.as_u64()? != FORMAT_VERSION {
+        return None;
+    }
+    let shard = envelope.get("shard")?;
+    Some(ShardMeta {
+        index: shard.get("index")?.as_u64()? as usize,
+        of: shard.get("of")?.as_u64()? as usize,
+        lo: u64::from_str_radix(shard.get("lo")?.as_str()?, 16).ok()?,
+        hi: u64::from_str_radix(shard.get("hi")?.as_str()?, 16).ok()?,
+    })
+}
+
 /// An open, append-only checkpoint journal.
 pub struct Journal {
     file: File,
@@ -73,6 +125,9 @@ pub struct Replay {
     /// Byte offset just past the last intact line — the truncation point
     /// for crash recovery.
     pub valid_len: u64,
+    /// Shard metadata from the header line, when the journal is a
+    /// per-shard journal (see [`ShardMeta`]).
+    pub shard: Option<ShardMeta>,
 }
 
 impl Journal {
@@ -81,6 +136,17 @@ impl Journal {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
         Ok(Journal { file, path })
+    }
+
+    /// Creates (or truncates) a fresh per-shard journal at `path`, with
+    /// the shard header as its first, fsync'd line.
+    pub fn create_sharded(path: impl AsRef<Path>, meta: ShardMeta) -> io::Result<Journal> {
+        let mut journal = Journal::create(path)?;
+        journal.file.write_all(meta.header_line().as_bytes())?;
+        journal.file.write_all(b"\n")?;
+        journal.file.flush()?;
+        journal.file.sync_data()?;
+        Ok(journal)
     }
 
     /// The journal's file path.
@@ -143,6 +209,16 @@ impl Journal {
             // Corruption can produce invalid UTF-8; treat it like any
             // other undecodable line rather than an I/O error.
             let text = std::str::from_utf8(&line).unwrap_or("");
+            if offset == 0 && intact {
+                // A shard journal leads with its header line; it is not a
+                // record entry and does not advance `entries`.
+                if let Some(meta) = decode_shard_header(text.trim_end_matches('\n')) {
+                    replay.shard = Some(meta);
+                    offset += n as u64;
+                    replay.valid_len = offset;
+                    continue;
+                }
+            }
             match decode_entry(text.trim_end_matches('\n')) {
                 Some((job_fp, record)) if intact => {
                     replay.entries += 1;
@@ -170,6 +246,51 @@ impl Journal {
         let replay = Self::replay(&path)?;
         // Deliberately not truncating on open: the recovered prefix must
         // survive. `set_len` below trims exactly the torn tail.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        file.set_len(replay.valid_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((Journal { file, path }, replay))
+    }
+
+    /// Opens a per-shard journal for resumption. A missing or fully-torn
+    /// journal is recreated fresh with `meta` as its header; an existing
+    /// one must carry a matching header — a journal written for a
+    /// different shard range (or a non-sharded journal) is refused with
+    /// `InvalidData` rather than mixed in.
+    pub fn open_resumable_sharded(
+        path: impl AsRef<Path>,
+        meta: ShardMeta,
+    ) -> io::Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let replay = Self::replay(&path)?;
+        if replay.valid_len == 0 {
+            let journal = Journal::create_sharded(&path, meta)?;
+            let replay = Replay {
+                shard: Some(meta),
+                ..Replay::default()
+            };
+            return Ok((journal, replay));
+        }
+        match replay.shard {
+            Some(found) if found == meta => {}
+            found => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "journal {} belongs to shard {:?}, expected {:?}",
+                        path.display(),
+                        found,
+                        meta
+                    ),
+                ));
+            }
+        }
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -320,6 +441,62 @@ mod tests {
         // digit of the seed.
         let damaged = line.replacen("\"seed\":", "\"seed\":1", 1);
         assert!(decode_entry(&damaged).is_none(), "CRC must catch {damaged}");
+    }
+
+    #[test]
+    fn sharded_journal_round_trips_header_and_entries() {
+        let path = temp_path("sharded");
+        let meta = ShardMeta {
+            index: 2,
+            of: 4,
+            lo: 0x8000_0000_0000_0000,
+            hi: 0xbfff_ffff_ffff_ffff,
+        };
+        let mut journal = Journal::create_sharded(&path, meta).unwrap();
+        journal.append(0x9000, &record(0x9000)).unwrap();
+        drop(journal);
+
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.shard, Some(meta));
+        assert_eq!(replay.entries, 1, "header is not a record entry");
+        assert!(replay.completed.contains_key(&0x9000));
+
+        // Resuming with the same meta recovers the entry and appends on a
+        // clean boundary.
+        let (mut reopened, resumed) = Journal::open_resumable_sharded(&path, meta).unwrap();
+        assert_eq!(resumed.entries, 1);
+        assert_eq!(resumed.shard, Some(meta));
+        reopened.append(0xa000, &record(0xa000)).unwrap();
+        drop(reopened);
+        let healed = Journal::replay(&path).unwrap();
+        assert_eq!(healed.entries, 2);
+        assert_eq!(healed.shard, Some(meta));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_resume_refuses_mismatched_meta() {
+        let path = temp_path("shard-mismatch");
+        let meta = ShardMeta {
+            index: 0,
+            of: 2,
+            lo: 0,
+            hi: u64::MAX / 2,
+        };
+        drop(Journal::create_sharded(&path, meta).unwrap());
+        let other = ShardMeta { index: 1, ..meta };
+        let err = Journal::open_resumable_sharded(&path, other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A plain (non-sharded) journal with entries is refused too.
+        let plain = temp_path("shard-plain");
+        let mut journal = Journal::create(&plain).unwrap();
+        journal.append(1, &record(1)).unwrap();
+        drop(journal);
+        let err = Journal::open_resumable_sharded(&plain, meta).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plain).ok();
     }
 
     #[test]

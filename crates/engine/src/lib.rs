@@ -65,6 +65,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod dist;
 pub mod engine;
 pub mod fingerprint;
 pub mod job;
@@ -74,11 +75,14 @@ pub mod record;
 
 pub use crate::cache::{CacheStats, LruCache, MemoCache};
 pub use crate::chaos::{ChaosConfig, Fault};
+pub use crate::dist::{
+    DistChaos, DistConfig, DistReport, GridSpec, MergeReport, ShardOutcome, WorkerCommand,
+};
 pub use crate::engine::{
     Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,
 };
 pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
-pub use crate::journal::{Journal, Replay};
+pub use crate::journal::{Journal, Replay, ShardMeta};
 pub use crate::pool::ScopedPool;
 pub use crate::record::{
     AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,
@@ -88,11 +92,14 @@ pub use crate::record::{
 pub mod prelude {
     pub use crate::cache::{CacheStats, LruCache};
     pub use crate::chaos::{ChaosConfig, Fault};
+    pub use crate::dist::{
+        DistChaos, DistConfig, DistReport, GridSpec, MergeReport, ShardOutcome, WorkerCommand,
+    };
     pub use crate::engine::{
         Engine, EngineConfig, JobOutcome, ResumeSummary, RetryPolicy, SweepResult,
     };
     pub use crate::job::{AlgorithmSpec, DatasetSpec, EvalJob, PropertySpec};
-    pub use crate::journal::{Journal, Replay};
+    pub use crate::journal::{Journal, Replay, ShardMeta};
     pub use crate::pool::ScopedPool;
     pub use crate::record::{
         AttemptFailure, EvalRecord, JobStatus, PropertySummary, QuarantineRecord, ReleaseMetrics,

@@ -5,8 +5,15 @@
 //! writes the latency/throughput/cache report to `BENCH_serve.json`.
 //!
 //! ```text
-//! anoncmp-loadgen [--addr HOST:PORT] [--clients N] [--duration-secs N]
-//!                 [--rows N] [--threads N] [--out PATH]
+//! anoncmp-loadgen [--addr HOST:PORT] [--clients N] [--connections N]
+//!                 [--duration-secs N] [--rows N] [--threads N] [--out PATH]
+//! ```
+//!
+//! `--connections N` switches the warm phase from one-connection-per-
+//! request clients to N persistent keep-alive connections; the report
+//! then carries a per-connection p99.
+//!
+//! ```text
 //! ```
 
 use std::process::ExitCode;
@@ -34,7 +41,8 @@ fn run() -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: anoncmp-loadgen [--addr HOST:PORT] [--clients N] \
-             [--duration-secs N] [--rows N] [--threads N] [--out PATH]"
+             [--connections N] [--duration-secs N] [--rows N] [--threads N] \
+             [--out PATH]"
         );
         return Ok(());
     }
@@ -42,6 +50,9 @@ fn run() -> Result<(), String> {
     let mut config = LoadgenConfig::default();
     if let Some(clients) = parse_flag(&args, "--clients")? {
         config.clients = clients;
+    }
+    if let Some(connections) = parse_flag(&args, "--connections")? {
+        config.connections = connections;
     }
     if let Some(secs) = parse_flag::<u64>(&args, "--duration-secs")? {
         config.duration = Duration::from_secs(secs);
@@ -71,10 +82,17 @@ fn run() -> Result<(), String> {
         }
     };
 
-    eprintln!(
-        "loadgen: {} client(s), {:?} warm phase, {} rows, driving {}",
-        config.clients, config.duration, config.rows, config.addr
-    );
+    if config.connections > 0 {
+        eprintln!(
+            "loadgen: {} persistent connection(s), {:?} warm phase, {} rows, driving {}",
+            config.connections, config.duration, config.rows, config.addr
+        );
+    } else {
+        eprintln!(
+            "loadgen: {} client(s), {:?} warm phase, {} rows, driving {}",
+            config.clients, config.duration, config.rows, config.addr
+        );
+    }
     let report = loadgen::run(&config).map_err(|e| format!("load run: {e}"))?;
     std::fs::write(&out, format!("{}\n", report.to_json()))
         .map_err(|e| format!("writing {out}: {e}"))?;

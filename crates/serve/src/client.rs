@@ -1,10 +1,13 @@
 //! A minimal blocking HTTP client for the service's own wire protocol.
 //!
 //! Shared by the closed-loop load generator and the integration tests so
-//! both exercise the exact bytes a real client would send. One request
-//! per connection (`Connection: close`): the load generator measures the
-//! full accept → admit → serve path on every request, which is the
-//! honest number for a service fronted by short-lived clients.
+//! both exercise the exact bytes a real client would send. The free
+//! functions use one request per connection (`Connection: close`): the
+//! load generator's default mode measures the full accept → admit →
+//! serve path on every request, which is the honest number for a
+//! service fronted by short-lived clients. [`Connection`] is the
+//! keep-alive alternative for clients that pay the accept path once —
+//! the load generator's `--connections` mode measures that regime.
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -46,6 +49,72 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
     )?;
     stream.flush()?;
     read_response(&mut BufReader::new(stream))
+}
+
+/// A persistent keep-alive connection: connects lazily, pipelines one
+/// request at a time (closed-loop), and transparently reconnects once
+/// when a reused socket turns out to be stale (idle-timeout reset or a
+/// server-side `Connection: close`).
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Connection {
+    /// A connection to `addr`; no socket is opened until the first
+    /// request.
+    pub fn new(addr: SocketAddr) -> Connection {
+        Connection { addr, stream: None }
+    }
+
+    fn try_post(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        if self.stream.is_none() {
+            self.stream = Some(BufReader::new(connect(self.addr)?));
+        }
+        let reader = self.stream.as_mut().expect("just connected");
+        {
+            let stream = reader.get_mut();
+            write!(
+                stream,
+                "POST {path} HTTP/1.1\r\nHost: anoncmp\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )?;
+            stream.flush()?;
+        }
+        read_response(reader)
+    }
+
+    /// `POST path` with a JSON body, reusing the connection. A failure
+    /// on a *reused* socket is retried once on a fresh one; a failure
+    /// on a fresh socket is the caller's error.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        let reused = self.stream.is_some();
+        let response = match self.try_post(path, body) {
+            Ok(response) => response,
+            Err(error) => {
+                self.stream = None;
+                if !reused {
+                    return Err(error);
+                }
+                match self.try_post(path, body) {
+                    Ok(response) => response,
+                    Err(retry_error) => {
+                        self.stream = None;
+                        return Err(retry_error);
+                    }
+                }
+            }
+        };
+        if response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.stream = None;
+        }
+        Ok(response)
+    }
 }
 
 /// Sends one JSONL-mode request line over a fresh connection and returns

@@ -32,8 +32,15 @@ use crate::client;
 pub struct LoadgenConfig {
     /// The server to drive.
     pub addr: SocketAddr,
-    /// Concurrent closed-loop clients in the warm phase.
+    /// Concurrent closed-loop clients in the warm phase. Each client
+    /// opens a fresh connection per request (`Connection: close`).
     pub clients: usize,
+    /// When nonzero, the warm phase instead runs this many closed-loop
+    /// clients each over ONE persistent keep-alive connection — the
+    /// accept path is paid once per connection, and the report carries
+    /// a per-connection p99 so a single slow connection cannot hide in
+    /// the aggregate.
+    pub connections: usize,
     /// Warm-phase duration.
     pub duration: Duration,
     /// Rows of the synthetic census dataset each request evaluates.
@@ -49,6 +56,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             addr: "127.0.0.1:0".parse().expect("literal addr"),
             clients: 4,
+            connections: 0,
             duration: Duration::from_secs(5),
             rows: 300,
             ks: vec![2, 5, 10],
@@ -103,6 +111,12 @@ pub struct PhaseReport {
 pub struct LoadReport {
     /// Warm-phase concurrent clients.
     pub clients: u64,
+    /// Persistent keep-alive connections in the warm phase (`0` means
+    /// the default one-connection-per-request mode ran).
+    pub connections: u64,
+    /// Warm p99 of each persistent connection, in connection order;
+    /// empty outside `--connections` mode.
+    pub per_connection_p99_ms: Vec<f64>,
     /// Warm-phase wall-clock seconds.
     pub duration_s: f64,
     /// Cold phase: every distinct request once, empty cache.
@@ -130,15 +144,26 @@ struct Samples {
 }
 
 impl Samples {
-    fn record(&mut self, addr: SocketAddr, body: &str) {
-        let started = Instant::now();
-        match client::post(addr, "/compare", body) {
+    fn tally(&mut self, started: Instant, result: std::io::Result<crate::http::Response>) {
+        match result {
             Ok(response) if response.status == 200 => {
                 self.latencies_us.push(started.elapsed().as_micros() as u64);
             }
             Ok(response) if response.status == 429 => self.shed += 1,
             Ok(_) | Err(_) => self.errors += 1,
         }
+    }
+
+    /// One request over a fresh connection (`Connection: close`).
+    fn record(&mut self, addr: SocketAddr, body: &str) {
+        let started = Instant::now();
+        self.tally(started, client::post(addr, "/compare", body));
+    }
+
+    /// One request over a persistent connection.
+    fn record_on(&mut self, connection: &mut client::Connection, body: &str) {
+        let started = Instant::now();
+        self.tally(started, connection.post("/compare", body));
     }
 }
 
@@ -172,21 +197,33 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         cold.record(config.addr, body);
     }
 
-    // Phase 2: warm — the closed loop.
+    // Phase 2: warm — the closed loop. `--connections N` swaps the
+    // fresh-connection clients for N persistent keep-alive connections.
+    let persistent = config.connections > 0;
+    let warm_threads = if persistent {
+        config.connections
+    } else {
+        config.clients.max(1)
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let warm_started = Instant::now();
     let mut collected = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for client_index in 0..config.clients.max(1) {
+        for client_index in 0..warm_threads {
             let bodies = bodies.clone();
             let stop = stop.clone();
             let addr = config.addr;
             handles.push(scope.spawn(move || {
                 let mut samples = Samples::default();
+                let mut connection = persistent.then(|| client::Connection::new(addr));
                 let mut next = client_index; // de-phase the clients
                 while !stop.load(Ordering::Relaxed) {
-                    samples.record(addr, &bodies[next % bodies.len()]);
+                    let body = &bodies[next % bodies.len()];
+                    match connection.as_mut() {
+                        Some(connection) => samples.record_on(connection, body),
+                        None => samples.record(addr, body),
+                    }
                     next += 1;
                 }
                 samples
@@ -200,8 +237,13 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     });
     let warm_elapsed = warm_started.elapsed();
 
+    let mut per_connection_p99_ms = Vec::new();
     let mut warm = Samples::default();
     for mut samples in collected {
+        if persistent {
+            samples.latencies_us.sort_unstable();
+            per_connection_p99_ms.push(percentile(&samples.latencies_us, 0.99));
+        }
         warm.latencies_us.append(&mut samples.latencies_us);
         warm.shed += samples.shed;
         warm.errors += samples.errors;
@@ -222,7 +264,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let cache_hits = server.response_hits + server.cache_hits;
     let cache_total = cache_hits + server.cache_misses;
     Ok(LoadReport {
-        clients: config.clients.max(1) as u64,
+        clients: warm_threads as u64,
+        connections: config.connections as u64,
+        per_connection_p99_ms,
         duration_s: warm_elapsed.as_secs_f64(),
         throughput_rps: warm.requests as f64 / warm_elapsed.as_secs_f64().max(1e-9),
         warm_speedup_p50: if warm.p50_ms > 0.0 {

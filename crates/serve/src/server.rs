@@ -154,6 +154,9 @@ impl Inner {
             response_misses: self.response_misses.load(Ordering::Relaxed),
             response_entries: responses.len() as u64,
             response_evictions: responses.evictions(),
+            engine_retries: self.engine.retries_total(),
+            engine_quarantined: self.engine.quarantined_total(),
+            journal_appends: self.engine.journal_appends(),
         }
     }
 }

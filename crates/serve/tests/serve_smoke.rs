@@ -244,6 +244,7 @@ fn loadgen_reports_warm_speedup_against_a_live_server() {
     let report = anoncmp_serve::loadgen::run(&LoadgenConfig {
         addr: server.addr(),
         clients: 2,
+        connections: 0,
         duration: Duration::from_millis(600),
         rows: 120,
         ks: vec![2, 4],
@@ -259,5 +260,32 @@ fn loadgen_reports_warm_speedup_against_a_live_server() {
         "warm requests must be faster than cold: {report:?}"
     );
     assert!(report.cache_hit_rate > 0.5, "{report:?}");
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_persistent_connections_report_per_connection_p99() {
+    let server = start(ServeConfig::default());
+    let report = anoncmp_serve::loadgen::run(&LoadgenConfig {
+        addr: server.addr(),
+        clients: 1,
+        connections: 2,
+        duration: Duration::from_millis(600),
+        rows: 120,
+        ks: vec![2, 4],
+        algorithms: vec!["datafly".into()],
+    })
+    .expect("load run");
+    assert_eq!(report.connections, 2);
+    assert_eq!(
+        report.per_connection_p99_ms.len(),
+        2,
+        "one warm p99 per persistent connection: {report:?}"
+    );
+    assert_eq!(report.cold.errors + report.warm.errors, 0);
+    assert!(report.warm.requests > 0, "closed loops made progress");
+    // The server's engine resilience counters ride along in /stats.
+    assert_eq!(report.server.engine_quarantined, 0);
+    assert_eq!(report.server.journal_appends, 0, "daemon runs journal-less");
     server.shutdown();
 }

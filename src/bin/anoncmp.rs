@@ -18,6 +18,12 @@
 //! anoncmp serve [--addr 127.0.0.1:7171] [--threads N] [--max-inflight N]
 //!     Run the long-lived comparison daemon (HTTP/1.1 + JSONL-over-TCP,
 //!     see docs/WIRE_PROTOCOL.md). Drains and exits 0 on SIGINT/SIGTERM.
+//!
+//! anoncmp dist --dir DIR [--workers N] [--shards S] [--resume 1] [--chaos-seed N]
+//!     Run a sweep grid sharded across N worker processes with a
+//!     deterministic merge: `DIR/merged.jsonl` is byte-identical at any
+//!     worker count, and a killed or stalled worker's shard is resumed
+//!     by a survivor (`dist-worker` is the internal child entry point).
 //! ```
 //!
 //! Schema inference: a column whose every value parses as an integer
@@ -49,6 +55,8 @@ fn main() -> ExitCode {
         "frontier" => with_options(rest, frontier),
         "risk" => with_options(rest, risk),
         "serve" => with_options(rest, serve_daemon),
+        "dist" => with_options(rest, dist),
+        "dist-worker" => dist_worker(),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -64,7 +72,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk|serve> [options]
+const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk|serve|dist> [options]
   --input FILE        CSV file with a header row (required except for demo)
   --qi COLS           comma-separated quasi-identifier column names (required)
   --sensitive COL     sensitive column name (required)
@@ -91,7 +99,23 @@ serve options:
   --chunk-threads N   intra-job chunk worker threads (default: cores / jobs,
                       so `--engine-jobs 8` never oversubscribes; also a
                       `compare` option); never changes output bytes
-  --max-rows N        largest synthesizable dataset per request (default 20000)";
+  --max-rows N        largest synthesizable dataset per request (default 20000)
+dist options:
+  --dir DIR           working directory for spec/journals/merge (default anoncmp-dist)
+  --workers N         concurrent worker processes (default 2)
+  --shards S          fingerprint-range shards; fixed per run, independent of
+                      --workers, so job→shard assignment never moves (default 8)
+  --dataset KIND      census|hospital (default census)
+  --rows N            synthesized rows (default 400; with --seed and --zip-pool)
+  --ks CSV            k values of the sweep (default 2,5,10)
+  --algos CSV         algorithm names (default: the standard suite)
+  --props CSV         property tags (default eq-class-size)
+  --engine-jobs N     engine threads per worker (default: cores / shards)
+  --resume 1          reuse DIR's spec and shard journals (crash recovery)
+  --stall-timeout-ms N  heartbeat staleness before a worker is presumed
+                      stalled, killed, and its shard reassigned (default 10000)
+  --chaos-seed N      worker-loss drill: abort the largest shard's first
+                      worker after a seed-derived number of journal appends";
 
 /// Parsed `--key value` options.
 struct Options(BTreeMap<String, String>);
@@ -333,6 +357,130 @@ fn compare(opts: &Options) -> Result<(), String> {
         eprintln!("interrupted: sweep drained and checkpoint journal flushed; exiting cleanly");
     }
     Ok(())
+}
+
+fn dist(opts: &Options) -> Result<(), String> {
+    use anoncmp::core::wire::WireDataset;
+    use anoncmp::engine::dist::{self, DistChaos, DistConfig, GridSpec, WorkerCommand};
+    use std::time::Duration;
+
+    let rows = opts.usize_or("rows", 400)?;
+    let seed: u64 = match opts.get("seed") {
+        None => 7,
+        Some(v) => v.parse().map_err(|e| format!("--seed: {e}"))?,
+    };
+    let dataset = match opts.get("dataset").unwrap_or("census") {
+        "census" => WireDataset::Census {
+            rows,
+            seed,
+            zip_pool: opts.usize_or("zip-pool", 25)?,
+        },
+        "hospital" => WireDataset::Hospital { rows, seed },
+        other => return Err(format!("unknown dataset '{other}' (census|hospital)")),
+    };
+    let csv_list = |key: &str| -> Vec<String> {
+        opts.get(key)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let ks: Vec<usize> = match opts.get("ks") {
+        None => vec![2, 5, 10],
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|e| format!("--ks: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let shards = opts.usize_or("shards", 8)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let spec = GridSpec {
+        dataset,
+        algorithms: csv_list("algos"),
+        ks,
+        max_suppression: opts.usize_or("max-sup", rows / 20)?,
+        properties: csv_list("props"),
+        root_seed: 0xED5B_2009,
+        shards,
+        engine_jobs: opts.usize_or("engine-jobs", 0)?,
+    };
+    // Fail on an unknown algorithm/property name here, before any worker
+    // is spawned against the saved spec.
+    spec.jobs()?;
+
+    let mut config = DistConfig::new(
+        opts.get("dir").unwrap_or("anoncmp-dist"),
+        opts.usize_or("workers", 2)?,
+    );
+    config.resume = matches!(opts.get("resume"), Some("1") | Some("true"));
+    config.stall_timeout = Duration::from_millis(opts.usize_or("stall-timeout-ms", 10_000)? as u64);
+    if let Some(chaos_seed) = opts.get("chaos-seed") {
+        let chaos_seed: u64 = chaos_seed
+            .parse()
+            .map_err(|e| format!("--chaos-seed: {e}"))?;
+        config.chaos = Some(DistChaos { seed: chaos_seed });
+        eprintln!(
+            "chaos: worker-loss drill armed (seed {chaos_seed}): the largest shard's first \
+             worker aborts after a seed-derived number of fsync'd appends"
+        );
+    }
+    let worker =
+        WorkerCommand::current_exe(vec!["dist-worker".into()]).map_err(|e| e.to_string())?;
+    let report = dist::run_supervisor(&spec, &config, &worker).map_err(|e| format!("dist: {e}"))?;
+
+    println!(
+        "{:<6} {:>6} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "shard", "jobs", "records", "resumed", "restarts", "wall_ms", "worker"
+    );
+    for shard in &report.shards {
+        println!(
+            "{:<6} {:>6} {:>8} {:>8} {:>9} {:>9} {:>7}",
+            shard.shard,
+            shard.jobs,
+            shard.records,
+            shard.resumed,
+            shard.restarts,
+            shard.wall_ms,
+            shard.worker_slot
+        );
+    }
+    println!(
+        "merged {} record(s) ({} duplicate(s) dropped, {} missing) into {} in {} ms",
+        report.merge.merged,
+        report.merge.duplicates_dropped,
+        report.merge.missing,
+        report.merged_path.display(),
+        report.merge.wall_ms
+    );
+    println!(
+        "merged digest: {}",
+        dist::file_digest(&report.merged_path).map_err(|e| e.to_string())?
+    );
+    println!("{}", report.resilience_summary());
+    Ok(())
+}
+
+fn dist_worker() -> Result<(), String> {
+    match anoncmp::engine::dist::run_worker_from_env() {
+        Ok(Some(summary)) => {
+            eprintln!(
+                "dist-worker: shard {} done ({} record(s), {} resumed)",
+                summary.shard, summary.records, summary.resumed
+            );
+            Ok(())
+        }
+        Ok(None) => Err(
+            "dist-worker is the internal child entry point of `anoncmp dist` and needs \
+             ANONCMP_DIST_DIR/ANONCMP_DIST_SHARD in the environment"
+                .into(),
+        ),
+        Err(e) => Err(format!("dist-worker: {e}")),
+    }
 }
 
 fn serve_daemon(opts: &Options) -> Result<(), String> {
