@@ -32,6 +32,7 @@ pub mod constraint;
 pub mod error;
 pub mod models;
 pub mod personalized;
+pub mod perturb;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -56,6 +57,7 @@ pub mod prelude {
         DiversityKind, KAnonymity, LDiversity, PSensitive, PrivacyModel, TCloseness,
     };
     pub use crate::personalized::{personalized_slack_vector, PersonalizedKAnonymity};
+    pub use crate::perturb::{mdav_groups, PerturbMethod, PerturbSpec};
 }
 
 pub use prelude::*;

@@ -111,6 +111,20 @@ struct ParallelScaling {
     bit_identical: bool,
 }
 
+/// The perturbative wing's summary numbers.
+#[derive(Serialize)]
+struct Perturbative {
+    rows: usize,
+    /// True iff the numeric properties' contiguous-slice fast paths
+    /// produced bit-identical vectors to the row-at-a-time references
+    /// on a perturbed release. CI gates this unconditionally — it does
+    /// not depend on core count.
+    fast_naive_identical: bool,
+    /// Min-over-min speedup of the fast extraction paths over the naive
+    /// references (risk + loss summed).
+    extraction_speedup: f64,
+}
+
 /// The whole baseline file.
 #[derive(Serialize)]
 struct Baseline {
@@ -134,6 +148,8 @@ struct Baseline {
     /// Thread-scaling sweep of the chunked pipeline at the smallest
     /// streamed size, when any chunked group ran.
     parallel_scaling: Option<ParallelScaling>,
+    /// Perturbative-wing equivalence and speedup summary.
+    perturbative: Perturbative,
     /// The worst per-entry peak RSS (plus the final read), in MiB —
     /// the number `--assert-peak-rss-mb` gates. `None` off Linux.
     peak_rss_mb: Option<f64>,
@@ -563,6 +579,7 @@ fn main() {
     lattice_benches(&mut benches, &in_memory_sizes);
     property_extraction_benches(&mut benches, &in_memory_sizes);
     comparator_matrix_benches(&mut benches);
+    let perturbative = perturbative_benches(&mut benches);
     chunked_benches(&mut benches, &chunked_sizes, cli.chunk_threads);
     let parallel = chunked_sizes
         .iter()
@@ -616,6 +633,7 @@ fn main() {
         matrix_speedup_m32: ratio(Some(scalar_total), Some(matrix_total)),
         scaling: scaling_of(&benches, &chunked_sizes),
         parallel_scaling: parallel,
+        perturbative,
         // Per-entry resets wiped the process-lifetime VmHWM, so the
         // gated number is the worst window: max over entries plus a
         // final read covering everything since the last reset.
@@ -655,6 +673,16 @@ fn main() {
             "thread counts disagreed on class ids or property vectors — determinism bug"
         );
     }
+    eprintln!(
+        "perturbative extraction at {} rows: fast/naive bit-identical: {}, speedup {:.2}x",
+        baseline.perturbative.rows,
+        baseline.perturbative.fast_naive_identical,
+        baseline.perturbative.extraction_speedup
+    );
+    assert!(
+        baseline.perturbative.fast_naive_identical,
+        "numeric-property fast paths diverged from the naive references — determinism bug"
+    );
     if let Some(rss) = baseline.peak_rss_mb {
         eprintln!("peak RSS: {rss:.0} MiB");
     }
@@ -665,6 +693,64 @@ fn main() {
             rss <= cap,
             "peak RSS {rss:.0} MiB exceeds the asserted ceiling of {cap:.0} MiB"
         );
+    }
+}
+
+/// The perturbative group: perturbation application cost plus the fast
+/// vs naive extraction race for the numeric properties, with the
+/// bit-identity of the two paths recorded (not assumed).
+fn perturbative_benches(out: &mut Vec<BenchEntry>) -> Perturbative {
+    use anoncmp_microdata::numeric::NumericBase;
+
+    let rows = 4_000;
+    let ds = census(rows);
+    let base = NumericBase::of(&ds).expect("census has a numeric quasi-identifier");
+    let iters = 5;
+
+    for (name, spec) in [
+        ("noise", PerturbSpec::noise(0.05)),
+        ("mdav", PerturbSpec::mdav(5)),
+        ("rankswap", PerturbSpec::rank_swap(8)),
+    ] {
+        out.push(entry("perturbative", name, rows, iters, || {
+            std::hint::black_box(spec.apply(&base, 0xED5B_2009));
+        }));
+    }
+
+    let release = PerturbSpec::mdav(5).apply(&base, 0xED5B_2009);
+    let risk = NeighborhoodRisk::standard();
+    let loss = BoundedDistanceLoss;
+    out.push(entry("perturbative", "risk_fast", rows, iters, || {
+        std::hint::black_box(risk.extract_numeric(&release));
+    }));
+    out.push(entry("perturbative", "risk_naive", rows, iters, || {
+        std::hint::black_box(risk.extract_numeric_naive(&release));
+    }));
+    out.push(entry("perturbative", "loss_fast", rows, iters, || {
+        std::hint::black_box(loss.extract_numeric(&release));
+    }));
+    out.push(entry("perturbative", "loss_naive", rows, iters, || {
+        std::hint::black_box(loss.extract_numeric_naive(&release));
+    }));
+
+    let bits =
+        |v: &PropertyVector| -> Vec<u64> { v.values().iter().map(|x| x.to_bits()).collect() };
+    let fast_naive_identical = bits(&risk.extract_numeric(&release))
+        == bits(&risk.extract_numeric_naive(&release))
+        && bits(&loss.extract_numeric(&release)) == bits(&loss.extract_numeric_naive(&release));
+    let fast = min_of(out, "perturbative", "risk_fast", rows)
+        .zip(min_of(out, "perturbative", "loss_fast", rows))
+        .map(|(a, b)| a + b);
+    let naive = min_of(out, "perturbative", "risk_naive", rows)
+        .zip(min_of(out, "perturbative", "loss_naive", rows))
+        .map(|(a, b)| a + b);
+    Perturbative {
+        rows,
+        fast_naive_identical,
+        extraction_speedup: match (naive, fast) {
+            (Some(n), Some(f)) if f > 0.0 => n / f,
+            _ => 0.0,
+        },
     }
 }
 

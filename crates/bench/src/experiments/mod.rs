@@ -1,6 +1,7 @@
 //! The experiment suite: one function per paper table/figure (E01–E12)
 //! plus the extended studies (E13 algorithm comparison, E14 §7 Pareto
-//! frontier, E15 query-workload utility, E16 comparator agreement). See
+//! frontier, E15 query-workload utility, E16 comparator agreement, E17
+//! mixed-family perturbation-vs-generalization tournament). See
 //! DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 //! outputs.
 
@@ -9,6 +10,7 @@ pub mod figures;
 pub mod frontier;
 pub mod indices;
 pub mod paper_tables;
+pub mod perturb;
 pub mod queries;
 pub mod study;
 pub mod theorem;
@@ -107,6 +109,11 @@ pub fn registry() -> Vec<Experiment> {
             describes: "Comparator agreement (Kendall-τ matrix)",
             run: agreement::e16_agreement,
         },
+        Experiment {
+            id: "e17",
+            describes: "Mixed-family tournament — perturbation vs generalization",
+            run: perturb::e17_perturb,
+        },
     ]
 }
 
@@ -117,7 +124,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
         }

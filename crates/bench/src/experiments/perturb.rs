@@ -1,0 +1,154 @@
+//! Experiment E17: mixed-family tournament — perturbative methods vs
+//! generalization algorithms on one census release.
+//!
+//! The paper's framework (§3–§5) compares *property vectors*, not
+//! families: any anonymization that induces a per-tuple measurement can
+//! enter the tournament. E17 exercises that claim end-to-end by ranking
+//! noise addition, MDAV microaggregation, and rank swapping against
+//! Datafly and Mondrian on the same dataset, judged on two numeric
+//! properties both families can induce — Chaibub Neto's bounded
+//! distance-based loss and the standardized-Euclidean neighborhood
+//! disclosure risk.
+
+use anoncmp_core::prelude::*;
+use anoncmp_engine::prelude::*;
+
+/// The mixed candidate slate: two generalization algorithms and three
+/// perturbative methods, all resolved through the one wire namespace.
+fn slate() -> Vec<AlgorithmSpec> {
+    ["datafly", "mondrian", "noise:0.05", "mdav:5", "rankswap:8"]
+        .into_iter()
+        .map(|name| AlgorithmSpec::by_name(name).expect("slate names are canonical"))
+        .collect()
+}
+
+/// Runs E17 with the given dataset size.
+pub fn e17_perturb_with(rows: usize) -> String {
+    let spec = DatasetSpec::Census {
+        rows,
+        seed: 1709,
+        zip_pool: 15,
+    };
+    let k = 5;
+    let properties = vec![PropertySpec::BoundedLoss, PropertySpec::NeighborhoodRisk];
+    let jobs: Vec<EvalJob> = slate()
+        .into_iter()
+        .map(|algorithm| EvalJob {
+            dataset: spec.clone(),
+            algorithm,
+            k,
+            max_suppression: rows / 20,
+            properties: properties.clone(),
+        })
+        .collect();
+    let sweep = Engine::global().run(&jobs);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E17 · Mixed-family tournament — {rows} census tuples, k = {k}, \
+         2 generalization algorithms vs 3 perturbative methods\n\n"
+    ));
+
+    let mut names: Vec<String> = Vec::new();
+    let mut loss_vectors: Vec<PropertyVector> = Vec::new();
+    let mut risk_vectors: Vec<PropertyVector> = Vec::new();
+    out.push_str(&format!(
+        "  {:<12} {:>9} {:>12} {:>12}\n",
+        "candidate", "classes", "mean loss", "mean risk"
+    ));
+    for o in &sweep.outcomes {
+        match (&o.record.status, &o.record.metrics) {
+            (JobStatus::Ok, Some(m)) => {
+                // Both vectors are negated lower-is-better measurements;
+                // report the raw magnitudes.
+                let loss = -o.vectors[0].mean().unwrap_or(0.0);
+                let risk = -o.vectors[1].mean().unwrap_or(0.0);
+                out.push_str(&format!(
+                    "  {:<12} {:>9} {:>12.4} {:>12.4}\n",
+                    o.record.algorithm, m.classes, loss, risk
+                ));
+                names.push(o.record.algorithm.clone());
+                loss_vectors.push(o.vectors[0].clone());
+                risk_vectors.push(o.vectors[1].clone());
+            }
+            (status, _) => out.push_str(&format!(
+                "  {:<12} failed: {status:?}\n",
+                o.record.algorithm
+            )),
+        }
+    }
+    out.push('\n');
+
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    for (label, vectors) in [
+        ("bounded distance-based loss", &loss_vectors),
+        ("neighborhood disclosure risk", &risk_vectors),
+    ] {
+        let matrix = ComparisonMatrix::of_vectors(&name_refs, vectors, &CoverageComparator);
+        out.push_str(&format!("  ▶cov tournament on {label}:\n"));
+        for line in matrix.render().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "  Reading: perturbative releases keep every value numeric, so their \
+         per-tuple distortion stays small where interval recoding pays a \
+         width penalty — but the risk tournament shows the price: records a \
+         perturbed release leaves closest to their own original re-identify \
+         more easily than records hidden inside a generalized class.\n",
+    );
+    out
+}
+
+/// Runs E17 at the default size.
+pub fn e17_perturb() -> String {
+    e17_perturb_with(300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ranks_both_families() {
+        let s = e17_perturb_with(120);
+        for name in ["datafly", "mondrian", "noise:0.05", "mdav:5", "rankswap:8"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("bounded distance-based loss"));
+        assert!(s.contains("neighborhood disclosure risk"));
+        assert_eq!(s.matches("ranking (Copeland)").count(), 2);
+        // All five candidates succeed — no "failed:" rows.
+        assert!(!s.contains("failed:"), "{s}");
+    }
+
+    #[test]
+    fn tournament_is_engine_parallelism_independent() {
+        let jobs: Vec<EvalJob> = slate()
+            .into_iter()
+            .map(|algorithm| EvalJob {
+                dataset: DatasetSpec::Census {
+                    rows: 100,
+                    seed: 1709,
+                    zip_pool: 15,
+                },
+                algorithm,
+                k: 3,
+                max_suppression: 5,
+                properties: vec![PropertySpec::BoundedLoss],
+            })
+            .collect();
+        let serial = Engine::new(EngineConfig {
+            jobs: 1,
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        let parallel = Engine::new(EngineConfig {
+            jobs: 4,
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(serial.canonical_jsonl(), parallel.canonical_jsonl());
+    }
+}

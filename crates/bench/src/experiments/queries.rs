@@ -52,9 +52,10 @@ pub fn e15_queries_with(rows: usize) -> String {
             // journal-replayed outcome doesn't carry — rematerialize it
             // through the engine (cache-served on every later call).
             JobStatus::Ok => match o
-                .table
+                .release
                 .clone()
                 .or_else(|| Engine::global().release_for(&o.job))
+                .and_then(|r| r.as_generalized().map(|t| Arc::new(t.clone())))
             {
                 Some(t) => releases.push(t),
                 None => out.push_str(&format!(

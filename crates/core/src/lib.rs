@@ -47,6 +47,7 @@ pub mod bias;
 pub mod comparators;
 pub mod dominance;
 pub mod index;
+pub mod numeric_props;
 pub mod pareto;
 pub mod preference;
 pub mod properties;
@@ -71,6 +72,9 @@ pub mod prelude {
         strongly_dominates, weakly_dominates, DominanceRelation,
     };
     pub use crate::index::{classic, normalize_pair, BinaryIndex, UnaryIndex};
+    pub use crate::numeric_props::{
+        BoundedDistanceLoss, NeighborhoodRisk, RiskMetric, DEFAULT_RISK_NEIGHBORHOOD,
+    };
     pub use crate::pareto::{
         crowding_distance, non_dominated_sort, non_dominated_sort_by, nsga2_order, nsga2_order_by,
         pareto_front, point_strongly_dominates, point_weakly_dominates,

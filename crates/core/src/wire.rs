@@ -164,6 +164,9 @@ pub struct CompareRequest {
     pub dataset: WireDataset,
     /// Algorithm names (empty = the server's standard suite).
     pub algorithms: Vec<String>,
+    /// Perturbative method wire names (`noise:0.05`, `rankswap:8`, …)
+    /// evaluated alongside the algorithms; empty = none.
+    pub methods: Vec<String>,
     /// The k of k-anonymity.
     pub k: usize,
     /// Suppression budget in tuples (default 0).
@@ -182,6 +185,10 @@ pub struct SweepRequest {
     pub dataset: WireDataset,
     /// Algorithm names (empty = the server's standard suite).
     pub algorithms: Vec<String>,
+    /// Perturbative method wire names (`noise:0.05`, `rankswap:8`, …)
+    /// evaluated alongside the algorithms at every grid point; empty =
+    /// none.
+    pub methods: Vec<String>,
     /// The k values of the grid, evaluated in request order.
     pub ks: Vec<usize>,
     /// Suppression budget in tuples (default 0).
@@ -236,6 +243,7 @@ impl CompareRequest {
         Ok(CompareRequest {
             dataset,
             algorithms: string_list(v, "algorithms")?,
+            methods: string_list(v, "methods")?,
             k,
             max_suppression: match v.get("max_suppression") {
                 None => 0,
@@ -256,6 +264,8 @@ impl Serialize for CompareRequest {
         self.dataset.serialize_json(out);
         out.push_str(",\"algorithms\":");
         self.algorithms.serialize_json(out);
+        out.push_str(",\"methods\":");
+        self.methods.serialize_json(out);
         out.push_str(&format!(
             ",\"k\":{},\"max_suppression\":{},\"properties\":",
             self.k, self.max_suppression
@@ -282,6 +292,7 @@ impl SweepRequest {
         Ok(SweepRequest {
             dataset,
             algorithms: string_list(v, "algorithms")?,
+            methods: string_list(v, "methods")?,
             ks,
             max_suppression: match v.get("max_suppression") {
                 None => 0,
@@ -302,6 +313,8 @@ impl Serialize for SweepRequest {
         self.dataset.serialize_json(out);
         out.push_str(",\"algorithms\":");
         self.algorithms.serialize_json(out);
+        out.push_str(",\"methods\":");
+        self.methods.serialize_json(out);
         out.push_str(",\"ks\":");
         self.ks.serialize_json(out);
         out.push_str(&format!(
@@ -422,6 +435,7 @@ mod tests {
                 zip_pool: 20,
             },
             algorithms: vec!["datafly".into(), "mondrian".into()],
+            methods: vec!["noise:0.05".into(), "rankswap:8".into()],
             k: 5,
             max_suppression: 10,
             properties: vec!["eq-class-size".into()],
@@ -437,6 +451,7 @@ mod tests {
         let req = SweepRequest {
             dataset: WireDataset::Hospital { rows: 200, seed: 3 },
             algorithms: vec![],
+            methods: vec!["mdav:5".into()],
             ks: vec![2, 5, 10],
             max_suppression: 0,
             properties: vec![],
@@ -454,6 +469,7 @@ mod tests {
         let req = CompareRequest::from_value(&v).unwrap();
         assert_eq!(req.max_suppression, 0);
         assert!(req.algorithms.is_empty());
+        assert!(req.methods.is_empty());
         assert!(req.properties.is_empty());
         assert_eq!(req.budget_ms, None);
     }

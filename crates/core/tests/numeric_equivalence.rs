@@ -1,0 +1,115 @@
+//! Property-based equivalence for the perturbative wing:
+//!
+//! 1. The numeric properties' contiguous-slice fast paths are
+//!    **bit-identical** to their row-at-a-time reference implementations
+//!    over randomly generated bases and releases — the guarantee that
+//!    lets the engine cache and compare vectors across code paths.
+//! 2. A [`ComparisonMatrix`] built over mixed-family vectors (negated
+//!    losses next to class-size-like magnitudes) returns exactly the
+//!    verdict of calling the comparator on each pair directly, both in
+//!    the batched and the parallel kernels.
+
+use anoncmp_core::prelude::*;
+use anoncmp_microdata::numeric::{NumericBase, NumericRelease};
+use anoncmp_microdata::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random numeric base: `n` rows over two integer quasi-identifiers
+/// plus one categorical sensitive column.
+fn base_of(rows: &[(i64, i64)]) -> Arc<NumericBase> {
+    let schema = Schema::new(vec![
+        Attribute::integer("age", Role::QuasiIdentifier, -1_000, 1_000),
+        Attribute::integer("income", Role::QuasiIdentifier, -100_000, 100_000),
+        Attribute::categorical("dx", Role::Sensitive, ["a", "b"]),
+    ])
+    .unwrap();
+    let mut b = DatasetBuilder::with_capacity(schema, rows.len());
+    for (i, (age, income)) in rows.iter().enumerate() {
+        let dx = if i % 2 == 0 { "a" } else { "b" };
+        b.push_labels(&[&age.to_string(), &income.to_string(), dx])
+            .unwrap();
+    }
+    NumericBase::of(&b.build().unwrap()).unwrap()
+}
+
+fn bits(v: &PropertyVector) -> Vec<u64> {
+    v.values().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_paths_match_naive_reference_bitwise(
+        rows in proptest::collection::vec((-500i64..500, -50_000i64..50_000), 4..24),
+        jitter in proptest::collection::vec((-40.0f64..40.0, -4_000.0f64..4_000.0), 24),
+        k in 1usize..6,
+    ) {
+        let base = base_of(&rows);
+        let n = base.len();
+        let released: Vec<Vec<f64>> = (0..base.width())
+            .map(|c| {
+                base.column(c)
+                    .iter()
+                    .zip(&jitter)
+                    .map(|(&x, j)| x + if c == 0 { j.0 } else { j.1 })
+                    .collect()
+            })
+            .collect();
+        let rel = NumericRelease::new("prop", base.clone(), released);
+        prop_assert_eq!(rel.len(), n);
+
+        for metric in [RiskMetric::StdEuclid, RiskMetric::Mahalanobis] {
+            let prop = NeighborhoodRisk { metric, k };
+            let fast = prop.extract_numeric(&rel);
+            let naive = prop.extract_numeric_naive(&rel);
+            prop_assert_eq!(bits(&fast), bits(&naive), "{:?} k={}", metric, k);
+        }
+        let fast = BoundedDistanceLoss.extract_numeric(&rel);
+        let naive = BoundedDistanceLoss.extract_numeric_naive(&rel);
+        prop_assert_eq!(bits(&fast), bits(&naive));
+    }
+
+    #[test]
+    fn matrix_kernels_match_scalar_compare_on_mixed_vectors(
+        candidates in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..60.0, 12),
+            2..6,
+        ),
+        negate_mask in proptest::collection::vec(0usize..2, 6),
+    ) {
+        // Mixed families in one slate: some vectors look like negated
+        // bounded losses (all components in [-1, 0]), others like raw
+        // class-size magnitudes — exactly what an E17-style tournament
+        // feeds the matrix.
+        let vectors: Vec<PropertyVector> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, vals)| {
+                let vals: Vec<f64> = if negate_mask[i % negate_mask.len()] == 1 {
+                    vals.iter().map(|v| -(v.abs() / 60.0)).collect()
+                } else {
+                    vals.iter().map(|v| v.abs()).collect()
+                };
+                PropertyVector::new(format!("c{i}"), vals)
+            })
+            .collect();
+        let names: Vec<String> = (0..vectors.len()).map(|i| format!("c{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+        let comparator = CoverageComparator;
+        let batched = ComparisonMatrix::of_vectors(&name_refs, &vectors, &comparator);
+        let parallel = ComparisonMatrix::of_vectors_parallel(&name_refs, &vectors, &comparator, 4);
+        for i in 0..vectors.len() {
+            for j in 0..vectors.len() {
+                if i == j {
+                    continue;
+                }
+                let scalar = comparator.compare(&vectors[i], &vectors[j]);
+                prop_assert_eq!(batched.outcome(i, j), scalar, "batched ({i},{j})");
+                prop_assert_eq!(parallel.outcome(i, j), scalar, "parallel ({i},{j})");
+            }
+        }
+    }
+}

@@ -24,7 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use anoncmp_core::prelude::PropertyVector;
-use anoncmp_microdata::prelude::{AnonymizedTable, Dataset};
+use anoncmp_microdata::numeric::Release;
+use anoncmp_microdata::prelude::Dataset;
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -241,7 +242,7 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCache<K, V> {
 /// [`Engine`]: crate::engine::Engine
 #[derive(Debug)]
 pub struct MemoCache {
-    releases: Mutex<LruCache<u64, Arc<AnonymizedTable>>>,
+    releases: Mutex<LruCache<u64, Arc<Release>>>,
     datasets: Mutex<HashMap<u64, Arc<Dataset>>>,
     /// Extracted property vectors, keyed by (release *content* digest,
     /// property tag). Content addressing means a vector computed for one
@@ -282,8 +283,9 @@ impl MemoCache {
         self.vectors.lock().set_capacity(vectors);
     }
 
-    /// Looks up a release by fingerprint, counting a hit or miss.
-    pub fn get_release(&self, fingerprint: u64) -> Option<Arc<AnonymizedTable>> {
+    /// Looks up a release (either family) by fingerprint, counting a hit
+    /// or miss.
+    pub fn get_release(&self, fingerprint: u64) -> Option<Arc<Release>> {
         let found = self.releases.lock().get(&fingerprint);
         match found {
             Some(t) => {
@@ -299,12 +301,8 @@ impl MemoCache {
 
     /// Stores a computed release. Keeps the existing entry on a racing
     /// double-insert so every holder sees the same `Arc`.
-    pub fn insert_release(
-        &self,
-        fingerprint: u64,
-        table: Arc<AnonymizedTable>,
-    ) -> Arc<AnonymizedTable> {
-        self.releases.lock().get_or_insert(fingerprint, table)
+    pub fn insert_release(&self, fingerprint: u64, release: Arc<Release>) -> Arc<Release> {
+        self.releases.lock().get_or_insert(fingerprint, release)
     }
 
     /// Materializes a dataset through the cache: synthesizes via `build`
@@ -427,7 +425,7 @@ mod tests {
             &anoncmp_anonymize::prelude::Constraint::k_anonymity(2).with_suppression(3),
         )
         .expect("datafly on tiny census");
-        cache.insert_release(42, Arc::new(table));
+        cache.insert_release(42, Arc::new(Release::Generalized(table)));
         assert!(cache.get_release(42).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
@@ -522,14 +520,14 @@ mod tests {
         let cache = MemoCache::new();
         cache.set_capacity(1, 0);
         let ds = tiny_dataset();
-        let table = Arc::new(
+        let table = Arc::new(Release::Generalized(
             anoncmp_anonymize::prelude::Anonymizer::anonymize(
                 &anoncmp_anonymize::prelude::Datafly,
                 &ds,
                 &anoncmp_anonymize::prelude::Constraint::k_anonymity(2).with_suppression(3),
             )
             .expect("datafly on tiny census"),
-        );
+        ));
         cache.insert_release(1, table.clone());
         cache.insert_release(2, table);
         let stats = cache.stats();

@@ -48,14 +48,15 @@ use std::sync::mpsc;
 use std::sync::{Arc, Once, OnceLock};
 use std::time::{Duration, Instant};
 
-use anoncmp_anonymize::prelude::Result as AnonymizeResult;
-use anoncmp_core::prelude::PropertyVector;
+use anoncmp_anonymize::prelude::{AnonymizeError, Result as AnonymizeResult};
+use anoncmp_core::prelude::{BoundedDistanceLoss, PropertyVector};
 use anoncmp_microdata::loss::LossMetric;
+use anoncmp_microdata::numeric::{NumericBase, NumericRelease, Release};
 use anoncmp_microdata::prelude::AnonymizedTable;
 
 use crate::cache::{CacheStats, MemoCache};
 use crate::chaos::{ChaosConfig, Fault, CHAOS_PANIC_MESSAGE};
-use crate::fingerprint::{derive_seed, fingerprint_release, hex_id, Fingerprinter};
+use crate::fingerprint::{derive_seed, hex_id, release_digest, Fingerprinter};
 use crate::job::{DatasetSpec, EvalJob};
 use crate::journal::{Journal, ShardMeta};
 use crate::pool::ScopedPool;
@@ -157,10 +158,11 @@ pub struct JobOutcome {
     pub job: EvalJob,
     /// The machine-readable record.
     pub record: EvalRecord,
-    /// The release, when the job succeeded **in this process**. `None`
-    /// for journal-replayed outcomes (the journal stores records, not
-    /// tables); use [`Engine::release_for`] to rematerialize on demand.
-    pub table: Option<Arc<AnonymizedTable>>,
+    /// The release (either family), when the job succeeded **in this
+    /// process**. `None` for journal-replayed outcomes (the journal
+    /// stores records, not releases); use [`Engine::release_for`] to
+    /// rematerialize on demand.
+    pub release: Option<Arc<Release>>,
     /// The extracted property vectors, in requested order. Journal-
     /// replayed outcomes reconstruct them from the record (records carry
     /// full vectors), so they are identical to freshly extracted ones.
@@ -528,20 +530,35 @@ impl Engine {
     /// The release for a job: cache-served, or computed on the calling
     /// thread (and cached). Chaos faults are never injected here. This is
     /// the rematerialization path for journal-replayed outcomes, whose
-    /// `table` is `None`.
-    pub fn release_for(&self, job: &EvalJob) -> Option<Arc<AnonymizedTable>> {
+    /// `release` is `None`. Family-aware: a perturbative job
+    /// rematerializes its [`Release::Numeric`] exactly as a
+    /// generalization job rematerializes its [`Release::Generalized`].
+    pub fn release_for(&self, job: &EvalJob) -> Option<Arc<Release>> {
         let release_fp = job.release_fingerprint();
-        if let Some(table) = self.cache.get_release(release_fp) {
-            return Some(table);
+        if let Some(release) = self.cache.get_release(release_fp) {
+            return Some(release);
         }
         let seed = derive_seed(self.root_seed, release_fp);
         // `u32::MAX` is past every chaos `faults_per_job`, so injection is
         // structurally off for rematerialization.
         match self.compute_release(job, seed, u32::MAX) {
-            (JobStatus::Ok, Some(table)) => {
-                Some(self.cache.insert_release(release_fp, Arc::new(table)))
+            (JobStatus::Ok, Some(release)) => {
+                Some(self.cache.insert_release(release_fp, Arc::new(release)))
             }
             _ => None,
+        }
+    }
+
+    /// [`Engine::release_for`] narrowed to the generalized family: the
+    /// convenience most existing call sites (query workloads, renders)
+    /// want. `None` when the job failed **or** produced a perturbative
+    /// release — callers that can handle both families should use
+    /// [`Engine::release_for`].
+    pub fn generalized_release_for(&self, job: &EvalJob) -> Option<Arc<AnonymizedTable>> {
+        let release = self.release_for(job)?;
+        match release.as_ref() {
+            Release::Generalized(table) => Some(Arc::new(table.clone())),
+            Release::Numeric(_) => None,
         }
     }
 
@@ -761,7 +778,7 @@ impl Engine {
             job_id: record.job_id.clone(),
             job_fingerprint: hex_id(job.job_fingerprint()),
             dataset: job.dataset.label(),
-            algorithm: job.algorithm.name().to_owned(),
+            algorithm: job.algorithm.label(),
             k: job.k,
             max_suppression: job.max_suppression,
             cause: record.status.clone(),
@@ -812,27 +829,66 @@ impl Engine {
         let release_fp = job.release_fingerprint();
         let seed = derive_seed(self.root_seed, release_fp);
 
-        let (status, table, cache_hit) = match self.cache.get_release(release_fp) {
-            Some(table) => (JobStatus::Ok, Some(table), true),
+        let (status, release, cache_hit) = match self.cache.get_release(release_fp) {
+            Some(release) => (JobStatus::Ok, Some(release), true),
             None => {
-                let (status, table) = self.compute_release(job, seed, attempt);
-                let table = table.map(|t| self.cache.insert_release(release_fp, Arc::new(t)));
-                (status, table, false)
+                let (status, release) = self.compute_release(job, seed, attempt);
+                let release = release.map(|r| self.cache.insert_release(release_fp, Arc::new(r)));
+                (status, release, false)
             }
         };
 
-        // Content digest of the released cells + suppression mask. Computed
-        // over integer codes, so it certifies the release itself, not its
+        // Content digest of the released cells (+ suppression mask for
+        // generalized releases). Computed over integer codes / IEEE-754
+        // bit patterns, so it certifies the release itself, not its
         // rendering, and matches across evaluation strategies. Also the
         // release half of the vector-cache key: same content, same vectors.
-        let content_fp = table.as_ref().map(|t| fingerprint_release(t));
+        let content_fp = release.as_ref().map(|r| release_digest(r));
+
+        // A classic (generalization-structure) property has no meaning on
+        // a perturbative release: fail the job cleanly instead of
+        // extracting. Symmetrically, a numeric property on a generalized
+        // release needs numeric quasi-identifier columns to measure
+        // against.
+        let status = match (&status, release.as_deref()) {
+            (JobStatus::Ok, Some(Release::Numeric(_)))
+                if job.properties.iter().any(|p| !p.is_numeric()) =>
+            {
+                let tags: Vec<&str> = job
+                    .properties
+                    .iter()
+                    .filter(|p| !p.is_numeric())
+                    .map(|p| p.tag())
+                    .collect();
+                JobStatus::Failed {
+                    message: format!(
+                        "property {} is generalization-structural and cannot be \
+                         extracted from the perturbative release {}",
+                        tags.join(", "),
+                        job.algorithm.label()
+                    ),
+                }
+            }
+            (JobStatus::Ok, Some(Release::Generalized(t)))
+                if job.properties.iter().any(|p| p.is_numeric())
+                    && NumericBase::of(t.dataset()).is_none() =>
+            {
+                JobStatus::Failed {
+                    message: "numeric properties need at least one numeric \
+                              quasi-identifier column"
+                        .to_owned(),
+                }
+            }
+            _ => status,
+        };
 
         // Property extraction is pure but still third-party code from the
         // record's point of view; keep panics contained per job. Vectors
         // are served from the content-addressed cache when an earlier job
-        // already extracted them from a same-content release.
-        let (vectors, status) = match (&table, content_fp) {
-            (Some(t), Some(digest)) => {
+        // already extracted them from a same-content release; the two
+        // families' digest spaces are disjoint, so one cache serves both.
+        let (vectors, status) = match (&status, &release, content_fp) {
+            (JobStatus::Ok, Some(r), Some(digest)) => {
                 match contained(AssertUnwindSafe(|| {
                     job.properties
                         .iter()
@@ -841,7 +897,7 @@ impl Engine {
                             match self.cache.get_vector(digest, tag) {
                                 Some(v) => (*v).clone(),
                                 None => {
-                                    let v = Arc::new(p.instantiate().extract(t));
+                                    let v = Arc::new(extract_property(p, r));
                                     (*self.cache.insert_vector(digest, tag, v)).clone()
                                 }
                             }
@@ -855,18 +911,19 @@ impl Engine {
             _ => (Vec::new(), status),
         };
 
-        let metrics = match (&status, &table) {
-            (JobStatus::Ok, Some(t)) => Some(ReleaseMetrics {
+        let metrics = match (&status, release.as_deref()) {
+            (JobStatus::Ok, Some(Release::Generalized(t))) => Some(ReleaseMetrics {
                 rows: t.len(),
                 classes: t.classes().class_count(),
                 min_class_size: t.classes().min_class_size(),
                 suppressed: t.suppressed_count(),
                 total_loss: LossMetric::classic().total_loss(t),
             }),
+            (JobStatus::Ok, Some(Release::Numeric(n))) => Some(numeric_metrics(n)),
             _ => None,
         };
 
-        let release_digest = match (&status, content_fp) {
+        let digest_hex = match (&status, content_fp) {
             (JobStatus::Ok, Some(fp)) => Some(hex_id(fp)),
             _ => None,
         };
@@ -874,13 +931,13 @@ impl Engine {
         let record = EvalRecord {
             job_id: hex_id(release_fp),
             dataset: job.dataset.label(),
-            algorithm: job.algorithm.name().to_owned(),
+            algorithm: job.algorithm.label(),
             k: job.k,
             max_suppression: job.max_suppression,
             seed,
             status: status.clone(),
             metrics,
-            release_digest,
+            release_digest: digest_hex,
             properties: vectors.iter().map(PropertySummary::of).collect(),
             duration_ms: started.elapsed().as_millis() as u64,
             cache_hit,
@@ -889,7 +946,7 @@ impl Engine {
         JobOutcome {
             job: job.clone(),
             record,
-            table: if status.is_ok() { table } else { None },
+            release: if status.is_ok() { release } else { None },
             vectors,
         }
     }
@@ -902,7 +959,7 @@ impl Engine {
         job: &EvalJob,
         seed: u64,
         attempt: u32,
-    ) -> (JobStatus, Option<AnonymizedTable>) {
+    ) -> (JobStatus, Option<Release>) {
         let mut ds_fp = Fingerprinter::new();
         job.dataset.fingerprint_into(&mut ds_fp);
         let dataset = self
@@ -917,13 +974,28 @@ impl Engine {
             .and_then(|c| c.fault_for(job.release_fingerprint(), attempt));
         let budget = *self.budget.lock();
 
-        let run = move || -> AnonymizeResult<AnonymizedTable> {
+        let run = move || -> AnonymizeResult<Release> {
             match chaos_fault {
                 Some(Fault::Panic) => panic!("{CHAOS_PANIC_MESSAGE}"),
                 Some(Fault::Stall(d)) => std::thread::sleep(d),
                 None => {}
             }
-            algorithm.instantiate(seed).anonymize(&dataset, &constraint)
+            match algorithm.perturb() {
+                // Perturbative wing: a pure function of (numeric base,
+                // spec, seed) — same chaos/budget/containment envelope as
+                // the generalization algorithms.
+                Some(spec) => match NumericBase::of(&dataset) {
+                    Some(base) => Ok(Release::Numeric(spec.apply(&base, seed))),
+                    None => Err(AnonymizeError::InvalidConfig(format!(
+                        "{}: dataset has no numeric quasi-identifier columns",
+                        spec.wire_name()
+                    ))),
+                },
+                None => algorithm
+                    .instantiate(seed)
+                    .anonymize(&dataset, &constraint)
+                    .map(Release::Generalized),
+            }
         };
 
         let guarded = match budget {
@@ -932,7 +1004,7 @@ impl Engine {
                 // Run on a watchdog thread so the wait can time out. On
                 // timeout the thread is abandoned (detached and leaked) —
                 // its eventual result is discarded along with the channel.
-                let (tx, rx) = mpsc::channel::<Result<AnonymizeResult<AnonymizedTable>, String>>();
+                let (tx, rx) = mpsc::channel::<Result<AnonymizeResult<Release>, String>>();
                 std::thread::spawn(move || {
                     let _ = tx.send(contained(AssertUnwindSafe(run)));
                 });
@@ -951,7 +1023,7 @@ impl Engine {
         };
 
         match guarded {
-            Ok(Ok(table)) => (JobStatus::Ok, Some(table)),
+            Ok(Ok(release)) => (JobStatus::Ok, Some(release)),
             Ok(Err(err)) => (
                 JobStatus::Failed {
                     message: err.to_string(),
@@ -960,6 +1032,54 @@ impl Engine {
             ),
             Err(message) => (JobStatus::Panicked { message }, None),
         }
+    }
+}
+
+/// Extracts one property from either release family: the numeric fast
+/// path for numeric properties on numeric releases, the [`Property`]
+/// trait path otherwise. The caller has already rejected classic
+/// properties on numeric releases.
+///
+/// [`Property`]: anoncmp_core::prelude::Property
+fn extract_property(spec: &crate::job::PropertySpec, release: &Release) -> PropertyVector {
+    match release {
+        Release::Numeric(numeric) => spec
+            .extract_numeric(numeric)
+            .expect("classic properties on numeric releases fail before extraction"),
+        Release::Generalized(table) => spec.instantiate().extract(table),
+    }
+}
+
+/// [`ReleaseMetrics`] for a numeric release: "classes" are groups of
+/// byte-identical released rows (microaggregation produces genuine
+/// multi-member classes; noise mostly singletons), nothing is ever
+/// suppressed, and the loss column reports the total bounded
+/// distance-based loss (the numeric analogue of classic generalization
+/// loss).
+fn numeric_metrics(release: &NumericRelease) -> ReleaseMetrics {
+    let n = release.len();
+    let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+    for i in 0..n {
+        let signature: Vec<u64> = release
+            .columns()
+            .iter()
+            .map(|col| col[i].to_bits())
+            .collect();
+        *counts.entry(signature).or_insert(0) += 1;
+    }
+    let min_class_size = counts.values().copied().min().unwrap_or(0);
+    let total_loss: f64 = BoundedDistanceLoss
+        .extract_numeric(release)
+        .values()
+        .iter()
+        .map(|v| -v)
+        .sum();
+    ReleaseMetrics {
+        rows: n,
+        classes: counts.len(),
+        min_class_size,
+        suppressed: 0,
+        total_loss,
     }
 }
 
@@ -976,7 +1096,7 @@ fn outcome_from_checkpoint(job: &EvalJob, record: EvalRecord) -> JobOutcome {
     JobOutcome {
         job: job.clone(),
         record,
-        table: None,
+        release: None,
         vectors,
     }
 }
@@ -1198,7 +1318,7 @@ mod tests {
             JobStatus::Panicked { message } => assert!(message.contains("mock-panic")),
             other => panic!("expected Panicked, got {other:?}"),
         }
-        assert!(sweep.outcomes[1].table.is_none());
+        assert!(sweep.outcomes[1].release.is_none());
         // With zero retries, the transient failure quarantines directly.
         assert_eq!(sweep.quarantined, 1);
         assert_eq!(sweep.retries, 0);
@@ -1449,14 +1569,17 @@ mod tests {
         let second = Engine::new(EngineConfig::default());
         second.resume(&path).unwrap();
         let resumed = second.run(&jobs);
-        assert!(resumed.outcomes[0].table.is_none(), "journal has no table");
-        let table = second
+        assert!(
+            resumed.outcomes[0].release.is_none(),
+            "journal has no table"
+        );
+        let release = second
             .release_for(&jobs[0])
             .expect("rematerialization succeeds");
-        let fresh = original.outcomes[0].table.as_ref().unwrap();
+        let fresh = original.outcomes[0].release.as_ref().unwrap();
         assert_eq!(
-            fingerprint_release(&table),
-            fingerprint_release(fresh),
+            release_digest(&release),
+            release_digest(fresh),
             "rematerialized release is bit-identical"
         );
         std::fs::remove_file(&path).ok();

@@ -11,6 +11,7 @@
 //! integer codes underlying every [`GenValue`] cell — never rendered
 //! strings, whose formatting could drift without the release changing.
 
+use anoncmp_microdata::numeric::{NumericRelease, Release};
 use anoncmp_microdata::prelude::{AnonymizedTable, GenValue};
 
 /// 64-bit FNV-1a offset basis.
@@ -133,6 +134,39 @@ pub fn fingerprint_release(table: &AnonymizedTable) -> u64 {
     f.finish()
 }
 
+/// Content digest of a perturbative (numeric) release.
+///
+/// Hashes a family tag, the release's dimensions, and every cell's
+/// IEEE-754 bit pattern in column-major order — the complete released
+/// content, independent of the release's display name. The leading
+/// `"numeric-release"` tag keeps the numeric digest space disjoint from
+/// [`fingerprint_release`]'s generalized digests, so a cache or journal
+/// can never confuse the two families even on degenerate contents.
+pub fn fingerprint_numeric_release(release: &NumericRelease) -> u64 {
+    let mut f = Fingerprinter::new();
+    f.write_str("numeric-release");
+    f.write_usize(release.len()).write_usize(release.width());
+    for col in release.columns() {
+        for &v in col {
+            f.write_f64(v);
+        }
+    }
+    f.finish()
+}
+
+/// Content digest of either release family.
+///
+/// Dispatches to [`fingerprint_release`] or
+/// [`fingerprint_numeric_release`]; the two digest spaces are disjoint by
+/// construction (the numeric digest is tag-prefixed), so one memo cache
+/// can hold both families keyed by digest alone.
+pub fn release_digest(release: &Release) -> u64 {
+    match release {
+        Release::Generalized(table) => fingerprint_release(table),
+        Release::Numeric(numeric) => fingerprint_numeric_release(numeric),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +199,38 @@ mod tests {
         assert_ne!(s1, s3);
         // Same inputs, same seed — determinism across calls.
         assert_eq!(s1, derive_seed(2024, 1));
+    }
+
+    #[test]
+    fn numeric_digest_tracks_content_not_name() {
+        use anoncmp_datagen::census::{generate, CensusConfig};
+        use anoncmp_microdata::prelude::NumericBase;
+
+        let ds = generate(&CensusConfig {
+            rows: 40,
+            seed: 5,
+            zip_pool: 6,
+        });
+        let base = NumericBase::of(&ds).unwrap();
+        let rel = NumericRelease::identity(base.clone(), "a");
+        assert_eq!(
+            fingerprint_numeric_release(&rel),
+            fingerprint_numeric_release(&rel.clone().renamed("b"))
+        );
+        let mut cols = rel.columns().to_vec();
+        cols[0][0] += 1.0;
+        let changed = NumericRelease::new("a", base.clone(), cols);
+        assert_ne!(
+            fingerprint_numeric_release(&rel),
+            fingerprint_numeric_release(&changed)
+        );
+        // The two digest families dispatch through one entry point and
+        // stay disjoint on the same underlying dataset.
+        let table = AnonymizedTable::identity(ds, "a");
+        assert_ne!(
+            release_digest(&Release::Numeric(rel.clone())),
+            release_digest(&Release::Generalized(table))
+        );
     }
 
     #[test]

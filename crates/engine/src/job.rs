@@ -13,17 +13,19 @@ use std::time::Duration;
 
 use anoncmp_anonymize::prelude::{
     Anonymizer, Constraint, Datafly, Genetic, GeneticConfig, GreedyCluster, GreedyRecoder,
-    Incognito, Mondrian, OptimalLattice, Result as AnonymizeResult, Samarati, SubsetIncognito,
-    TopDown,
+    Incognito, Mondrian, OptimalLattice, PerturbSpec, Result as AnonymizeResult, Samarati,
+    SubsetIncognito, TopDown,
 };
 use anoncmp_core::prelude::{
-    BreachProbability, Discernibility, DistinctSensitiveCount, EqClassSize, GeneralizationLoss,
-    IyengarUtility, Precision, Property, SensitiveValueCount,
+    BoundedDistanceLoss, BreachProbability, Discernibility, DistinctSensitiveCount, EqClassSize,
+    GeneralizationLoss, IyengarUtility, NeighborhoodRisk, Precision, Property, PropertyVector,
+    SensitiveValueCount,
 };
 use anoncmp_datagen::census::{census_schema, generate, CensusConfig, CensusRows};
 use anoncmp_datagen::healthcare::{
     generate_hospital, hospital_schema, HospitalConfig, HospitalRows,
 };
+use anoncmp_microdata::numeric::NumericRelease;
 use anoncmp_microdata::prelude::{AnonymizedTable, ChunkStore, ChunkedCodec, Dataset, Value};
 use serde::Serialize;
 
@@ -254,9 +256,10 @@ impl DatasetSpec {
 
 /// Which anonymization algorithm a job runs.
 ///
-/// Mirrors the eight-candidate suite of the paper study, plus two mock
-/// algorithms used to exercise the engine's failure paths in tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+/// Mirrors the eight-candidate suite of the paper study, plus the
+/// perturbative wing ([`AlgorithmSpec::Perturb`]) and two mock algorithms
+/// used to exercise the engine's failure paths in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgorithmSpec {
     /// Sweeney's greedy full-domain generalizer.
     Datafly,
@@ -279,6 +282,12 @@ pub enum AlgorithmSpec {
     SubsetIncognito,
     /// Exhaustive optimal lattice search (small lattices only).
     Optimal,
+    /// A perturbative method (noise, rank swap, microaggregation, RWN):
+    /// produces a [`NumericRelease`] over the dataset's numeric
+    /// quasi-identifiers instead of a generalized table. The engine
+    /// dispatches these through [`PerturbSpec::apply`], never through
+    /// [`AlgorithmSpec::instantiate`].
+    Perturb(PerturbSpec),
     /// Test-only: panics partway through `anonymize` to exercise the
     /// engine's `catch_unwind` isolation.
     MockPanic,
@@ -318,12 +327,36 @@ impl AlgorithmSpec {
             AlgorithmSpec::Clustering => "clustering",
             AlgorithmSpec::SubsetIncognito => "subset-incognito",
             AlgorithmSpec::Optimal => "optimal",
+            AlgorithmSpec::Perturb(spec) => spec.method.family(),
             AlgorithmSpec::MockPanic => "mock-panic",
             AlgorithmSpec::MockSleep { .. } => "mock-sleep",
         }
     }
 
-    /// Resolves a display name back to its spec. Mock/testing algorithms
+    /// The algorithm's fully parameterized display label: the wire name
+    /// for perturbative methods (`noise:0.05`, `mdav:5`, …) and the plain
+    /// [`AlgorithmSpec::name`] otherwise. This is what [`EvalRecord`]s
+    /// and reports show, and what [`AlgorithmSpec::by_name`] resolves.
+    ///
+    /// [`EvalRecord`]: crate::record::EvalRecord
+    pub fn label(&self) -> String {
+        match self {
+            AlgorithmSpec::Perturb(spec) => spec.wire_name(),
+            other => other.name().to_owned(),
+        }
+    }
+
+    /// The perturbative spec, when this is a perturbative method.
+    pub fn perturb(&self) -> Option<PerturbSpec> {
+        match self {
+            AlgorithmSpec::Perturb(spec) => Some(*spec),
+            _ => None,
+        }
+    }
+
+    /// Resolves a display name back to its spec: one of the ten public
+    /// generalization algorithms, or a perturbative wire name such as
+    /// `noise:0.05` / `rankswap:8` / `mdav:5`. Mock/testing algorithms
     /// are deliberately unresolvable: anything that builds grids from
     /// external input (the serve daemon, dist grid specs) must not be
     /// able to name them.
@@ -340,11 +373,20 @@ impl AlgorithmSpec {
             AlgorithmSpec::SubsetIncognito,
             AlgorithmSpec::Optimal,
         ];
-        PUBLIC.into_iter().find(|spec| spec.name() == name)
+        PUBLIC
+            .into_iter()
+            .find(|spec| spec.name() == name)
+            .or_else(|| PerturbSpec::parse(name).map(AlgorithmSpec::Perturb))
     }
 
     /// Builds a runnable algorithm instance. `seed` is the engine-derived
     /// per-job seed; only stochastic algorithms consume it.
+    ///
+    /// # Panics
+    /// On [`AlgorithmSpec::Perturb`]: perturbative methods do not emit an
+    /// [`AnonymizedTable`] and are applied via [`PerturbSpec::apply`]
+    /// instead — the engine dispatches on [`AlgorithmSpec::perturb`]
+    /// before ever instantiating.
     pub fn instantiate(&self, seed: u64) -> Box<dyn Anonymizer> {
         match *self {
             AlgorithmSpec::Datafly => Box::new(Datafly),
@@ -364,6 +406,10 @@ impl AlgorithmSpec {
             AlgorithmSpec::Clustering => Box::new(GreedyCluster),
             AlgorithmSpec::SubsetIncognito => Box::new(SubsetIncognito::default()),
             AlgorithmSpec::Optimal => Box::new(OptimalLattice::default()),
+            AlgorithmSpec::Perturb(spec) => unreachable!(
+                "{} is perturbative: apply via PerturbSpec::apply, not Anonymizer",
+                spec.wire_name()
+            ),
             AlgorithmSpec::MockPanic => Box::new(MockPanic),
             AlgorithmSpec::MockSleep { millis } => Box::new(MockSleep { millis }),
         }
@@ -372,9 +418,25 @@ impl AlgorithmSpec {
     /// Absorbs the spec into a fingerprint.
     pub(crate) fn fingerprint_into(&self, f: &mut Fingerprinter) {
         f.write_str(self.name());
-        if let AlgorithmSpec::MockSleep { millis } = self {
-            f.write_u64(*millis);
+        match self {
+            AlgorithmSpec::MockSleep { millis } => {
+                f.write_u64(*millis);
+            }
+            AlgorithmSpec::Perturb(spec) => {
+                // The family is already in the name; the parameter
+                // completes the spec.
+                f.write_u64(u64::from(spec.param));
+            }
+            _ => {}
         }
+    }
+}
+
+impl Serialize for AlgorithmSpec {
+    fn serialize_json(&self, out: &mut String) {
+        // Records and reports identify algorithms by their parameterized
+        // label (`noise:0.05`), matching what `by_name` resolves.
+        self.label().serialize_json(out);
     }
 }
 
@@ -397,6 +459,15 @@ pub enum PropertySpec {
     SensitiveValueCount,
     /// Distinct sensitive values inside the tuple's class.
     DistinctSensitiveCount,
+    /// Standardized-Euclidean k-nearest-neighbor disclosure risk
+    /// (numeric; runs on both release families).
+    NeighborhoodRisk,
+    /// Mahalanobis k-nearest-neighbor disclosure risk (numeric; runs on
+    /// both release families).
+    MahalanobisRisk,
+    /// Chaibub Neto's bounded distance-based information loss (numeric;
+    /// runs on both release families).
+    BoundedLoss,
 }
 
 impl PropertySpec {
@@ -413,6 +484,39 @@ impl PropertySpec {
             PropertySpec::DistinctSensitiveCount => {
                 Box::new(DistinctSensitiveCount { column: None })
             }
+            PropertySpec::NeighborhoodRisk => Box::new(NeighborhoodRisk::standard()),
+            PropertySpec::MahalanobisRisk => Box::new(NeighborhoodRisk::mahalanobis()),
+            PropertySpec::BoundedLoss => Box::new(BoundedDistanceLoss),
+        }
+    }
+
+    /// Whether this property is numeric-native: it has an
+    /// [`PropertySpec::extract_numeric`] fast path and runs on both
+    /// release families. Classic (generalization-structure) properties
+    /// return `false` — on a perturbative release they are meaningless
+    /// and the engine fails such jobs cleanly instead of extracting.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            PropertySpec::NeighborhoodRisk
+                | PropertySpec::MahalanobisRisk
+                | PropertySpec::BoundedLoss
+        )
+    }
+
+    /// Extracts the property from a numeric release via its fast
+    /// column-slice path. `None` for classic properties, which have no
+    /// numeric-release semantics.
+    pub fn extract_numeric(&self, release: &NumericRelease) -> Option<PropertyVector> {
+        match self {
+            PropertySpec::NeighborhoodRisk => {
+                Some(NeighborhoodRisk::standard().extract_numeric(release))
+            }
+            PropertySpec::MahalanobisRisk => {
+                Some(NeighborhoodRisk::mahalanobis().extract_numeric(release))
+            }
+            PropertySpec::BoundedLoss => Some(BoundedDistanceLoss.extract_numeric(release)),
+            _ => None,
         }
     }
 
@@ -429,12 +533,15 @@ impl PropertySpec {
             PropertySpec::Discernibility => "discernibility",
             PropertySpec::SensitiveValueCount => "sensitive-value-count",
             PropertySpec::DistinctSensitiveCount => "distinct-sensitive-count",
+            PropertySpec::NeighborhoodRisk => "neighborhood-risk",
+            PropertySpec::MahalanobisRisk => "mahalanobis-risk",
+            PropertySpec::BoundedLoss => "bounded-loss",
         }
     }
 
     /// Resolves a stable tag back to its spec.
     pub fn by_tag(tag: &str) -> Option<PropertySpec> {
-        const ALL: [PropertySpec; 8] = [
+        const ALL: [PropertySpec; 11] = [
             PropertySpec::EqClassSize,
             PropertySpec::BreachProbability,
             PropertySpec::IyengarUtility,
@@ -443,6 +550,9 @@ impl PropertySpec {
             PropertySpec::Discernibility,
             PropertySpec::SensitiveValueCount,
             PropertySpec::DistinctSensitiveCount,
+            PropertySpec::NeighborhoodRisk,
+            PropertySpec::MahalanobisRisk,
+            PropertySpec::BoundedLoss,
         ];
         ALL.into_iter().find(|spec| spec.tag() == tag)
     }
@@ -603,6 +713,56 @@ mod tests {
             base.release_fingerprint(),
             job(AlgorithmSpec::Mondrian, 3).release_fingerprint()
         );
+    }
+
+    #[test]
+    fn perturb_specs_resolve_by_wire_name() {
+        for name in [
+            "noise:0.05",
+            "cnoise:0.1",
+            "rankswap:8",
+            "microagg:5",
+            "mdav:4",
+            "rwn:10",
+        ] {
+            let spec = AlgorithmSpec::by_name(name).expect(name);
+            assert_eq!(spec.label(), name);
+            assert!(spec.perturb().is_some());
+        }
+        // Mocks stay unresolvable; unknown perturb families too.
+        assert!(AlgorithmSpec::by_name("mock-panic").is_none());
+        assert!(AlgorithmSpec::by_name("swap:3").is_none());
+    }
+
+    #[test]
+    fn perturb_fingerprints_separate_method_and_parameter() {
+        let noise5 = job(AlgorithmSpec::Perturb(PerturbSpec::noise(0.05)), 3);
+        let noise10 = job(AlgorithmSpec::Perturb(PerturbSpec::noise(0.1)), 3);
+        let cnoise5 = job(
+            AlgorithmSpec::Perturb(PerturbSpec::correlated_noise(0.05)),
+            3,
+        );
+        assert_ne!(noise5.release_fingerprint(), noise10.release_fingerprint());
+        assert_ne!(noise5.release_fingerprint(), cnoise5.release_fingerprint());
+        assert_eq!(
+            noise5.release_fingerprint(),
+            job(AlgorithmSpec::Perturb(PerturbSpec::noise(0.05)), 3).release_fingerprint()
+        );
+    }
+
+    #[test]
+    fn numeric_property_tags_round_trip() {
+        for spec in [
+            PropertySpec::NeighborhoodRisk,
+            PropertySpec::MahalanobisRisk,
+            PropertySpec::BoundedLoss,
+        ] {
+            assert!(spec.is_numeric());
+            assert_eq!(PropertySpec::by_tag(spec.tag()), Some(spec));
+            // The instantiated Property agrees on the name/tag.
+            assert_eq!(spec.instantiate().name(), spec.tag());
+        }
+        assert!(!PropertySpec::EqClassSize.is_numeric());
     }
 
     #[test]

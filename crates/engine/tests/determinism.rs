@@ -164,7 +164,11 @@ proptest! {
         let fresh = engine_with_jobs(1).run(std::slice::from_ref(&job));
 
         let table_of = |sweep: &SweepResult| {
-            sweep.outcomes[0].table.as_ref().map(|t| anonymized_to_csv(t))
+            sweep.outcomes[0]
+                .release
+                .as_ref()
+                .and_then(|r| r.as_generalized())
+                .map(anonymized_to_csv)
         };
         prop_assert_eq!(table_of(&first), table_of(&second));
         prop_assert_eq!(table_of(&first), table_of(&fresh));

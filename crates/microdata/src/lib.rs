@@ -57,6 +57,7 @@ pub mod intervals;
 pub mod kernels;
 pub mod lattice;
 pub mod loss;
+pub mod numeric;
 pub mod parallel;
 pub mod schema;
 pub mod stats;
@@ -78,6 +79,7 @@ pub mod prelude {
         precision_vector, precision_vector_chunked, precision_vector_encoded, CellLossCache,
         ColumnSet, CoverageBasis, LossKind, LossMetric,
     };
+    pub use crate::numeric::{NumericBase, NumericRelease, Release};
     pub use crate::schema::{Attribute, Domain, Role, Schema};
     pub use crate::stats::{render_profile, subset_profile, uniqueness_profile, SubsetProfile};
     pub use crate::taxonomy::{Taxonomy, TaxonomyBuilder};

@@ -78,6 +78,7 @@ impl LoadgenConfig {
                         zip_pool: 25,
                     },
                     algorithms: self.algorithms.clone(),
+                    methods: vec![],
                     k,
                     max_suppression: self.rows / 20,
                     properties: vec!["eq-class-size".into(), "precision".into()],

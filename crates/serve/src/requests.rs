@@ -83,7 +83,7 @@ const SERVABLE_ALGORITHMS: [AlgorithmSpec; 10] = [
 ];
 
 /// Every property a request may name.
-const SERVABLE_PROPERTIES: [PropertySpec; 8] = [
+const SERVABLE_PROPERTIES: [PropertySpec; 11] = [
     PropertySpec::EqClassSize,
     PropertySpec::BreachProbability,
     PropertySpec::IyengarUtility,
@@ -92,6 +92,9 @@ const SERVABLE_PROPERTIES: [PropertySpec; 8] = [
     PropertySpec::Discernibility,
     PropertySpec::SensitiveValueCount,
     PropertySpec::DistinctSensitiveCount,
+    PropertySpec::NeighborhoodRisk,
+    PropertySpec::MahalanobisRisk,
+    PropertySpec::BoundedLoss,
 ];
 
 /// Resolves an algorithm wire name. Mocks and unknown names are errors.
@@ -101,6 +104,19 @@ pub fn algorithm_by_name(name: &str) -> Result<AlgorithmSpec, String> {
         .find(|a| a.name() == name)
         .copied()
         .ok_or_else(|| format!("unknown algorithm {name:?}"))
+}
+
+/// Resolves a perturbative method wire name (`noise:0.05`, `rankswap:8`,
+/// `mdav:5`, …). Only perturbative names are accepted here — algorithm
+/// names go in the request's `algorithms` list.
+pub fn method_by_name(name: &str) -> Result<AlgorithmSpec, String> {
+    match AlgorithmSpec::by_name(name) {
+        Some(spec) if spec.perturb().is_some() => Ok(spec),
+        Some(_) => Err(format!(
+            "{name:?} is an algorithm, not a perturbative method — put it in \"algorithms\""
+        )),
+        None => Err(format!("unknown perturbative method {name:?}")),
+    }
 }
 
 /// Resolves a property wire name.
@@ -150,6 +166,10 @@ fn algorithms(names: &[String]) -> Result<Vec<AlgorithmSpec>, String> {
     names.iter().map(|n| algorithm_by_name(n)).collect()
 }
 
+fn methods(names: &[String]) -> Result<Vec<AlgorithmSpec>, String> {
+    names.iter().map(|n| method_by_name(n)).collect()
+}
+
 fn properties(names: &[String]) -> Result<Vec<PropertySpec>, String> {
     if names.is_empty() {
         return Ok(vec![PropertySpec::EqClassSize]);
@@ -157,8 +177,21 @@ fn properties(names: &[String]) -> Result<Vec<PropertySpec>, String> {
     names.iter().map(|n| property_by_name(n)).collect()
 }
 
-/// A validated compare request, expanded to engine jobs (one per
-/// algorithm, in request order).
+/// The properties a perturbative method's jobs extract: the explicit
+/// request list verbatim (a classic property on a perturbative release
+/// then fails that job cleanly, as documented), or bounded loss when the
+/// request left properties empty — the numeric analogue of the
+/// `eq-class-size` default, since class sizes are meaningless for noise.
+fn method_properties(names: &[String]) -> Result<Vec<PropertySpec>, String> {
+    if names.is_empty() {
+        return Ok(vec![PropertySpec::BoundedLoss]);
+    }
+    names.iter().map(|n| property_by_name(n)).collect()
+}
+
+/// A validated compare request, expanded to engine jobs: one per
+/// algorithm in request order, then one per perturbative method in
+/// request order.
 #[derive(Debug, Clone)]
 pub struct ComparePlan {
     /// One job per requested algorithm.
@@ -180,7 +213,9 @@ pub fn plan_compare(
     }
     let dataset = dataset_spec(req.dataset, limits)?;
     let algorithms = algorithms(&req.algorithms).map_err(PlanError::Invalid)?;
+    let methods = methods(&req.methods).map_err(PlanError::Invalid)?;
     let properties = properties(&req.properties).map_err(PlanError::Invalid)?;
+    let method_properties = method_properties(&req.properties).map_err(PlanError::Invalid)?;
     let jobs = algorithms
         .into_iter()
         .map(|algorithm| EvalJob {
@@ -190,6 +225,13 @@ pub fn plan_compare(
             max_suppression: req.max_suppression,
             properties: properties.clone(),
         })
+        .chain(methods.into_iter().map(|algorithm| EvalJob {
+            dataset: dataset.clone(),
+            algorithm,
+            k: req.k,
+            max_suppression: req.max_suppression,
+            properties: method_properties.clone(),
+        }))
         .collect();
     Ok(ComparePlan {
         jobs,
@@ -233,7 +275,9 @@ pub fn plan_sweep(req: &SweepRequest, limits: &RequestLimits) -> Result<SweepPla
     }
     let dataset = dataset_spec(req.dataset, limits)?;
     let algorithms = algorithms(&req.algorithms).map_err(PlanError::Invalid)?;
+    let methods = methods(&req.methods).map_err(PlanError::Invalid)?;
     let properties = properties(&req.properties).map_err(PlanError::Invalid)?;
+    let method_properties = method_properties(&req.properties).map_err(PlanError::Invalid)?;
     let batches = req
         .ks
         .iter()
@@ -247,6 +291,13 @@ pub fn plan_sweep(req: &SweepRequest, limits: &RequestLimits) -> Result<SweepPla
                     max_suppression: req.max_suppression,
                     properties: properties.clone(),
                 })
+                .chain(methods.iter().map(|&algorithm| EvalJob {
+                    dataset: dataset.clone(),
+                    algorithm,
+                    k,
+                    max_suppression: req.max_suppression,
+                    properties: method_properties.clone(),
+                }))
                 .collect();
             (k, jobs)
         })
@@ -292,6 +343,7 @@ mod tests {
         let req = CompareRequest {
             dataset: census(),
             algorithms: vec![],
+            methods: vec![],
             k: 3,
             max_suppression: 5,
             properties: vec![],
@@ -316,6 +368,7 @@ mod tests {
         let req = CompareRequest {
             dataset: census(), // 100 rows > 50
             algorithms: vec![],
+            methods: vec![],
             k: 3,
             max_suppression: 0,
             properties: vec![],
@@ -331,6 +384,7 @@ mod tests {
         let sweep = SweepRequest {
             dataset: WireDataset::Hospital { rows: 10, seed: 1 },
             algorithms: vec![],
+            methods: vec![],
             ks: vec![2, 3, 4],
             max_suppression: 0,
             properties: vec![],
@@ -354,6 +408,7 @@ mod tests {
         let req = SweepRequest {
             dataset: census(),
             algorithms: vec!["datafly".into(), "mondrian".into()],
+            methods: vec![],
             ks: vec![5, 2, 10],
             max_suppression: 1,
             properties: vec!["precision".into()],
@@ -372,10 +427,88 @@ mod tests {
     }
 
     #[test]
+    fn methods_expand_to_jobs_after_algorithms() {
+        let req = CompareRequest {
+            dataset: census(),
+            algorithms: vec!["datafly".into()],
+            methods: vec!["noise:0.05".into(), "mdav:5".into()],
+            k: 3,
+            max_suppression: 5,
+            properties: vec![],
+            budget_ms: None,
+        };
+        let plan = plan_compare(&req, &RequestLimits::default()).unwrap();
+        let labels: Vec<String> = plan.jobs.iter().map(|j| j.algorithm.label()).collect();
+        assert_eq!(labels, ["datafly", "noise:0.05", "mdav:5"]);
+        // Default property for generalization jobs stays eq-class-size;
+        // perturbative jobs default to the numeric bounded-loss property.
+        assert_eq!(plan.jobs[0].properties, [PropertySpec::EqClassSize]);
+        assert_eq!(plan.jobs[1].properties, [PropertySpec::BoundedLoss]);
+        assert_eq!(plan.jobs[2].properties, [PropertySpec::BoundedLoss]);
+
+        // An explicit property list applies to every job, both families.
+        let explicit = CompareRequest {
+            properties: vec!["bounded-loss".into()],
+            ..req.clone()
+        };
+        let plan = plan_compare(&explicit, &RequestLimits::default()).unwrap();
+        assert!(plan
+            .jobs
+            .iter()
+            .all(|j| j.properties == [PropertySpec::BoundedLoss]));
+    }
+
+    #[test]
+    fn sweep_batches_carry_method_jobs_per_k() {
+        let req = SweepRequest {
+            dataset: census(),
+            algorithms: vec!["mondrian".into()],
+            methods: vec!["rankswap:8".into()],
+            ks: vec![2, 5],
+            max_suppression: 0,
+            properties: vec![],
+            budget_ms: None,
+        };
+        let plan = plan_sweep(&req, &RequestLimits::default()).unwrap();
+        assert_eq!(plan.total_jobs(), 4);
+        for (_, jobs) in &plan.batches {
+            assert_eq!(jobs[0].algorithm.label(), "mondrian");
+            assert_eq!(jobs[1].algorithm.label(), "rankswap:8");
+        }
+    }
+
+    #[test]
+    fn method_list_rejects_algorithms_mocks_and_unknowns() {
+        let err = method_by_name("datafly").unwrap_err();
+        assert!(err.contains("not a perturbative method"), "{err}");
+        assert!(method_by_name("mock-panic").is_err());
+        assert!(method_by_name("noise:nonsense").is_err());
+        let req = CompareRequest {
+            dataset: census(),
+            algorithms: vec![],
+            methods: vec!["noise:0.05".into(), "mondrian".into()],
+            k: 2,
+            max_suppression: 0,
+            properties: vec![],
+            budget_ms: None,
+        };
+        let err = plan_compare(&req, &RequestLimits::default()).unwrap_err();
+        assert!(err.message().contains("mondrian"), "{err}");
+    }
+
+    #[test]
+    fn numeric_properties_are_servable() {
+        for tag in ["neighborhood-risk", "mahalanobis-risk", "bounded-loss"] {
+            assert!(property_by_name(tag).is_ok(), "{tag} should resolve");
+        }
+    }
+
+    #[test]
     fn unknown_names_surface_in_the_error() {
         let req = CompareRequest {
             dataset: census(),
             algorithms: vec!["datafly".into(), "magic".into()],
+            methods: vec![],
             k: 2,
             max_suppression: 0,
             properties: vec![],

@@ -8,9 +8,13 @@
 //!                   --k 5 [--algo mondrian] [--max-sup 20] [--output out.csv]
 //!     Anonymize a CSV file (schema and hierarchies are inferred).
 //!
-//! anoncmp compare --input data.csv --qi age,zip --sensitive disease --k 5 [--jobs 4]
+//! anoncmp compare --input data.csv --qi age,zip --sensitive disease --k 5 \
+//!                 [--jobs 4] [--methods noise:0.05,rankswap:8]
 //!     Run all algorithms (in parallel, on the evaluation engine) and
-//!     compare them with scalar and vector views.
+//!     compare them with scalar and vector views. With --methods, the
+//!     named perturbative methods join the tournament and every release
+//!     is judged on the numeric bounded-loss property so the families
+//!     stay commensurable.
 //!
 //! anoncmp risk --input data.csv --qi age,zip --sensitive disease [--threshold 0.2]
 //!     Re-identification risk of releasing the file as-is.
@@ -83,6 +87,9 @@ const USAGE: &str = "usage: anoncmp <demo|anonymize|compare|frontier|risk|serve|
   --threshold P       risk threshold for `risk` (default 0.2)
   --output FILE       write the anonymized CSV here (anonymize only)
   --jobs N            engine worker threads for `compare` (default: one per CPU)
+  --methods CSV       perturbative methods for `compare` (noise:0.05, cnoise:0.1,
+                      rankswap:8, microagg:5, mdav:4, rwn:10); when present,
+                      every job extracts the numeric bounded-loss property
   --resume FILE       checkpoint journal for `compare`: completed jobs are
                       appended fsync'd and replayed on re-run (crash-safe);
                       quarantined jobs land in FILE.failed.jsonl
@@ -108,7 +115,8 @@ dist options:
   --dataset KIND      census|hospital (default census)
   --rows N            synthesized rows (default 400; with --seed and --zip-pool)
   --ks CSV            k values of the sweep (default 2,5,10)
-  --algos CSV         algorithm names (default: the standard suite)
+  --algos CSV         algorithm or perturbative-method names, mixed freely
+                      (default: the standard suite)
   --props CSV         property tags (default eq-class-size)
   --engine-jobs N     engine threads per worker (default: cores / shards)
   --resume 1          reuse DIR's spec and shard journals (crash recovery)
@@ -291,17 +299,43 @@ fn compare(opts: &Options) -> Result<(), String> {
         engine.set_quarantine_sink(Some(Box::new(file)));
     }
 
+    // Perturbative methods joining the tournament force every job onto
+    // the numeric bounded-loss property: class sizes mean nothing for a
+    // noise release, and one shared property keeps the ▶cov matrix
+    // commensurable across families.
+    let methods: Vec<AlgorithmSpec> = match opts.get("methods") {
+        None => vec![],
+        Some(csv) => csv
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| match AlgorithmSpec::by_name(name) {
+                Some(spec) if spec.perturb().is_some() => Ok(spec),
+                Some(_) => Err(format!(
+                    "--methods: '{name}' is a generalization algorithm, not a perturbative method"
+                )),
+                None => Err(format!("--methods: unknown perturbative method '{name}'")),
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let property = if methods.is_empty() {
+        PropertySpec::EqClassSize
+    } else {
+        PropertySpec::BoundedLoss
+    };
+
     // Run the full candidate suite as one engine sweep: parallel across
     // `--jobs` workers, deterministic in content, memoized by fingerprint.
     let spec = DatasetSpec::inline(opts.require("input")?, dataset);
     let jobs: Vec<EvalJob> = AlgorithmSpec::standard_suite()
         .into_iter()
+        .chain(methods)
         .map(|algorithm| EvalJob {
             dataset: spec.clone(),
             algorithm,
             k,
             max_suppression: max_sup,
-            properties: vec![PropertySpec::EqClassSize],
+            properties: vec![property],
         })
         .collect();
     let sweep = engine.run(&jobs);
@@ -326,7 +360,13 @@ fn compare(opts: &Options) -> Result<(), String> {
         "algorithm", "k", "classes", "loss", "suppressed", "gini"
     );
     for ((name, m), v) in names.iter().zip(&metrics).zip(&vectors) {
-        let b = BiasReport::of(v);
+        // Bounded-loss components are negated (higher is better); the bias
+        // report wants the raw nonnegative losses back.
+        let b = if property == PropertySpec::BoundedLoss {
+            BiasReport::of(&v.negated())
+        } else {
+            BiasReport::of(v)
+        };
         println!(
             "{:<12} {:>4} {:>8} {:>10.1} {:>11} {:>7.3}",
             name, m.min_class_size, m.classes, m.total_loss, m.suppressed, b.gini
